@@ -1,0 +1,37 @@
+// Command experiments regenerates every table and figure of the
+// reproduction (DESIGN.md §4, EXPERIMENTS.md):
+//
+//	experiments            # run all of E1..E9
+//	experiments -only E2   # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+import "repro/internal/experiments"
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (E1..E9)")
+	flag.Parse()
+
+	failed := 0
+	for _, run := range experiments.All() {
+		table, err := run()
+		if *only != "" && !strings.EqualFold(table.ID, *only) {
+			continue
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", table.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(table.Format())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestQuerySource(t *testing.T) {
+	if src, err := querySource("1+1", ""); err != nil || src != "1+1" {
+		t.Errorf("inline source: %q %v", src, err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.xq")
+	if err := os.WriteFile(path, []byte("2+2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if src, err := querySource("", path); err != nil || src != "2+2" {
+		t.Errorf("file source: %q %v", src, err)
+	}
+	if _, err := querySource("", filepath.Join(dir, "missing.xq")); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestFileResolver(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.xml")
+	if err := os.WriteFile(path, []byte(`<doc><x>1</x></doc>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := fileResolver(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.DocumentElement().Name.Local != "doc" || doc.Base() != path {
+		t.Errorf("resolved doc wrong")
+	}
+	if _, err := fileResolver(filepath.Join(dir, "missing.xml")); err == nil {
+		t.Error("missing doc must fail")
+	}
+	bad := filepath.Join(dir, "bad.xml")
+	_ = os.WriteFile(bad, []byte("<unclosed"), 0o644)
+	if _, err := fileResolver(bad); err == nil {
+		t.Error("malformed doc must fail")
+	}
+}
+
+func TestVarFlags(t *testing.T) {
+	var v varFlags
+	if err := v.Set("a=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Set("b=two=parts"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Set("novalue"); err == nil {
+		t.Error("missing '=' must fail")
+	}
+	b := v.bindings()
+	if len(b) != 2 {
+		t.Fatalf("bindings = %v", b)
+	}
+	var empty varFlags
+	if empty.bindings() != nil {
+		t.Error("no flags should bind nothing")
+	}
+}

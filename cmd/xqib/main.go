@@ -1,0 +1,120 @@
+// Command xqib loads an (X)HTML page, executes its XQuery scripts
+// through the plug-in pipeline of Figure 1, optionally replays a
+// user-interaction script, and dumps the resulting page:
+//
+//	xqib -page page.html
+//	xqib -page page.html -do 'click:generate;key:text1=Br'
+//
+// The -do script is a ";"-separated list of interactions:
+//
+//	click:ID         dispatch a click at the element with that id
+//	key:ID=TEXT      set @value to TEXT and dispatch keyup
+//	set:ID@ATTR=V    set an attribute (no event)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/markup"
+)
+
+func main() {
+	pageFile := flag.String("page", "", "page file to load")
+	href := flag.String("href", "http://localhost/page.html", "page URL (origin for the security policy)")
+	script := flag.String("do", "", "interaction script (see command doc)")
+	quiet := flag.Bool("quiet", false, "suppress the final DOM dump")
+	flag.Parse()
+
+	if *pageFile == "" {
+		fatal(fmt.Errorf("-page is required"))
+	}
+	data, err := os.ReadFile(*pageFile)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := core.LoadPage(string(data), *href)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *script != "" {
+		for _, step := range strings.Split(*script, ";") {
+			step = strings.TrimSpace(step)
+			if step == "" {
+				continue
+			}
+			if err := apply(h, step); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if errs := h.WaitIdle(5 * time.Second); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "xqib: async:", e)
+		}
+	}
+
+	for _, a := range h.Alerts() {
+		fmt.Println("ALERT:", a)
+	}
+	if h.Window.Status != "" {
+		fmt.Println("STATUS:", h.Window.Status)
+	}
+	if !*quiet {
+		fmt.Println(markup.SerializeIndent(h.Page))
+	}
+}
+
+func apply(h *core.Host, step string) error {
+	kind, rest, ok := strings.Cut(step, ":")
+	if !ok {
+		return fmt.Errorf("bad interaction %q", step)
+	}
+	switch kind {
+	case "click":
+		return h.Click(rest)
+	case "key":
+		id, text, ok := strings.Cut(rest, "=")
+		if !ok {
+			return fmt.Errorf("bad key interaction %q", step)
+		}
+		el := h.Page.ElementByID(id)
+		if el == nil {
+			return fmt.Errorf("no element with id %q", id)
+		}
+		el.SetAttr(dom.Name("value"), text)
+		key := ""
+		if text != "" {
+			key = text[len(text)-1:]
+		}
+		return h.Keyup(id, key)
+	case "set":
+		target, value, ok := strings.Cut(rest, "=")
+		if !ok {
+			return fmt.Errorf("bad set interaction %q", step)
+		}
+		id, attr, ok := strings.Cut(target, "@")
+		if !ok {
+			return fmt.Errorf("bad set target %q", target)
+		}
+		el := h.Page.ElementByID(id)
+		if el == nil {
+			return fmt.Errorf("no element with id %q", id)
+		}
+		el.SetAttr(dom.Name(attr), value)
+		return nil
+	default:
+		return fmt.Errorf("unknown interaction kind %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xqib:", err)
+	os.Exit(1)
+}

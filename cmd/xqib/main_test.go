@@ -1,0 +1,75 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+const testPage = `<html><head><script type="text/xquery">
+declare updating function local:gen($evt, $obj) {
+  insert node <p>{string(//input[@id="t"]/@value)}</p> into //body
+};
+declare sequential function local:key($evt, $obj) {
+  browser:alert(concat("typed ", string($evt/key)));
+};
+{
+  on event "click" at //input[@id="b"] attach listener local:gen;
+  on event "keyup" at //input[@id="t"] attach listener local:key;
+}
+</script></head><body><input id="b"/><input id="t" value=""/></body></html>`
+
+func loadTestPage(t *testing.T) *core.Host {
+	t.Helper()
+	h, err := core.LoadPage(testPage, "http://example.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestApplyClick(t *testing.T) {
+	h := loadTestPage(t)
+	if err := apply(h, "set:t@value=hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(h, "click:b"); err != nil {
+		t.Fatal(err)
+	}
+	body := h.Page.Elements("body")[0]
+	if got := body.StringValue(); got != "hello" {
+		t.Errorf("body text = %q", got)
+	}
+}
+
+func TestApplyKey(t *testing.T) {
+	h := loadTestPage(t)
+	if err := apply(h, "key:t=abc"); err != nil {
+		t.Fatal(err)
+	}
+	a := h.Alerts()
+	if len(a) != 1 || a[0] != "typed c" {
+		t.Errorf("alerts = %v", a)
+	}
+	el := h.Page.ElementByID("t")
+	if el.AttrValue("value") != "abc" {
+		t.Errorf("value = %q", el.AttrValue("value"))
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	h := loadTestPage(t)
+	for _, step := range []string{
+		"nonsense",
+		"click:missing",
+		"key:missing=x",
+		"key:t",          // no '='
+		"set:t=v",        // no '@'
+		"set:missing@a=v",
+		"frobnicate:t",
+	} {
+		if err := apply(h, step); err == nil {
+			t.Errorf("step %q should fail", step)
+		}
+	}
+}

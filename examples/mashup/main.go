@@ -1,0 +1,44 @@
+// Google-Maps-weather mash-up (§6.2, Figure 3): JavaScript and XQuery
+// co-exist on one page, listening to the same search-button click; JS
+// updates the map via AJAX while XQuery issues REST calls to weather
+// and web-cam services and merges the results into the same DOM.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import "repro/internal/apps"
+
+func main() {
+	m, err := apps.NewMashup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	for _, city := range []string{"Madrid", "Zurich", "Redwood City"} {
+		if err := m.Search(city); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("searched %-13s → map=%q weather=%q webcams=%d\n",
+			city, m.MapLocation(), m.WeatherText(), len(m.WebcamURLs()))
+	}
+	fmt.Println("\nhandler serialisation (per click, JavaScript first):", m.HandlerOrder)
+	for _, svc := range []string{"maps", "weather", "webcams"} {
+		fmt.Printf("service %-8s handled %d requests\n", svc, m.Services.Requests(svc))
+	}
+
+	// §6.2: the weather service is selected by the browser's language.
+	de, err := apps.NewMashupWithLanguage("de")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer de.Close()
+	if err := de.Search("Zurich"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngerman-language browser → weather=%q (served by the de service: %d request)\n",
+		de.WeatherText(), de.Services.Requests("weather-de"))
+}

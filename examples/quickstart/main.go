@@ -1,0 +1,49 @@
+// Quickstart: the paper's Hello World page (§4.1) and the
+// multiplication-table demo (§6.3), run through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/apps"
+)
+
+func main() {
+	// 1. Evaluate XQuery directly.
+	engine := xqib.NewEngine()
+	seq, err := engine.EvalQuery(`for $i in 1 to 5 return $i * $i`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("squares:", xqib.FormatSequence(seq))
+
+	// 2. The Hello World page of §4.1.
+	h, err := xqib.LoadPage(`<html><head>
+		<title>Hello World Page</title>
+		<script type="text/xquery">
+			browser:alert("Hello, World!")
+		</script>
+	</head><body/></html>`, "http://www.example.com/hello.html")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alerts:", h.Alerts())
+
+	// 3. The multiplication table (§6.3): 29-ish lines of XQuery doing
+	// the work of 77-ish lines of JavaScript.
+	mult, err := apps.RunMultiplicationXQuery(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells := apps.MultiplicationTableCells(mult.Page)
+	fmt.Printf("multiplication table: %d cells, first row:", len(cells))
+	for i := 0; i < 6; i++ {
+		fmt.Printf(" %s", cells[i])
+	}
+	fmt.Println()
+	fmt.Printf("lines of code: XQuery %d vs JavaScript %d\n",
+		apps.CountLines(apps.MultiplicationXQueryScript),
+		apps.CountLines(apps.MultiplicationJSSource))
+}

@@ -1,0 +1,71 @@
+// Elsevier Reference 2.0 (§6.1, Figure 2): the server-to-client
+// migration. The same page-layout XQuery runs first on an application
+// server, then inside the browser with whole-document caching,
+// off-loading the server — the paper's motivation for the project.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+)
+
+func main() {
+	r, err := apps.NewReference20(apps.DefaultCorpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	fmt.Printf("corpus: %d journals × %d volumes × %d issues × %d articles = %d article documents\n",
+		r.Cfg.Journals, r.Cfg.Volumes, r.Cfg.Issues, r.Cfg.Articles, len(r.Articles))
+
+	session := r.Session(40, 7)
+	fmt.Printf("replaying a browsing session of %d interactions under three architectures\n\n", len(session))
+
+	server, err := apps.NewServerSideApp(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sm, err := server.Replay(session)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cached, err := apps.NewClientSideApp(r, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm, err := cached.Replay(session)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	uncached, err := apps.NewClientSideApp(r, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	um, err := uncached.Replay(session)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %14s %14s %14s %12s %12s\n",
+		"architecture", "server reqs", "server bytes", "server queries", "client gets", "cache hits")
+	rows := []struct {
+		name string
+		m    apps.Metrics
+	}{
+		{"server-side", sm},
+		{"client-side, no cache", um},
+		{"client-side + cache", cm},
+	}
+	for _, row := range rows {
+		fmt.Printf("%-22s %14d %14d %14d %12d %12d\n",
+			row.name, row.m.ServerRequests, row.m.ServerBytes,
+			row.m.ServerQueries, row.m.ClientFetches, row.m.ClientCacheHits)
+	}
+	fmt.Printf("\noff-loading: caching client issued %d server requests for %d interactions (%.0f%% served locally)\n",
+		cm.ServerRequests, cm.Interactions,
+		100*(1-float64(cm.ServerRequests)/float64(cm.Interactions)))
+}

@@ -1,0 +1,43 @@
+// Shopping cart (§6.3): the same application in the XQuery-only
+// architecture and in the JSP+JavaScript+SQL stack, demonstrating the
+// paper's "avoid the technology jungle" argument — one language on all
+// tiers, same behaviour, less code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+)
+
+func main() {
+	store, err := apps.NewProductStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	page, err := apps.RenderShoppingCartXQuery(store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- server-rendered XQuery-only page ---")
+	fmt.Println(page)
+
+	buys := []string{"Mouse", "Computer", "Mouse"}
+	cart, _, err := apps.RunShoppingCartXQuery(store, buys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter buying", buys, "the XQuery cart holds (top first):", cart)
+
+	jsCart, err := apps.RunShoppingCartBaseline(store, buys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("the JSP+JS+SQL baseline cart holds:          ", jsCart)
+
+	fmt.Printf("\nlines of code: XQuery-only %d vs JSP+JS+SQL stack %d\n",
+		apps.CountLines(apps.ShoppingCartXQueryServer),
+		apps.CountLines(apps.ShoppingCartJSPSource))
+}

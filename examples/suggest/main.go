@@ -1,0 +1,29 @@
+// AJAX suggest (§4.4): asynchronous web-service calls with the paper's
+// "behind" construct — typing fires keyup events, the hint service is
+// called without blocking the UI, and readyState 4 delivers the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+)
+
+func main() {
+	s, err := apps.NewSuggest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	for _, typed := range []string{"A", "B", "Li", "Gu"} {
+		if err := s.Type(typed); err != nil {
+			log.Fatal(err)
+		}
+		if errs := s.Wait(); len(errs) > 0 {
+			log.Fatal(errs[0])
+		}
+		fmt.Printf("typed %-3q → suggestions: %s\n", typed, s.Hint())
+	}
+}

@@ -1,0 +1,70 @@
+// Browser Object Model demo (§4.2): the window tree as XML, status and
+// location manipulation through the Update Facility, history, the
+// screen/navigator objects, and the same-origin security policy hiding
+// cross-origin frames.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xqib "repro"
+)
+
+func main() {
+	loader := func(url string) (*xqib.Node, error) {
+		page, err := xqib.ParseHTML(`<html><body><p>page at ` + url + `</p></body></html>`)
+		return page, err
+	}
+
+	page := `<html><head><script type="text/xqueryp">
+{
+  (: §4.2.1: manipulate the window through the Update Facility :)
+  replace value of node browser:self()/status with "Welcome";
+
+  (: §4.2.2: screen and navigator :)
+  browser:alert(concat("screen: ",
+    string(browser:screen()/width), "x", string(browser:screen()/height)));
+  browser:alert(concat("navigator: ", string(browser:navigator()/appName)));
+
+  (: §4.2.1: find frames by name through the window tree :)
+  browser:alert(concat("frames named leftframe: ",
+    string(count(browser:top()//window[@name="leftframe"]))));
+
+  (: cross-origin frames expose nothing (§4.2.1) :)
+  browser:alert(concat("secret status reads as: [",
+    string(browser:top()//window[@name="other"]/status), "]"));
+}
+	</script></head><body/></html>`
+
+	h, err := xqib.LoadPage(page, "http://demo.example.com/windows.html",
+		xqib.WithPageLoader(loader),
+		xqib.WithBrowserSetup(func(b *xqib.Browser) {
+			left := &xqib.Window{Name: "leftframe", Status: "First child"}
+			left.Location, _ = xqib.ParseLocation("http://demo.example.com/left")
+			other := &xqib.Window{Name: "other", Status: "top secret"}
+			other.Location, _ = xqib.ParseLocation("https://elsewhere.example.org/")
+			b.Top().AddFrame(left)
+			b.Top().AddFrame(other)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, a := range h.Alerts() {
+		fmt.Println("alert:", a)
+	}
+	fmt.Println("status:", h.Window.Status)
+
+	// Navigate by replacing location/href (the §4.2.1 example), then
+	// walk the history.
+	if err := h.Browser.Navigate(h.Window, "http://demo.example.com/second"); err != nil {
+		log.Fatal(err)
+	}
+	if err := h.Browser.HistoryGo(h.Window, -1); err != nil {
+		log.Fatal(err)
+	}
+	hist, pos := h.Window.History()
+	fmt.Printf("history: %v (at %d)\n", hist, pos)
+	fmt.Println("location:", h.Window.Location.Href)
+}

@@ -1,0 +1,240 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+)
+
+// Second batch: the per-query client (E9), session generation
+// properties, and the mash-up services in isolation.
+
+func TestPerQueryClientEvaluatesOnServer(t *testing.T) {
+	r, err := NewReference20(DefaultCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	session := r.Session(12, 3)
+	m, err := ReplayPerQueryClient(r, session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every interaction is a server request AND a server evaluation —
+	// the pre-migration architecture's cost profile.
+	if m.ServerRequests != 12 || m.ServerQueries != 12 {
+		t.Errorf("per-query metrics: reqs=%d queries=%d", m.ServerRequests, m.ServerQueries)
+	}
+	if m.ClientCacheHits != 0 {
+		t.Errorf("per-query caching should be impossible: %d hits", m.ClientCacheHits)
+	}
+}
+
+func TestPerQueryViewsMatchServerViews(t *testing.T) {
+	// The per-query endpoint returns the same rendered views as the
+	// server-side app (both are reference20Views shapes).
+	r, err := NewReference20(DefaultCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	server, err := NewServerSideApp(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range []Interaction{
+		{Kind: "issue", ID: "j2v1i2"},
+		{Kind: "article", ID: "j2v1i2a3"},
+		{Kind: "refs", ID: "j2v1i2a3"},
+	} {
+		want, err := server.Render(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uri, q := perQueryRequest(it)
+		got, err := r.Store.Query(uri, q)
+		if err != nil {
+			t.Fatalf("%v: %v", it, err)
+		}
+		if got != want {
+			t.Errorf("%v:\nserver: %s\nper-query: %s", it, want, got)
+		}
+	}
+}
+
+func TestSessionGeneration(t *testing.T) {
+	r, err := NewReference20(DefaultCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Deterministic for a seed.
+	s1 := r.Session(25, 9)
+	s2 := r.Session(25, 9)
+	if len(s1) != 25 || len(s2) != 25 {
+		t.Fatalf("session lengths: %d %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("session not deterministic at %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+	// Different seeds differ.
+	s3 := r.Session(25, 10)
+	same := true
+	for i := range s1 {
+		if s1[i] != s3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sessions")
+	}
+	// Every interaction references a real issue or article.
+	issues := map[string]bool{}
+	for _, id := range r.Issues() {
+		issues[id] = true
+	}
+	articles := map[string]bool{}
+	for _, id := range r.Articles {
+		articles[id] = true
+	}
+	for _, it := range s1 {
+		switch it.Kind {
+		case "issue":
+			if !issues[it.ID] {
+				t.Errorf("unknown issue %q", it.ID)
+			}
+		case "article", "refs":
+			if !articles[it.ID] {
+				t.Errorf("unknown article %q", it.ID)
+			}
+		default:
+			t.Errorf("unknown interaction kind %q", it.Kind)
+		}
+	}
+	// Sessions contain revisits (the cache's raison d'être).
+	seen := map[Interaction]int{}
+	revisits := 0
+	for _, it := range r.Session(60, 4) {
+		seen[it]++
+		if seen[it] > 1 {
+			revisits++
+		}
+	}
+	if revisits == 0 {
+		t.Error("long session has no revisits")
+	}
+}
+
+func TestMashupServicesDirect(t *testing.T) {
+	s := NewMashupServices()
+	defer s.Close()
+	c := s.Maps.Client()
+
+	get := func(url string) string {
+		resp, err := c.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 8192)
+		n, _ := resp.Body.Read(buf)
+		return string(buf[:n])
+	}
+	m := get(s.Maps.URL + "?loc=Bern")
+	if !strings.Contains(m, `<map location="Bern">`) || !strings.Contains(m, "<tile") {
+		t.Errorf("map payload: %s", m)
+	}
+	w := get(s.Weather.URL + "?loc=Bern")
+	if !strings.Contains(w, `<weather location="Bern">`) || !strings.Contains(w, "<temp>") {
+		t.Errorf("weather payload: %s", w)
+	}
+	// Deterministic per location.
+	if w2 := get(s.Weather.URL + "?loc=Bern"); w2 != w {
+		t.Error("weather must be deterministic per location")
+	}
+	cams := get(s.Webcams.URL + "?loc=Bern")
+	if strings.Count(cams, "<cam ") != 2 {
+		t.Errorf("webcams payload: %s", cams)
+	}
+	if s.Requests("maps") != 1 || s.Requests("weather") != 2 || s.Requests("webcams") != 1 {
+		t.Errorf("request counts: %d %d %d",
+			s.Requests("maps"), s.Requests("weather"), s.Requests("webcams"))
+	}
+}
+
+func TestSuggestEmptyInputClearsHint(t *testing.T) {
+	s, err := NewSuggest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Type("B"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Wait()
+	if s.Hint() == "" {
+		t.Fatal("precondition: hint set")
+	}
+	// Simulate clearing the box: keyup with empty value.
+	box := s.Host.Page.ElementByID("text1")
+	box.SetAttr(dom.Name("value"), "")
+	if err := s.Host.Keyup("text1", "Backspace"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Wait()
+	if s.Hint() != "" {
+		t.Errorf("hint not cleared: %q", s.Hint())
+	}
+}
+
+func TestReference20CorpusScales(t *testing.T) {
+	cfg := CorpusConfig{Journals: 1, Volumes: 1, Issues: 1, Articles: 2, RefsPerArticle: 3, Seed: 1}
+	r, err := NewReference20(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(r.Articles) != 2 || r.Store.Len() != 3 {
+		t.Errorf("tiny corpus: %d articles, %d docs", len(r.Articles), r.Store.Len())
+	}
+	out, err := r.Store.Query("articles/"+r.Articles[0]+".xml", `count(//ref)`)
+	if err != nil || out != "3" {
+		t.Errorf("refs = %s, %v", out, err)
+	}
+}
+
+func TestMashupWeatherServiceSelectionByLanguage(t *testing.T) {
+	// §6.2: "a selection of different weather services is used,
+	// depending on the used language".
+	de, err := NewMashupWithLanguage("de")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer de.Close()
+	if err := de.Search("Zurich"); err != nil {
+		t.Fatal(err)
+	}
+	if got := de.WeatherText(); got != ExpectedWeatherTextDE("Zurich") {
+		t.Errorf("german weather = %q, want %q", got, ExpectedWeatherTextDE("Zurich"))
+	}
+	if de.Services.Requests("weather-de") != 1 || de.Services.Requests("weather") != 0 {
+		t.Errorf("service selection wrong: de=%d en=%d",
+			de.Services.Requests("weather-de"), de.Services.Requests("weather"))
+	}
+
+	en, err := NewMashupWithLanguage("en")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	if err := en.Search("Zurich"); err != nil {
+		t.Fatal(err)
+	}
+	if en.Services.Requests("weather") != 1 || en.Services.Requests("weather-de") != 0 {
+		t.Error("english browser must use the english service")
+	}
+}

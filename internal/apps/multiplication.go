@@ -1,0 +1,213 @@
+package apps
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/jsruntime"
+	"repro/internal/markup"
+)
+
+// The multiplication-table demo from the paper's sample site (§6.3:
+// "the multiplication table demoed on that site requires 77 lines of
+// JavaScript code or alternatively only 29 lines of XQuery code"). The
+// application: a size box, a Generate button that builds an n×n
+// multiplication table, and click-to-highlight on the cells.
+
+// MultiplicationXQueryScript is the XQuery implementation embedded in
+// the page (the executed variant).
+const MultiplicationXQueryScript = `
+declare updating function local:generate($evt, $obj) {
+  let $n := xs:integer(string(//input[@id="size"]/@value))
+  return (
+    delete node //div[@id="out"]/table,
+    insert node
+      <table border="1">{
+        for $i in 1 to $n
+        return
+          <tr>{
+            for $j in 1 to $n
+            return <td id="c{$i}x{$j}">{$i * $j}</td>
+          }</tr>
+      }</table>
+    into //div[@id="out"]
+  )
+};
+declare updating function local:highlight($evt, $obj) {
+  set style "background-color" of $obj to "yellow"
+};
+{
+  on event "click" at //input[@id="generate"] attach listener local:generate;
+  on event "click" at //div[@id="out"] attach listener local:highlight;
+}
+`
+
+// MultiplicationJSSource is the JavaScript implementation as a browser
+// would load it — the source text the paper's line count refers to. It
+// is counted, not executed; the executable equivalent is
+// RunMultiplicationJS below (see DESIGN.md, substitutions).
+const MultiplicationJSSource = `
+function getSize() {
+    var box = document.getElementById("size");
+    if (box == null) {
+        return 0;
+    }
+    var n = parseInt(box.getAttribute("value"), 10);
+    if (isNaN(n) || n < 1) {
+        return 0;
+    }
+    return n;
+}
+
+function clearTable() {
+    var out = document.getElementById("out");
+    var tables = out.getElementsByTagName("table");
+    for (var i = tables.length - 1; i >= 0; i--) {
+        out.removeChild(tables[i]);
+    }
+    return out;
+}
+
+function makeCell(i, j) {
+    var td = document.createElement("td");
+    td.setAttribute("id", "c" + i + "x" + j);
+    var text = document.createTextNode(String(i * j));
+    td.appendChild(text);
+    td.addEventListener("click", highlightCell, false);
+    return td;
+}
+
+function makeRow(i, n) {
+    var tr = document.createElement("tr");
+    for (var j = 1; j <= n; j++) {
+        var td = makeCell(i, j);
+        tr.appendChild(td);
+    }
+    return tr;
+}
+
+function generateTable(evt) {
+    var n = getSize();
+    if (n == 0) {
+        return;
+    }
+    var out = clearTable();
+    var table = document.createElement("table");
+    table.setAttribute("border", "1");
+    for (var i = 1; i <= n; i++) {
+        var tr = makeRow(i, n);
+        table.appendChild(tr);
+    }
+    out.appendChild(table);
+}
+
+function highlightCell(evt) {
+    var cell = evt.target;
+    if (cell == null) {
+        return;
+    }
+    cell.style.backgroundColor = "yellow";
+}
+
+function init() {
+    var button = document.getElementById("generate");
+    button.addEventListener("click", generateTable, false);
+}
+
+window.addEventListener("load", init, false);
+`
+
+// MultiplicationPage returns the demo page with the XQuery script
+// embedded.
+func MultiplicationPage() string {
+	return `<html><head><title>Multiplication table</title>
+<script type="text/xqueryp">` + MultiplicationXQueryScript + `</script>
+</head><body>
+<input id="size" type="text" value="10"/>
+<input id="generate" type="button" value="Generate"/>
+<div id="out"/>
+</body></html>`
+}
+
+// RunMultiplicationXQuery loads the demo page, sets the size and clicks
+// Generate; the returned host's page contains the table.
+func RunMultiplicationXQuery(n int) (*core.Host, error) {
+	h, err := core.LoadPage(MultiplicationPage(), "http://example.com/mult.html")
+	if err != nil {
+		return nil, err
+	}
+	h.Page.ElementByID("size").SetAttr(dom.Name("value"), strconv.Itoa(n))
+	if err := h.Click("generate"); err != nil {
+		return nil, err
+	}
+	if errs := h.WaitIdle(0); len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return h, nil
+}
+
+// RunMultiplicationJS builds the same table with the JavaScript-style
+// baseline over an identical page skeleton and returns the page.
+func RunMultiplicationJS(n int) (*dom.Node, error) {
+	page, err := markup.ParseHTML(`<html><head><title>Multiplication table</title></head><body>
+<input id="size" type="text" value="` + strconv.Itoa(n) + `"/>
+<input id="generate" type="button" value="Generate"/>
+<div id="out"/>
+</body></html>`)
+	if err != nil {
+		return nil, err
+	}
+	d := jsruntime.NewDocument(page)
+
+	highlightCell := func(evt *dom.Event) {
+		if evt.Target == nil {
+			return
+		}
+		style := evt.Target.AttrValue("style")
+		if style != "" {
+			style += "; "
+		}
+		evt.Target.SetAttr(dom.Name("style"), style+"background-color: yellow")
+	}
+	generateTable := func(evt *dom.Event) {
+		box := d.GetElementById("size")
+		num, err := strconv.Atoi(box.GetAttribute("value"))
+		if err != nil || num < 1 {
+			return
+		}
+		out := d.GetElementById("out")
+		for _, tbl := range out.Node().Elements("table") {
+			tbl.Detach()
+		}
+		table := d.CreateElement("table")
+		table.SetAttribute("border", "1")
+		for i := 1; i <= num; i++ {
+			tr := d.CreateElement("tr")
+			for j := 1; j <= num; j++ {
+				td := d.CreateElement("td")
+				td.SetAttribute("id", fmt.Sprintf("c%dx%d", i, j))
+				td.AppendChild(d.CreateTextNode(strconv.Itoa(i * j)))
+				td.AddEventListener("click", highlightCell)
+				tr.AppendChild(td)
+			}
+			table.AppendChild(tr)
+		}
+		out.AppendChild(table)
+	}
+	btn := d.GetElementById("generate")
+	btn.AddEventListener("click", generateTable)
+	btn.DispatchEvent(&dom.Event{Type: "click", Bubbles: true, Button: 1})
+	return page, nil
+}
+
+// MultiplicationTableCells extracts the table cells of a generated page
+// (equivalence checks between the two implementations).
+func MultiplicationTableCells(page *dom.Node) []string {
+	var cells []string
+	for _, td := range page.Elements("td") {
+		cells = append(cells, td.StringValue())
+	}
+	return cells
+}

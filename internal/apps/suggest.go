@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/rest"
+)
+
+// The AJAX suggest application of §4.4: typing into a text box calls a
+// web service asynchronously through the "behind" construct; when the
+// readyState reaches 4 the hint appears — "the call is non-blocking;
+// the user keeps control of the user interface".
+
+// SuggestServiceModule is the hint web service as an XQuery module.
+const SuggestServiceModule = `module namespace ab = "http://example.com" port:2003;
+declare option fn:webservice "true";
+declare variable $ab:names := ("Anna", "Brittany", "Cinderella", "Diana",
+  "Eva", "Fiona", "Gunda", "Hege", "Inga", "Johanna", "Kitty", "Linda");
+declare function ab:getHint($str) {
+  string-join(
+    for $n in $ab:names
+    where starts-with(lower-case($n), lower-case($str))
+    return $n,
+    ", ")
+};`
+
+// SuggestPage is the paper's §4.4 page, adapted to the reproduced
+// grammar (the onkeyup attribute becomes an explicit listener
+// registration — inline handler attributes are not part of the §4.3
+// proposal).
+func SuggestPage(wsdlURL string) string {
+	return `<html><head>
+<script type="text/xquery">
+import module namespace ab = "http://example.com" at "` + wsdlURL + `";
+declare updating function local:showHint($str as xs:string) {
+  if (string-length($str) eq 0) then
+    replace value of node //*[@id="txtHint"] with ""
+  else
+    on event "stateChanged"
+    behind ab:getHint($str)
+    attach listener local:onResult
+};
+declare updating function local:onResult($readyState, $result) {
+  if ($readyState eq 4) then
+    replace value of node //*[@id="txtHint"] with string($result)
+  else ()
+};
+declare updating function local:onKey($evt, $obj) {
+  local:showHint(string($obj/@value))
+};
+on event "keyup" at //input[@id="text1"]
+attach listener local:onKey
+</script></head><body>
+<form>First Name: <input type="text" id="text1" value=""/></form>
+<p>Suggestions: <span id="txtHint"></span></p>
+</body></html>`
+}
+
+// Suggest is the running application: the service and the page.
+type Suggest struct {
+	Server *rest.ModuleServer
+	TS     *httptest.Server
+	Host   *core.Host
+	Client *rest.Client
+}
+
+// NewSuggest starts the hint service and loads the page.
+func NewSuggest() (*Suggest, error) {
+	srv, err := rest.NewModuleServer(SuggestServiceModule, nil)
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := rest.NewClient(ts.Client())
+	host, err := core.LoadPage(SuggestPage(ts.URL+"/wsdl"), "http://suggest.example.com/",
+		core.WithModuleResolver(client.Resolver()))
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+	return &Suggest{Server: srv, TS: ts, Host: host, Client: client}, nil
+}
+
+// Type simulates the user typing: the box's value is set and a keyup
+// fires; the hint arrives asynchronously.
+func (s *Suggest) Type(text string) error {
+	box := s.Host.Page.ElementByID("text1")
+	box.SetAttr(dom.Name("value"), text)
+	return s.Host.Keyup("text1", text[len(text)-1:])
+}
+
+// Hint returns the current suggestion text.
+func (s *Suggest) Hint() string {
+	return s.Host.Page.ElementByID("txtHint").StringValue()
+}
+
+// Wait blocks until pending calls complete.
+func (s *Suggest) Wait() []error { return s.Host.WaitIdle(2 * time.Second) }
+
+// Close stops the service.
+func (s *Suggest) Close() { s.TS.Close() }

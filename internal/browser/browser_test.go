@@ -1,0 +1,358 @@
+package browser
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dom"
+	"repro/internal/markup"
+	"repro/internal/xquery/update"
+)
+
+func newBrowser(t *testing.T, href string) *Browser {
+	t.Helper()
+	doc, err := markup.ParseHTML(`<html><body/></html>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(href, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParseLocation(t *testing.T) {
+	loc, err := ParseLocation("http://www.dbis.ethz.ch:8080/path/page.html?q=1#frag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct{ got, want string }{
+		{loc.Protocol, "http:"},
+		{loc.Host, "www.dbis.ethz.ch:8080"},
+		{loc.Hostname, "www.dbis.ethz.ch"},
+		{loc.Port, "8080"},
+		{loc.Pathname, "/path/page.html"},
+		{loc.Search, "?q=1"},
+		{loc.Hash, "frag"},
+		{loc.Origin(), "http://www.dbis.ethz.ch:8080"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("got %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestSameOriginPolicy(t *testing.T) {
+	p := SameOriginPolicy{}
+	w := func(href string) *Window {
+		loc, _ := ParseLocation(href)
+		return &Window{Location: loc}
+	}
+	a1 := w("http://a.com/x")
+	a2 := w("http://a.com/y")
+	bOther := w("http://b.com/x")
+	aTLS := w("https://a.com/x")
+	if !p.CanAccess(a1, a2) {
+		t.Error("same origin must be allowed")
+	}
+	if p.CanAccess(a1, bOther) {
+		t.Error("cross host must be denied")
+	}
+	if p.CanAccess(a1, aTLS) {
+		t.Error("cross scheme must be denied")
+	}
+	if !p.CanAccess(a1, a1) {
+		t.Error("self access must be allowed")
+	}
+}
+
+func TestWindowTreeMaterialization(t *testing.T) {
+	b := newBrowser(t, "http://example.com/")
+	child := &Window{Name: "child1", Status: "First child"}
+	loc, _ := ParseLocation("http://example.com/frame")
+	child.Location = loc
+	b.Top().AddFrame(child)
+
+	tree := b.WindowTree(b.Top())
+	if tree.AttrValue("name") != "top_window" {
+		t.Errorf("top name = %q", tree.AttrValue("name"))
+	}
+	frames := tree.Elements("frames")[0]
+	if len(frames.Children()) != 1 {
+		t.Fatalf("frames = %d", len(frames.Children()))
+	}
+	cw := frames.Children()[0]
+	if cw.AttrValue("name") != "child1" {
+		t.Errorf("child name = %q", cw.AttrValue("name"))
+	}
+	// Node→window mapping.
+	w, ok := b.WindowOf(cw)
+	if !ok || w != child {
+		t.Error("WindowOf failed")
+	}
+	// Status is readable.
+	found := false
+	for _, c := range cw.Children() {
+		if c.Name.Local == "status" && c.StringValue() == "First child" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("status not materialized")
+	}
+}
+
+func TestWindowTreeHiddenCrossOrigin(t *testing.T) {
+	b := newBrowser(t, "http://a.com/")
+	victim := &Window{Name: "victim", Status: "secret"}
+	loc, _ := ParseLocation("https://bank.org/account")
+	victim.Location = loc
+	b.Top().AddFrame(victim)
+
+	tree := b.WindowTree(b.Top())
+	out := markup.Serialize(tree)
+	if strings.Contains(out, "secret") || strings.Contains(out, "bank.org") {
+		t.Errorf("cross-origin data leaked: %s", out)
+	}
+}
+
+func TestWindowTreePullIsFresh(t *testing.T) {
+	// The paper marks browser:top() non-deterministic: state changes
+	// between pulls must be visible.
+	b := newBrowser(t, "http://a.com/")
+	t1 := b.WindowTree(b.Top())
+	b.Top().Status = "changed"
+	t2 := b.WindowTree(b.Top())
+	s1 := t1.Elements("status")[0].StringValue()
+	s2 := t2.Elements("status")[0].StringValue()
+	if s1 != "" || s2 != "changed" {
+		t.Errorf("pull snapshots: %q / %q", s1, s2)
+	}
+}
+
+func TestApplyUpdateStatusAndNavigate(t *testing.T) {
+	b := newBrowser(t, "http://a.com/")
+	loaded := ""
+	b.Loader = func(url string) (*dom.Node, error) {
+		loaded = url
+		return dom.NewDocument(), nil
+	}
+	tree := b.WindowTree(b.Top())
+	status := tree.Elements("status")[0]
+	handled, err := b.ApplyUpdate(update.Primitive{Kind: update.ReplaceValue, Target: status, Value: "Welcome"})
+	if !handled || err != nil {
+		t.Fatalf("status update: %v %v", handled, err)
+	}
+	if b.Top().Status != "Welcome" {
+		t.Errorf("status = %q", b.Top().Status)
+	}
+	href := tree.Elements("href")[0]
+	handled, err = b.ApplyUpdate(update.Primitive{Kind: update.ReplaceValue, Target: href, Value: "http://b.com/next"})
+	if !handled || err != nil {
+		t.Fatalf("href update: %v %v", handled, err)
+	}
+	if loaded != "http://b.com/next" || b.Top().Location.Hostname != "b.com" {
+		t.Errorf("navigation: loaded=%q loc=%+v", loaded, b.Top().Location)
+	}
+	// Unrelated primitives are not handled.
+	handled, _ = b.ApplyUpdate(update.Primitive{Kind: update.ReplaceValue, Target: dom.NewText("x"), Value: "v"})
+	if handled {
+		t.Error("unrelated target must not be handled")
+	}
+}
+
+func TestHistory(t *testing.T) {
+	b := newBrowser(t, "http://a.com/1")
+	b.Loader = func(url string) (*dom.Node, error) { return dom.NewDocument(), nil }
+	w := b.Top()
+	if err := b.Navigate(w, "http://a.com/2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Navigate(w, "http://a.com/3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.HistoryGo(w, -1); err != nil {
+		t.Fatal(err)
+	}
+	if w.Location.Href != "http://a.com/2" {
+		t.Errorf("back: %q", w.Location.Href)
+	}
+	if err := b.HistoryGo(w, -1); err != nil {
+		t.Fatal(err)
+	}
+	if w.Location.Href != "http://a.com/1" {
+		t.Errorf("back twice: %q", w.Location.Href)
+	}
+	_ = b.HistoryGo(w, -1) // out of range: no-op
+	if w.Location.Href != "http://a.com/1" {
+		t.Errorf("underflow moved: %q", w.Location.Href)
+	}
+	if err := b.HistoryGo(w, 2); err != nil {
+		t.Fatal(err)
+	}
+	if w.Location.Href != "http://a.com/3" {
+		t.Errorf("forward: %q", w.Location.Href)
+	}
+	// Navigating truncates forward history.
+	_ = b.HistoryGo(w, -2)
+	_ = b.Navigate(w, "http://a.com/new")
+	hist, pos := w.History()
+	if len(hist) != 2 || pos != 1 || hist[1] != "http://a.com/new" {
+		t.Errorf("history = %v @%d", hist, pos)
+	}
+}
+
+func TestOpenCloseWindow(t *testing.T) {
+	b := newBrowser(t, "http://a.com/")
+	b.Loader = func(url string) (*dom.Node, error) { return dom.NewDocument(), nil }
+	w, err := b.OpenWindow(b.Top(), "http://a.com/popup", "popup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FindWindow("popup") != w {
+		t.Error("opened window not in tree")
+	}
+	if w.Opener != b.Top() {
+		t.Error("opener not set")
+	}
+	b.CloseWindow(w)
+	if !w.Closed || b.FindWindow("popup") != nil {
+		t.Error("close failed")
+	}
+}
+
+func TestScreenNavigatorTrees(t *testing.T) {
+	b := newBrowser(t, "http://a.com/")
+	s := b.ScreenTree()
+	if s.Elements("width")[0].StringValue() != "1280" {
+		t.Error("screen width")
+	}
+	n := b.NavigatorTree()
+	if n.Elements("appName")[0].StringValue() != "XQIB" {
+		t.Error("navigator appName")
+	}
+}
+
+func TestPromptConfirmQueues(t *testing.T) {
+	b := newBrowser(t, "http://a.com/")
+	b.QueuePromptAnswer("one")
+	b.QueuePromptAnswer("two")
+	if b.Prompt("?") != "one" || b.Prompt("?") != "two" || b.Prompt("?") != "" {
+		t.Error("prompt queue order wrong")
+	}
+	b.QueueConfirmAnswer(false)
+	if b.Confirm("?") != false || b.Confirm("?") != true {
+		t.Error("confirm queue wrong")
+	}
+}
+
+func TestWrite(t *testing.T) {
+	doc, _ := markup.ParseHTML(`<html><body><p>x</p></body></html>`)
+	b, _ := New("http://a.com/", doc)
+	b.Write(b.Top(), "plain")
+	b.Write(b.Top(), "<b>bold</b>")
+	body := doc.Elements("body")[0]
+	out := markup.SerializeHTML(body)
+	if !strings.Contains(out, "plain") || !strings.Contains(out, "<b>bold</b>") {
+		t.Errorf("write output: %s", out)
+	}
+	if len(b.Written()) != 2 {
+		t.Error("write sink")
+	}
+}
+
+func TestStyleHelpers(t *testing.T) {
+	el := dom.NewElement(dom.Name("div"))
+	SetStyleProp(el, "color", "red")
+	SetStyleProp(el, "border-margin", "2px")
+	if v, ok := GetStyleProp(el, "color"); !ok || v != "red" {
+		t.Errorf("color = %q %v", v, ok)
+	}
+	SetStyleProp(el, "color", "blue")
+	if v, _ := GetStyleProp(el, "color"); v != "blue" {
+		t.Errorf("overwrite failed: %q", v)
+	}
+	if v, _ := GetStyleProp(el, "BORDER-MARGIN"); v != "2px" {
+		t.Error("case-insensitive lookup failed")
+	}
+	RemoveStyleProp(el, "color")
+	if _, ok := GetStyleProp(el, "color"); ok {
+		t.Error("remove failed")
+	}
+	RemoveStyleProp(el, "border-margin")
+	if _, ok := el.Attr(dom.Name("style")); ok {
+		t.Error("empty style attribute should be removed")
+	}
+}
+
+func TestParseStyleMalformed(t *testing.T) {
+	decls := ParseStyle("color: red; ; broken; a:b:c; : novalue;")
+	// "a:b:c" keeps everything after the first colon as the value.
+	if len(decls) != 2 {
+		t.Fatalf("decls = %v", decls)
+	}
+	if decls[1].Prop != "a" || decls[1].Value != "b:c" {
+		t.Errorf("decl = %+v", decls[1])
+	}
+}
+
+func TestFormatStyleRoundTrip(t *testing.T) {
+	in := "color: red; width: 10px"
+	if got := FormatStyle(ParseStyle(in)); got != in {
+		t.Errorf("round trip: %q", got)
+	}
+}
+
+// Property: a cross-origin window's serialized view never contains its
+// status or location text, whatever the tree shape.
+func TestNoCrossOriginLeakProperty(t *testing.T) {
+	origins := []string{"http://a.com", "http://b.com", "https://a.com", "http://a.com:8080"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := newBrowserForProp(origins[rng.Intn(len(origins))])
+		viewerOrigin := b.Top().Location.Origin()
+		// Build a random frame forest with random origins and secrets.
+		var secrets []string
+		parents := []*Window{b.Top()}
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			w := &Window{Name: fmt.Sprintf("w%d", i)}
+			origin := origins[rng.Intn(len(origins))]
+			loc, err := ParseLocation(fmt.Sprintf("%s/page%d", origin, i))
+			if err != nil {
+				return false
+			}
+			w.Location = loc
+			w.Status = fmt.Sprintf("SECRET-%d-%d", seed, i)
+			if loc.Origin() != viewerOrigin {
+				secrets = append(secrets, w.Status, w.Location.Href)
+			}
+			p := parents[rng.Intn(len(parents))]
+			p.AddFrame(w)
+			parents = append(parents, w)
+		}
+		out := markup.Serialize(b.WindowTree(b.Top()))
+		for _, s := range secrets {
+			if strings.Contains(out, s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newBrowserForProp(href string) *Browser {
+	doc, _ := markup.ParseHTML(`<html><body/></html>`)
+	b, err := New(href+"/index.html", doc)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

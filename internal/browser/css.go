@@ -1,0 +1,97 @@
+package browser
+
+import (
+	"strings"
+
+	"repro/internal/dom"
+)
+
+// CSS style handling (paper §4.5). Styles live in the element's style
+// attribute as "prop: value; prop: value" text — the paper's stated
+// reason for the dedicated grammar is exactly that this string is not
+// XML, so "set style"/"get style" manipulate it without pretending the
+// properties are tree nodes.
+
+// StyleDecl is one property declaration.
+type StyleDecl struct {
+	Prop  string
+	Value string
+}
+
+// ParseStyle splits a style attribute value into declarations,
+// preserving order and dropping malformed entries.
+func ParseStyle(s string) []StyleDecl {
+	var out []StyleDecl
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.IndexByte(part, ':')
+		if i <= 0 {
+			continue
+		}
+		prop := strings.TrimSpace(part[:i])
+		val := strings.TrimSpace(part[i+1:])
+		if prop == "" {
+			continue
+		}
+		out = append(out, StyleDecl{Prop: prop, Value: val})
+	}
+	return out
+}
+
+// FormatStyle renders declarations back to attribute text.
+func FormatStyle(decls []StyleDecl) string {
+	parts := make([]string, len(decls))
+	for i, d := range decls {
+		parts[i] = d.Prop + ": " + d.Value
+	}
+	return strings.Join(parts, "; ")
+}
+
+// GetStyleProp reads one style property from an element ("" and false
+// when unset).
+func GetStyleProp(el *dom.Node, prop string) (string, bool) {
+	style, ok := el.Attr(dom.Name("style"))
+	if !ok {
+		return "", false
+	}
+	for _, d := range ParseStyle(style) {
+		if strings.EqualFold(d.Prop, prop) {
+			return d.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetStyleProp sets one style property on an element, preserving the
+// other declarations.
+func SetStyleProp(el *dom.Node, prop, value string) {
+	decls := ParseStyle(el.AttrValue("style"))
+	for i, d := range decls {
+		if strings.EqualFold(d.Prop, prop) {
+			decls[i].Value = value
+			el.SetAttr(dom.Name("style"), FormatStyle(decls))
+			return
+		}
+	}
+	decls = append(decls, StyleDecl{Prop: prop, Value: value})
+	el.SetAttr(dom.Name("style"), FormatStyle(decls))
+}
+
+// RemoveStyleProp deletes a property from the element's style.
+func RemoveStyleProp(el *dom.Node, prop string) {
+	decls := ParseStyle(el.AttrValue("style"))
+	out := decls[:0]
+	for _, d := range decls {
+		if !strings.EqualFold(d.Prop, prop) {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		el.RemoveAttr(dom.Name("style"))
+		return
+	}
+	el.SetAttr(dom.Name("style"), FormatStyle(out))
+}

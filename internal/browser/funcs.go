@@ -1,0 +1,196 @@
+package browser
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+	"repro/internal/xdm"
+	"repro/internal/xquery/parser"
+	"repro/internal/xquery/runtime"
+)
+
+// The browser: function namespace (paper §4.2). Functions close over
+// the browser and the window whose script is executing, so security
+// checks always know the caller's origin.
+
+func bName(local string) dom.QName {
+	return dom.QName{Space: parser.BrowserNamespace, Prefix: "browser", Local: local}
+}
+
+// RegisterFunctions installs the browser: library for a script running
+// in window w.
+func RegisterFunctions(reg *runtime.Registry, b *Browser, w *Window) {
+	add := func(local string, min, max int,
+		f func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error)) {
+		reg.Register(&runtime.Function{Name: bName(local), MinArgs: min, MaxArgs: max, Invoke: f})
+	}
+	str0 := func(args []xdm.Sequence) string {
+		if len(args) == 0 || len(args[0]) == 0 {
+			return ""
+		}
+		return xdm.Atomize(args[0][0]).String()
+	}
+
+	// browser:top() — the topmost window as XML (§4.2.1). Marked
+	// non-deterministic in the paper: every call pulls fresh state.
+	add("top", 0, 0, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		return xdm.Singleton(xdm.NewNode(b.WindowTree(w))), nil
+	})
+	// browser:self() — the executing window's node, a descendant of the
+	// tree that browser:top() returns.
+	add("self", 0, 0, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		n := b.ViewOf(w, w)
+		if n == nil {
+			return nil, nil
+		}
+		return xdm.Singleton(xdm.NewNode(n)), nil
+	})
+	// browser:document($window?) — the document behind a window node
+	// (§4.2.3); subject to the security check, empty sequence on
+	// failure.
+	add("document", 0, 1, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		target := w
+		if len(args) == 1 {
+			it, err := args[0].AtMostOne()
+			if err != nil {
+				return nil, err
+			}
+			if it == nil {
+				return nil, nil
+			}
+			n, ok := xdm.IsNode(it)
+			if !ok {
+				return nil, fmt.Errorf("browser:document expects a window node")
+			}
+			tw, ok := b.WindowOf(n)
+			if !ok {
+				return nil, fmt.Errorf("browser:document: not a window node")
+			}
+			target = tw
+		}
+		if !b.Policy.CanAccess(w, target) || target.Document == nil {
+			return nil, nil // empty sequence on security failure (§4.2.3)
+		}
+		return xdm.Singleton(xdm.NewNode(target.Document)), nil
+	})
+	add("screen", 0, 0, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		return xdm.Singleton(xdm.NewNode(b.ScreenTree())), nil
+	})
+	add("navigator", 0, 0, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		return xdm.Singleton(xdm.NewNode(b.NavigatorTree())), nil
+	})
+
+	// Window-related functions (§4.2.4).
+	add("alert", 1, 1, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		b.Alert(str0(args))
+		return nil, nil
+	})
+	add("prompt", 1, 2, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		return xdm.Singleton(xdm.String(b.Prompt(str0(args)))), nil
+	})
+	add("confirm", 1, 1, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		return xdm.Singleton(xdm.Boolean(b.Confirm(str0(args)))), nil
+	})
+	add("windowOpen", 1, 2, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		name := ""
+		if len(args) == 2 && len(args[1]) > 0 {
+			name = xdm.Atomize(args[1][0]).String()
+		}
+		nw, err := b.OpenWindow(w, str0(args), name)
+		if err != nil {
+			return nil, err
+		}
+		if v := b.ViewOf(w, nw); v != nil {
+			return xdm.Singleton(xdm.NewNode(v)), nil
+		}
+		return nil, nil
+	})
+	add("windowClose", 0, 1, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		target := w
+		if len(args) == 1 {
+			it, err := args[0].AtMostOne()
+			if err != nil || it == nil {
+				return nil, err
+			}
+			n, _ := xdm.IsNode(it)
+			if tw, ok := b.WindowOf(n); ok {
+				target = tw
+			}
+		}
+		if !b.Policy.CanAccess(w, target) {
+			return nil, nil
+		}
+		b.CloseWindow(target)
+		return nil, nil
+	})
+	add("windowMoveTo", 2, 2, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		x, y, err := twoInts(args)
+		if err != nil {
+			return nil, err
+		}
+		w.X, w.Y = x, y
+		return nil, nil
+	})
+	add("windowMoveBy", 2, 2, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		x, y, err := twoInts(args)
+		if err != nil {
+			return nil, err
+		}
+		w.X += x
+		w.Y += y
+		return nil, nil
+	})
+
+	// History-related functions (§4.2.4).
+	add("historyBack", 0, 0, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		return nil, b.HistoryGo(w, -1)
+	})
+	add("historyForward", 0, 0, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		return nil, b.HistoryGo(w, 1)
+	})
+	add("historyGo", 1, 1, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		it, err := xdm.AtomizeSequence(args[0]).One()
+		if err != nil {
+			return nil, err
+		}
+		n, err := xdm.Cast(it, xdm.TInteger)
+		if err != nil {
+			return nil, err
+		}
+		return nil, b.HistoryGo(w, int(n.(xdm.Integer)))
+	})
+
+	// Document-related functions (§4.2.4) — the paper notes best
+	// practice is the Update Facility instead, but provides them.
+	add("write", 1, 1, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		b.Write(w, str0(args))
+		return nil, nil
+	})
+	add("writeln", 1, 1, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		b.Write(w, str0(args)+"\n")
+		return nil, nil
+	})
+}
+
+func twoInts(args []xdm.Sequence) (int, int, error) {
+	get := func(s xdm.Sequence) (int, error) {
+		it, err := xdm.AtomizeSequence(s).One()
+		if err != nil {
+			return 0, err
+		}
+		n, err := xdm.Cast(it, xdm.TInteger)
+		if err != nil {
+			return 0, err
+		}
+		return int(n.(xdm.Integer)), nil
+	}
+	x, err := get(args[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	y, err := get(args[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return x, y, nil
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/dom"
+	"repro/internal/xdm"
+	"repro/internal/xquery/parser"
+	"repro/internal/xquery/runtime"
+	"repro/internal/xquery/update"
+)
+
+// hostHooks implements the runtime's browser extension points: the
+// event grammar of §4.3, the behind construct of §4.4 and the CSS
+// grammar of §4.5.
+type hostHooks struct{ h *Host }
+
+// listenerKey identifies an XQuery listener registration so attach is
+// idempotent and detach can find it (the DOM's duplicate-registration
+// rule applied to the §4.3 grammar).
+type listenerKey struct {
+	event string
+	fn    string // expanded QName
+}
+
+// AttachListener implements "on event E at T attach listener F".
+func (hh *hostHooks) AttachListener(ctx *runtime.Context, event string, targets xdm.Sequence, listener dom.QName) error {
+	h := hh.h
+	for _, it := range targets {
+		n, ok := xdm.IsNode(it)
+		if !ok {
+			return fmt.Errorf("core: event target must be a node")
+		}
+		key := listenerKey{event: event, fn: listener.Space + "#" + listener.Local}
+		name := listener
+		n.AddEventListener(event, false, key, func(ev *dom.Event) {
+			// $obj is "the DOM node where the event occured" (§4.3.2) —
+			// the target, so delegated listeners see the real source.
+			if err := h.invokeListener(ctx, name, []xdm.Sequence{
+				xdm.Singleton(xdm.NewNode(EventToXML(ev))),
+				xdm.Singleton(xdm.NewNode(ev.Target)),
+			}); err != nil {
+				h.recordAsyncErr(fmt.Errorf("core: listener %s: %w", name, err))
+			}
+		})
+	}
+	return nil
+}
+
+// DetachListener implements "on event E at T detach listener F".
+func (hh *hostHooks) DetachListener(ctx *runtime.Context, event string, targets xdm.Sequence, listener dom.QName) error {
+	for _, it := range targets {
+		n, ok := xdm.IsNode(it)
+		if !ok {
+			return fmt.Errorf("core: event target must be a node")
+		}
+		n.RemoveEventListener(event, false,
+			listenerKey{event: event, fn: listener.Space + "#" + listener.Local})
+	}
+	return nil
+}
+
+// TriggerEvent implements "trigger event E at T": it simulates the user
+// action synchronously, exactly like dispatching a browser event.
+func (hh *hostHooks) TriggerEvent(ctx *runtime.Context, event string, targets xdm.Sequence) error {
+	for _, it := range targets {
+		n, ok := xdm.IsNode(it)
+		if !ok {
+			return fmt.Errorf("core: event target must be a node")
+		}
+		hh.h.Dispatch(&dom.Event{Type: event, Bubbles: true, Cancelable: true, Button: 1}, n)
+	}
+	return nil
+}
+
+// AttachBehind implements "on event E behind Call attach listener F"
+// (§4.4): the call evaluates asynchronously and every state change
+// invokes the listener with ($readyState, $result); readyState 4
+// carries the final result, mirroring XMLHttpRequest. The call is
+// non-blocking — "the user keeps control of the user interface".
+func (hh *hostHooks) AttachBehind(ctx *runtime.Context, event string, call func() (xdm.Sequence, error), listener dom.QName) error {
+	h := hh.h
+	h.mu.Lock()
+	h.outstanding++
+	h.mu.Unlock()
+
+	// readyState 1: the call has been initiated.
+	if err := h.invokeListener(ctx, listener, []xdm.Sequence{
+		xdm.Singleton(xdm.Integer(1)), nil,
+	}); err != nil {
+		h.mu.Lock()
+		h.outstanding--
+		h.mu.Unlock()
+		return err
+	}
+
+	go func() {
+		res, err := call()
+		h.post(func() error {
+			if err != nil {
+				// readyState 4 with an empty result signals failure;
+				// the error is also surfaced to the host.
+				ierr := h.invokeListener(ctx, listener, []xdm.Sequence{
+					xdm.Singleton(xdm.Integer(4)), nil,
+				})
+				if ierr != nil {
+					return fmt.Errorf("core: behind listener: %v (call error: %w)", ierr, err)
+				}
+				return fmt.Errorf("core: asynchronous call failed: %w", err)
+			}
+			return h.invokeListener(ctx, listener, []xdm.Sequence{
+				xdm.Singleton(xdm.Integer(4)), res,
+			})
+		})
+		h.mu.Lock()
+		h.outstanding--
+		h.mu.Unlock()
+	}()
+	return nil
+}
+
+// SetStyle / GetStyle implement the §4.5 CSS grammar over the style
+// attributes of the target elements.
+func (hh *hostHooks) SetStyle(ctx *runtime.Context, prop string, targets xdm.Sequence, value string) error {
+	for _, it := range targets {
+		n, ok := xdm.IsNode(it)
+		if !ok || n.Type != dom.ElementNode {
+			return fmt.Errorf("core: set style target must be an element")
+		}
+		browser.SetStyleProp(n, prop, value)
+	}
+	return nil
+}
+
+func (hh *hostHooks) GetStyle(ctx *runtime.Context, prop string, targets xdm.Sequence) (xdm.Sequence, error) {
+	var out xdm.Sequence
+	for _, it := range targets {
+		n, ok := xdm.IsNode(it)
+		if !ok || n.Type != dom.ElementNode {
+			return nil, fmt.Errorf("core: get style target must be an element")
+		}
+		if v, ok := browser.GetStyleProp(n, prop); ok {
+			out = append(out, xdm.String(v))
+		}
+	}
+	return out, nil
+}
+
+// invokeListener calls an XQuery function as an event listener: "Zorba
+// is called with the XQuery prolog followed by the listener call"
+// (Figure 1). Each invocation gets a fresh pending update list; updates
+// apply when the listener returns (or per statement for sequential
+// listeners).
+func (h *Host) invokeListener(ctx *runtime.Context, name dom.QName, args []xdm.Sequence) error {
+	c := *ctx
+	c.PUL = &update.PUL{}
+	_, err := h.finish(&c, func() (xdm.Sequence, error) {
+		return c.CallFunction(name, args)
+	})
+	return err
+}
+
+// registerHOFEventAPI installs the high-order-function event
+// registration route the Zorba-based implementation used instead of the
+// grammar extension ("as Zorba does not allow to modify in a modular
+// way the XQuery grammar it uses, we use high-order-functions to bind
+// events", §5.1):
+//
+//	browser:addEventListener($targets, $event, "local:listener")
+//	browser:removeEventListener($targets, $event, "local:listener")
+//
+// Both routes register through the same machinery, so experiment E8 can
+// compare them directly.
+func (h *Host) registerHOFEventAPI(reg *runtime.Registry) {
+	bn := func(local string) dom.QName {
+		return dom.QName{Space: parser.BrowserNamespace, Prefix: "browser", Local: local}
+	}
+	parseListener := func(s string) dom.QName {
+		if prefix, local, ok := strings.Cut(s, ":"); ok && prefix == "local" {
+			return dom.QName{Space: parser.LocalNamespace, Local: local}
+		}
+		return dom.QName{Space: parser.LocalNamespace, Local: s}
+	}
+	strArg := func(s xdm.Sequence) (string, error) {
+		it, err := xdm.AtomizeSequence(s).One()
+		if err != nil {
+			return "", err
+		}
+		return it.String(), nil
+	}
+	reg.Register(&runtime.Function{
+		Name: bn("addEventListener"), MinArgs: 3, MaxArgs: 3,
+		Invoke: func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			event, err := strArg(args[1])
+			if err != nil {
+				return nil, err
+			}
+			lname, err := strArg(args[2])
+			if err != nil {
+				return nil, err
+			}
+			hh := &hostHooks{h: h}
+			return nil, hh.AttachListener(ctx, event, args[0], parseListener(lname))
+		},
+	})
+	reg.Register(&runtime.Function{
+		Name: bn("removeEventListener"), MinArgs: 3, MaxArgs: 3,
+		Invoke: func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			event, err := strArg(args[1])
+			if err != nil {
+				return nil, err
+			}
+			lname, err := strArg(args[2])
+			if err != nil {
+				return nil, err
+			}
+			hh := &hostHooks{h: h}
+			return nil, hh.DetachListener(ctx, event, args[0], parseListener(lname))
+		},
+	})
+}
+
+// EventToXML materialises a DOM event as the XML element listeners
+// receive as $evt (§4.3.2): the same information available in a DOM
+// Event object.
+func EventToXML(ev *dom.Event) *dom.Node {
+	el := dom.NewElement(dom.Name("event"))
+	add := func(name, val string) {
+		c := dom.NewElement(dom.Name(name))
+		if val != "" {
+			_ = c.AppendChild(dom.NewText(val))
+		}
+		_ = el.AppendChild(c)
+	}
+	add("type", ev.Type)
+	add("altKey", boolStr(ev.AltKey))
+	add("ctrlKey", boolStr(ev.CtrlKey))
+	add("shiftKey", boolStr(ev.ShiftKey))
+	add("metaKey", boolStr(ev.MetaKey))
+	add("button", fmt.Sprintf("%d", ev.Button))
+	add("key", ev.Key)
+	add("clientX", fmt.Sprintf("%d", ev.ClientX))
+	add("clientY", fmt.Sprintf("%d", ev.ClientY))
+	add("phase", fmt.Sprintf("%d", int(ev.Phase)))
+	add("timeStamp", time.Now().Format("2006-01-02T15:04:05.000"))
+	if ev.Target != nil && ev.Target.Type == dom.ElementNode {
+		add("targetName", ev.Target.Name.Local)
+		add("targetId", ev.Target.AttrValue("id"))
+	}
+	for k, v := range ev.Detail {
+		add(k, v)
+	}
+	return el
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestStressManyListenersLongSession loads a page with many widgets,
+// registers a delegated listener plus per-widget listeners, and replays
+// a long interaction session, checking counters stay exact — the
+// anti-regression test for the whole pipeline under sustained load.
+func TestStressManyListenersLongSession(t *testing.T) {
+	const widgets = 60
+	const rounds = 40
+
+	var b strings.Builder
+	b.WriteString(`<html><head><script type="text/xqueryp">
+declare updating function local:hit($evt, $obj) {
+  replace value of node //span[@id = concat("c", string($obj/@data-n))]
+  with xs:integer(string(//span[@id = concat("c", string($obj/@data-n))])) + 1
+};
+declare updating function local:total($evt, $obj) {
+  replace value of node //span[@id="total"]
+  with xs:integer(string(//span[@id="total"])) + 1
+};
+{
+  on event "click" at //input[@class="w"] attach listener local:hit;
+  on event "click" at //div[@id="board"] attach listener local:total;
+}
+</script></head><body><div id="board">`)
+	for i := 0; i < widgets; i++ {
+		fmt.Fprintf(&b, `<input class="w" id="w%d" data-n="%d"/><span id="c%d">0</span>`, i, i, i)
+	}
+	b.WriteString(`</div><span id="total">0</span></body></html>`)
+
+	h, err := LoadPage(b.String(), "http://stress.example.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		if err := h.Click(fmt.Sprintf("w%d", r%widgets)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if errs := h.WaitIdle(0); len(errs) > 0 {
+		t.Fatalf("errors during session: %v", errs)
+	}
+	// Every widget clicked floor(rounds/widgets) or +1 times.
+	for i := 0; i < widgets; i++ {
+		want := rounds / widgets
+		if i < rounds%widgets {
+			want++
+		}
+		got := h.Page.ElementByID(fmt.Sprintf("c%d", i)).StringValue()
+		if got != fmt.Sprintf("%d", want) {
+			t.Fatalf("widget %d count = %s, want %d", i, got, want)
+		}
+	}
+	// The delegated board listener saw every click (bubbling).
+	if got := h.Page.ElementByID("total").StringValue(); got != fmt.Sprintf("%d", rounds) {
+		t.Errorf("total = %s, want %d", got, rounds)
+	}
+	// Each click applied exactly two update primitives.
+	if got := h.UpdateCount(); got != rounds*2 {
+		t.Errorf("updates = %d, want %d", got, rounds*2)
+	}
+}

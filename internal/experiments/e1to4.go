@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/dom"
+)
+
+// E1Pipeline instruments the Figure-1 plug-in pipeline: parse page →
+// init plug-in → compile scripts → run main (listener registration) →
+// event→listener dispatch, across page sizes.
+func E1Pipeline() (Table, error) {
+	t := Table{
+		ID:     "E1",
+		Title:  "Plug-in pipeline stage times (Figure 1)",
+		Header: []string{"page", "parse", "init", "compile", "run main", "dispatch/op"},
+		Notes: []string{
+			"dispatch/op averages 200 click events through capture/target/bubble plus the XQuery listener",
+		},
+	}
+	cases := []struct {
+		name string
+		divs int
+	}{
+		{"hello-world", 0},
+		{"10 elements", 10},
+		{"100 elements", 100},
+		{"1000 elements", 1000},
+	}
+	for _, c := range cases {
+		h, err := pipelinePage(c.divs)
+		if err != nil {
+			return t, err
+		}
+		const events = 200
+		btn := h.Page.ElementByID("button")
+		start := time.Now()
+		for i := 0; i < events; i++ {
+			h.Dispatch(&dom.Event{Type: "click", Bubbles: true, Button: 1}, btn)
+		}
+		perDispatch := time.Since(start) / events
+		t.Rows = append(t.Rows, []string{
+			c.name,
+			dur(h.Times.ParsePage),
+			dur(h.Times.InitPlugin),
+			dur(h.Times.CompileScripts),
+			dur(h.Times.RunMain),
+			dur(perDispatch),
+		})
+	}
+	return t, nil
+}
+
+func pipelinePage(divs int) (*core.Host, error) {
+	var b strings.Builder
+	b.WriteString(`<html><head><script type="text/xquery">
+declare updating function local:onClick($evt, $obj) {
+  replace value of node //span[@id="count"]
+  with xs:integer(string(//span[@id="count"])) + 1
+};
+on event "click" at //input[@id="button"]
+attach listener local:onClick
+</script></head><body>
+<input id="button" type="button"/><span id="count">0</span>`)
+	for i := 0; i < divs; i++ {
+		fmt.Fprintf(&b, `<div class="filler" id="d%d">content %d</div>`, i, i)
+	}
+	b.WriteString(`</body></html>`)
+	return core.LoadPage(b.String(), "http://example.com/e1.html")
+}
+
+// E2Offloading replays the Reference 2.0 session under the three
+// architectures of Figure 2.
+func E2Offloading() (Table, error) {
+	t := Table{
+		ID:     "E2",
+		Title:  "Server-to-client migration (Figure 2): 40-interaction session",
+		Header: []string{"architecture", "server reqs", "server bytes", "server queries", "client gets", "cache hits", "served locally"},
+		Notes: []string{
+			"paper §6.1: whole documents cached in the browser so most user requests need no server interaction",
+		},
+	}
+	r, err := apps.NewReference20(apps.DefaultCorpus)
+	if err != nil {
+		return t, err
+	}
+	defer r.Close()
+	session := r.Session(40, 7)
+
+	server, err := apps.NewServerSideApp(r)
+	if err != nil {
+		return t, err
+	}
+	sm, err := server.Replay(session)
+	if err != nil {
+		return t, err
+	}
+	addRow := func(name string, m apps.Metrics) {
+		local := 100 * (1 - float64(m.ServerRequests)/float64(m.Interactions))
+		if local < 0 {
+			local = 0
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", m.ServerRequests),
+			fmt.Sprintf("%d", m.ServerBytes),
+			fmt.Sprintf("%d", m.ServerQueries),
+			fmt.Sprintf("%d", m.ClientFetches),
+			fmt.Sprintf("%d", m.ClientCacheHits),
+			fmt.Sprintf("%.0f%%", local),
+		})
+	}
+	addRow("server-side (original)", sm)
+
+	uncached, err := apps.NewClientSideApp(r, false)
+	if err != nil {
+		return t, err
+	}
+	um, err := uncached.Replay(session)
+	if err != nil {
+		return t, err
+	}
+	addRow("client-side, no cache", um)
+
+	cached, err := apps.NewClientSideApp(r, true)
+	if err != nil {
+		return t, err
+	}
+	cm, err := cached.Replay(session)
+	if err != nil {
+		return t, err
+	}
+	addRow("client-side + doc cache", cm)
+	return t, nil
+}
+
+// E3Mashup verifies and times the co-existence dispatch of Figure 3:
+// one click, two languages, deterministic order, integrated DOM.
+func E3Mashup() (Table, error) {
+	t := Table{
+		ID:     "E3",
+		Title:  "Mash-up co-existence (Figure 3): one click, both languages",
+		Header: []string{"search", "handler order", "map ok", "weather ok", "webcams", "latency"},
+	}
+	m, err := apps.NewMashup()
+	if err != nil {
+		return t, err
+	}
+	defer m.Close()
+	for _, city := range []string{"Madrid", "Zurich", "Oslo"} {
+		from := len(m.HandlerOrder)
+		start := time.Now()
+		if err := m.Search(city); err != nil {
+			return t, err
+		}
+		lat := time.Since(start)
+		order := strings.Join(m.HandlerOrder[from:], "→")
+		t.Rows = append(t.Rows, []string{
+			city,
+			order,
+			fmt.Sprintf("%v", m.MapLocation() == city),
+			fmt.Sprintf("%v", m.WeatherText() == apps.ExpectedWeatherText(city)),
+			fmt.Sprintf("%d", len(m.WebcamURLs())),
+			dur(lat),
+		})
+	}
+	return t, nil
+}
+
+// E4LinesOfCode reproduces the §6.3 code-volume comparison.
+func E4LinesOfCode() (Table, error) {
+	t := Table{
+		ID:     "E4",
+		Title:  "Lines of code (paper §6.3: 77 JS vs 29 XQuery, ratio 2.66x)",
+		Header: []string{"application", "baseline stack", "XQuery", "ratio", "behaviour equal"},
+	}
+	// Multiplication table.
+	js := apps.CountLines(apps.MultiplicationJSSource)
+	xq := apps.CountLines(apps.MultiplicationXQueryScript)
+	hx, err := apps.RunMultiplicationXQuery(9)
+	if err != nil {
+		return t, err
+	}
+	pj, err := apps.RunMultiplicationJS(9)
+	if err != nil {
+		return t, err
+	}
+	equal := cellsEqual(apps.MultiplicationTableCells(hx.Page), apps.MultiplicationTableCells(pj))
+	t.Rows = append(t.Rows, []string{
+		"multiplication table",
+		fmt.Sprintf("%d (JavaScript)", js),
+		fmt.Sprintf("%d", xq),
+		fmt.Sprintf("%.2fx", float64(js)/float64(xq)),
+		fmt.Sprintf("%v", equal),
+	})
+
+	// Shopping cart.
+	store, err := apps.NewProductStore()
+	if err != nil {
+		return t, err
+	}
+	buys := []string{"Mouse", "Computer"}
+	cx, _, err := apps.RunShoppingCartXQuery(store, buys)
+	if err != nil {
+		return t, err
+	}
+	cj, err := apps.RunShoppingCartBaseline(store, buys)
+	if err != nil {
+		return t, err
+	}
+	stack := apps.CountLines(apps.ShoppingCartJSPSource)
+	xonly := apps.CountLines(apps.ShoppingCartXQueryServer)
+	t.Rows = append(t.Rows, []string{
+		"shopping cart",
+		fmt.Sprintf("%d (JSP+JS+SQL)", stack),
+		fmt.Sprintf("%d", xonly),
+		fmt.Sprintf("%.2fx", float64(stack)/float64(xonly)),
+		fmt.Sprintf("%v", cellsEqual(cx, cj)),
+	})
+	return t, nil
+}
+
+func cellsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,321 @@
+// Package fulltext implements the ftcontains subset the paper uses
+// (§3.1): word and phrase matching over tokenized text with optional
+// Porter stemming and case sensitivity, combined with ftand/ftor/ftnot.
+package fulltext
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Options control token matching.
+type Options struct {
+	Stemming      bool
+	CaseSensitive bool
+}
+
+// Tokenize splits text into word tokens: maximal runs of letters and
+// digits (apostrophes inside words are kept, matching common tokenizer
+// behaviour for "don't").
+func Tokenize(text string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	runes := []rune(text)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(r)
+		case r == '\'' && cur.Len() > 0 && i+1 < len(runes) && unicode.IsLetter(runes[i+1]):
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// normalize folds a token per the options.
+func normalize(tok string, o Options) string {
+	if !o.CaseSensitive {
+		tok = strings.ToLower(tok)
+	}
+	if o.Stemming {
+		tok = Stem(strings.ToLower(tok))
+	}
+	return tok
+}
+
+// ContainsPhrase reports whether the token sequence contains the phrase
+// (consecutive match) under the given options.
+func ContainsPhrase(tokens []string, phrase string, o Options) bool {
+	want := Tokenize(phrase)
+	if len(want) == 0 {
+		return false
+	}
+	for i := range want {
+		want[i] = normalize(want[i], o)
+	}
+	norm := make([]string, len(tokens))
+	for i, t := range tokens {
+		norm[i] = normalize(t, o)
+	}
+	for i := 0; i+len(want) <= len(norm); i++ {
+		ok := true
+		for j := range want {
+			if norm[i+j] != want[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAnyWord reports whether any single word of phrase occurs.
+func ContainsAnyWord(tokens []string, phrase string, o Options) bool {
+	for _, w := range Tokenize(phrase) {
+		if ContainsPhrase(tokens, w, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAllWords reports whether every word of phrase occurs
+// (anywhere, not necessarily consecutive).
+func ContainsAllWords(tokens []string, phrase string, o Options) bool {
+	words := Tokenize(phrase)
+	if len(words) == 0 {
+		return false
+	}
+	for _, w := range words {
+		if !ContainsPhrase(tokens, w, o) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stem applies the Porter stemming algorithm (1980) to a lower-case
+// word. The implementation follows the original five-step description.
+func Stem(w string) string {
+	if len(w) <= 2 {
+		return w
+	}
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5(w)
+	return w
+}
+
+// isCons reports whether w[i] is a consonant in Porter's sense.
+func isCons(w string, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes Porter's m: the number of VC sequences in the stem.
+func measure(w string) int {
+	m := 0
+	i := 0
+	n := len(w)
+	for i < n && isCons(w, i) {
+		i++
+	}
+	for i < n {
+		for i < n && !isCons(w, i) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		m++
+		for i < n && isCons(w, i) {
+			i++
+		}
+	}
+	return m
+}
+
+func hasVowel(w string) bool {
+	for i := range w {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+func endsDoubleCons(w string) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// cvc reports whether w ends consonant-vowel-consonant where the final
+// consonant is not w, x or y.
+func cvc(w string) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isCons(w, n-3) || isCons(w, n-2) || !isCons(w, n-1) {
+		return false
+	}
+	switch w[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func replaceSuffix(w, suf, rep string, minM int) (string, bool) {
+	if !strings.HasSuffix(w, suf) {
+		return w, false
+	}
+	stem := w[:len(w)-len(suf)]
+	if measure(stem) < minM {
+		return w, true // suffix matched but condition failed: stop
+	}
+	return stem + rep, true
+}
+
+func step1a(w string) string {
+	switch {
+	case strings.HasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ss"):
+		return w
+	case strings.HasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w string) string {
+	if strings.HasSuffix(w, "eed") {
+		if measure(w[:len(w)-3]) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	var stem string
+	switch {
+	case strings.HasSuffix(w, "ed") && hasVowel(w[:len(w)-2]):
+		stem = w[:len(w)-2]
+	case strings.HasSuffix(w, "ing") && hasVowel(w[:len(w)-3]):
+		stem = w[:len(w)-3]
+	default:
+		return w
+	}
+	switch {
+	case strings.HasSuffix(stem, "at"), strings.HasSuffix(stem, "bl"), strings.HasSuffix(stem, "iz"):
+		return stem + "e"
+	case endsDoubleCons(stem) && !strings.HasSuffix(stem, "l") &&
+		!strings.HasSuffix(stem, "s") && !strings.HasSuffix(stem, "z"):
+		return stem[:len(stem)-1]
+	case measure(stem) == 1 && cvc(stem):
+		return stem + "e"
+	}
+	return stem
+}
+
+func step1c(w string) string {
+	if strings.HasSuffix(w, "y") && hasVowel(w[:len(w)-1]) {
+		return w[:len(w)-1] + "i"
+	}
+	return w
+}
+
+var step2Rules = []struct{ suf, rep string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w string) string {
+	for _, r := range step2Rules {
+		if out, matched := replaceSuffix(w, r.suf, r.rep, 1); matched {
+			return out
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ suf, rep string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w string) string {
+	for _, r := range step3Rules {
+		if out, matched := replaceSuffix(w, r.suf, r.rep, 1); matched {
+			return out
+		}
+	}
+	return w
+}
+
+var step4Sufs = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w string) string {
+	for _, suf := range step4Sufs {
+		if !strings.HasSuffix(w, suf) {
+			continue
+		}
+		stem := w[:len(w)-len(suf)]
+		if measure(stem) <= 1 {
+			return w
+		}
+		if suf == "ion" && !strings.HasSuffix(stem, "s") && !strings.HasSuffix(stem, "t") {
+			return w
+		}
+		return stem
+	}
+	return w
+}
+
+func step5(w string) string {
+	// 5a
+	if strings.HasSuffix(w, "e") {
+		stem := w[:len(w)-1]
+		m := measure(stem)
+		if m > 1 || (m == 1 && !cvc(stem)) {
+			w = stem
+		}
+	}
+	// 5b
+	if strings.HasSuffix(w, "ll") && measure(w) > 1 {
+		w = w[:len(w)-1]
+	}
+	return w
+}

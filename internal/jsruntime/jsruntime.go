@@ -1,0 +1,261 @@
+// Package jsruntime is the JavaScript-style baseline: it exposes the
+// browser's imperative DOM scripting surface — document.getElementById,
+// createElement, appendChild, addEventListener, document.evaluate with
+// an XPath expression (paper §2.2) — over the same live DOM the XQuery
+// engine manipulates.
+//
+// Substitution note (see DESIGN.md): the paper's co-resident language is
+// JavaScript executed by the browser's native engine. Here "JavaScript"
+// programs are Go closures written against this API. Because compiled Go
+// has no interpreter overhead, every performance comparison against the
+// XQuery engine is biased *in favour* of this baseline; where XQuery
+// stays within a small factor (or wins on code volume), the paper's
+// claims are supported a fortiori.
+package jsruntime
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/markup"
+	"repro/internal/xdm"
+	"repro/internal/xquery"
+)
+
+// Document wraps a page DOM with the JavaScript document API.
+type Document struct {
+	root   *dom.Node
+	engine *xquery.Engine
+}
+
+// NewDocument wraps an existing page.
+func NewDocument(page *dom.Node) *Document {
+	return &Document{root: page, engine: xquery.New()}
+}
+
+// Root returns the underlying document node.
+func (d *Document) Root() *dom.Node { return d.root }
+
+// Element wraps a DOM node with element-style methods.
+type Element struct {
+	n *dom.Node
+	d *Document
+}
+
+// Node returns the wrapped DOM node.
+func (e *Element) Node() *dom.Node { return e.n }
+
+// GetElementById mirrors document.getElementById.
+func (d *Document) GetElementById(id string) *Element {
+	n := d.root.ElementByID(id)
+	if n == nil {
+		return nil
+	}
+	return &Element{n: n, d: d}
+}
+
+// GetElementsByTagName mirrors document.getElementsByTagName.
+func (d *Document) GetElementsByTagName(tag string) []*Element {
+	nodes := d.root.Elements(tag)
+	out := make([]*Element, len(nodes))
+	for i, n := range nodes {
+		out[i] = &Element{n: n, d: d}
+	}
+	return out
+}
+
+// CreateElement mirrors document.createElement.
+func (d *Document) CreateElement(tag string) *Element {
+	return &Element{n: dom.NewElement(dom.Name(tag)), d: d}
+}
+
+// CreateTextNode mirrors document.createTextNode.
+func (d *Document) CreateTextNode(text string) *Element {
+	return &Element{n: dom.NewText(text), d: d}
+}
+
+// Body returns the page's body element.
+func (d *Document) Body() *Element {
+	if els := d.root.Elements("body"); len(els) > 0 {
+		return &Element{n: els[0], d: d}
+	}
+	return nil
+}
+
+// XPathResult mirrors the DOM XPathResult snapshot types.
+type XPathResult struct {
+	items []*Element
+}
+
+// SnapshotLength mirrors XPathResult.snapshotLength.
+func (r *XPathResult) SnapshotLength() int { return len(r.items) }
+
+// SnapshotItem mirrors XPathResult.snapshotItem.
+func (r *XPathResult) SnapshotItem(i int) *Element {
+	if i < 0 || i >= len(r.items) {
+		return nil
+	}
+	return r.items[i]
+}
+
+// Evaluate mirrors document.evaluate(xpath, document, null,
+// UNORDERED_NODE_SNAPSHOT_TYPE, null): it runs an XPath expression
+// against the document and snapshots the node results (§2.2's embedded
+// XPath in JavaScript).
+func (d *Document) Evaluate(xpath string) (*XPathResult, error) {
+	seq, err := d.engine.EvalQuery(xpath, d.root)
+	if err != nil {
+		return nil, fmt.Errorf("jsruntime: evaluate %q: %w", xpath, err)
+	}
+	res := &XPathResult{}
+	for _, it := range seq {
+		if n, ok := xdm.IsNode(it); ok {
+			res.items = append(res.items, &Element{n: n, d: d})
+		}
+	}
+	return res, nil
+}
+
+// --- element methods --------------------------------------------------------
+
+// AppendChild mirrors node.appendChild.
+func (e *Element) AppendChild(c *Element) *Element {
+	_ = e.n.AppendChild(c.n)
+	return c
+}
+
+// InsertBefore mirrors node.insertBefore(new, ref). A nil ref appends.
+func (e *Element) InsertBefore(c, ref *Element) *Element {
+	if ref == nil {
+		_ = e.n.AppendChild(c.n)
+		return c
+	}
+	_ = e.n.InsertBefore(c.n, ref.n)
+	return c
+}
+
+// RemoveChild mirrors node.removeChild.
+func (e *Element) RemoveChild(c *Element) {
+	if c.n.Parent() == e.n {
+		c.n.Detach()
+	}
+}
+
+// ParentNode mirrors node.parentNode.
+func (e *Element) ParentNode() *Element {
+	p := e.n.Parent()
+	if p == nil {
+		return nil
+	}
+	return &Element{n: p, d: e.d}
+}
+
+// FirstChild mirrors node.firstChild.
+func (e *Element) FirstChild() *Element {
+	c := e.n.FirstChild()
+	if c == nil {
+		return nil
+	}
+	return &Element{n: c, d: e.d}
+}
+
+// ChildNodes mirrors node.childNodes.
+func (e *Element) ChildNodes() []*Element {
+	kids := e.n.Children()
+	out := make([]*Element, len(kids))
+	for i, k := range kids {
+		out[i] = &Element{n: k, d: e.d}
+	}
+	return out
+}
+
+// SetAttribute mirrors element.setAttribute.
+func (e *Element) SetAttribute(name, value string) {
+	e.n.SetAttr(dom.Name(name), value)
+}
+
+// GetAttribute mirrors element.getAttribute ("" when absent).
+func (e *Element) GetAttribute(name string) string {
+	return e.n.AttrValue(name)
+}
+
+// TagName mirrors element.tagName.
+func (e *Element) TagName() string { return e.n.Name.Local }
+
+// TextContent mirrors node.textContent.
+func (e *Element) TextContent() string { return e.n.StringValue() }
+
+// SetTextContent mirrors assigning node.textContent.
+func (e *Element) SetTextContent(s string) { e.n.ReplaceElementContent(s) }
+
+// SetInnerHTML mirrors assigning element.innerHTML: the string is parsed
+// as markup and replaces the children.
+func (e *Element) SetInnerHTML(html string) error {
+	nodes, err := markup.ParseFragmentHTML(html)
+	if err != nil {
+		return err
+	}
+	e.n.RemoveChildren()
+	for _, n := range nodes {
+		if err := e.n.AppendChild(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StyleGet mirrors element.style.<prop> reads.
+func (e *Element) StyleGet(prop string) string {
+	v, _ := styleGet(e.n, prop)
+	return v
+}
+
+// StyleSet mirrors element.style.<prop> writes.
+func (e *Element) StyleSet(prop, value string) { styleSet(e.n, prop, value) }
+
+// AddEventListener mirrors element.addEventListener(type, fn, capture).
+func (e *Element) AddEventListener(typ string, fn func(*dom.Event)) {
+	e.n.AddEventListener(typ, false, nil, fn)
+}
+
+// DispatchEvent mirrors element.dispatchEvent.
+func (e *Element) DispatchEvent(ev *dom.Event) bool { return e.n.DispatchEvent(ev) }
+
+// --- small local helpers ------------------------------------------------------
+
+// styleGet/styleSet duplicate the tiny style-attribute logic rather than
+// importing internal/browser: the baseline's imports mirror what a JS
+// engine can reach (the DOM, the HTML parser, and — for
+// document.evaluate — the XPath engine).
+func styleGet(n *dom.Node, prop string) (string, bool) {
+	for _, part := range strings.Split(n.AttrValue("style"), ";") {
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) == 2 && strings.EqualFold(strings.TrimSpace(kv[0]), prop) {
+			return strings.TrimSpace(kv[1]), true
+		}
+	}
+	return "", false
+}
+
+func styleSet(n *dom.Node, prop, value string) {
+	var parts []string
+	found := false
+	for _, part := range strings.Split(n.AttrValue("style"), ";") {
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			continue
+		}
+		k := strings.TrimSpace(kv[0])
+		if strings.EqualFold(k, prop) {
+			parts = append(parts, k+": "+value)
+			found = true
+		} else {
+			parts = append(parts, k+": "+strings.TrimSpace(kv[1]))
+		}
+	}
+	if !found {
+		parts = append(parts, prop+": "+value)
+	}
+	n.SetAttr(dom.Name("style"), strings.Join(parts, "; "))
+}

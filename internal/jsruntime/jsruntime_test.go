@@ -1,0 +1,166 @@
+package jsruntime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/markup"
+)
+
+func newDoc(t *testing.T, src string) *Document {
+	t.Helper()
+	page, err := markup.ParseHTML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDocument(page)
+}
+
+func TestGetElementById(t *testing.T) {
+	d := newDoc(t, `<html><body><div id="x">hi</div></body></html>`)
+	el := d.GetElementById("x")
+	if el == nil || el.TextContent() != "hi" {
+		t.Fatal("GetElementById failed")
+	}
+	if d.GetElementById("nope") != nil {
+		t.Error("missing id should be nil")
+	}
+}
+
+func TestCreateAppendRemove(t *testing.T) {
+	d := newDoc(t, `<html><body/></html>`)
+	body := d.Body()
+	p := d.CreateElement("p")
+	p.AppendChild(d.CreateTextNode("hello"))
+	body.AppendChild(p)
+	if got := markup.SerializeHTML(body.Node()); !strings.Contains(got, "<p>hello</p>") {
+		t.Errorf("append: %s", got)
+	}
+	body.RemoveChild(p)
+	if len(body.ChildNodes()) != 0 {
+		t.Error("remove failed")
+	}
+}
+
+func TestInsertBefore(t *testing.T) {
+	d := newDoc(t, `<html><body><p id="first"/></body></html>`)
+	body := d.Body()
+	img := d.CreateElement("img")
+	img.SetAttribute("src", "heart.gif")
+	// The paper's §2.2 idiom: insertBefore(newElement, body.firstChild).
+	body.InsertBefore(img, body.FirstChild())
+	first := body.FirstChild()
+	if first.TagName() != "img" || first.GetAttribute("src") != "heart.gif" {
+		t.Errorf("insertBefore failed: %s", markup.SerializeHTML(body.Node()))
+	}
+	// nil ref appends.
+	body.InsertBefore(d.CreateElement("div"), nil)
+	kids := body.ChildNodes()
+	if kids[len(kids)-1].TagName() != "div" {
+		t.Error("nil-ref insertBefore should append")
+	}
+}
+
+func TestEvaluateXPathSnapshot(t *testing.T) {
+	// The §2.2 example: find all divs containing the word "love".
+	d := newDoc(t, `<html><body>
+		<div>all you need is love</div>
+		<div>nothing here</div>
+		<div>love again</div>
+	</body></html>`)
+	res, err := d.Evaluate(`//div[contains(., 'love')]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SnapshotLength() != 2 {
+		t.Fatalf("snapshotLength = %d", res.SnapshotLength())
+	}
+	if res.SnapshotItem(0).TagName() != "div" {
+		t.Error("snapshotItem wrong")
+	}
+	if res.SnapshotItem(99) != nil || res.SnapshotItem(-1) != nil {
+		t.Error("out-of-range snapshotItem must be nil")
+	}
+	if _, err := d.Evaluate(`//[bad syntax`); err == nil {
+		t.Error("bad XPath must error")
+	}
+}
+
+func TestPaperHeartExample(t *testing.T) {
+	// Full §2.2 JavaScript program, transliterated to the baseline API.
+	d := newDoc(t, `<html><body><div>love</div></body></html>`)
+	allDivs, err := d.Evaluate(`//div[contains(., 'love')]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allDivs.SnapshotLength() > 0 {
+		newElement := d.CreateElement("img")
+		newElement.SetAttribute("src", "http://example.com/heart.gif")
+		body := d.Body()
+		body.InsertBefore(newElement, body.FirstChild())
+	}
+	out := markup.SerializeHTML(d.Root())
+	if !strings.Contains(out, "heart.gif") {
+		t.Errorf("heart not inserted: %s", out)
+	}
+}
+
+func TestEventListeners(t *testing.T) {
+	d := newDoc(t, `<html><body><input id="btn"/></body></html>`)
+	btn := d.GetElementById("btn")
+	clicks := 0
+	btn.AddEventListener("click", func(e *dom.Event) { clicks++ })
+	btn.DispatchEvent(&dom.Event{Type: "click"})
+	btn.DispatchEvent(&dom.Event{Type: "click"})
+	if clicks != 2 {
+		t.Errorf("clicks = %d", clicks)
+	}
+}
+
+func TestInnerHTMLAndText(t *testing.T) {
+	d := newDoc(t, `<html><body><div id="x">old</div></body></html>`)
+	el := d.GetElementById("x")
+	if err := el.SetInnerHTML(`<b>new</b> text<br>`); err != nil {
+		t.Fatal(err)
+	}
+	out := markup.SerializeHTML(el.Node())
+	if !strings.Contains(out, "<b>new</b> text<br/>") {
+		t.Errorf("innerHTML: %s", out)
+	}
+	el.SetTextContent("plain")
+	if el.TextContent() != "plain" {
+		t.Error("textContent failed")
+	}
+}
+
+func TestStyleAccess(t *testing.T) {
+	d := newDoc(t, `<html><body><div id="x" style="color: red"/></body></html>`)
+	el := d.GetElementById("x")
+	if el.StyleGet("color") != "red" {
+		t.Error("style read failed")
+	}
+	el.StyleSet("width", "10px")
+	el.StyleSet("color", "blue")
+	if el.StyleGet("color") != "blue" || el.StyleGet("width") != "10px" {
+		t.Errorf("style = %q", el.GetAttribute("style"))
+	}
+}
+
+func TestGetElementsByTagName(t *testing.T) {
+	d := newDoc(t, `<html><body><p/><p/><div><p/></div></body></html>`)
+	if got := len(d.GetElementsByTagName("p")); got != 3 {
+		t.Errorf("p count = %d", got)
+	}
+	if got := len(d.GetElementsByTagName("*")); got < 5 {
+		t.Errorf("* count = %d", got)
+	}
+}
+
+func TestParentNode(t *testing.T) {
+	d := newDoc(t, `<html><body><div id="x"/></body></html>`)
+	el := d.GetElementById("x")
+	if el.ParentNode().TagName() != "body" {
+		t.Error("parentNode failed")
+	}
+}

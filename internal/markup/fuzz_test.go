@@ -1,0 +1,53 @@
+package markup
+
+import "testing"
+
+// FuzzParse: the XML parser must error or produce a tree — never panic.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		`<a/>`,
+		`<a x="1">&lt;<b/>t</a>`,
+		`<?xml version="1.0"?><!DOCTYPE a><a><![CDATA[x]]></a>`,
+		`<a xmlns="u" xmlns:p="v"><p:b p:c="d"/></a>`,
+		`<a>&#x41;&#66;</a>`,
+		`<a`,
+		`&bogus;`,
+		``,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		if doc, err := Parse(src); err == nil {
+			// A successful parse must serialize and re-parse.
+			out := Serialize(doc)
+			if _, err := Parse(out); err != nil {
+				t.Fatalf("serialize output does not re-parse: %q -> %q: %v", src, out, err)
+			}
+		}
+	})
+}
+
+// FuzzParseHTML: the lenient parser accepts nearly anything; it must
+// never panic and its output must always serialize.
+func FuzzParseHTML(f *testing.F) {
+	for _, s := range []string{
+		`<html><body><div id=x>love</div><br><script>1<2</script></body></html>`,
+		`<P>upper</p>`,
+		`<a><b></a>stray</b>`,
+		`text only`,
+		`<input type=button value=Buy>`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		if doc, err := ParseHTML(src); err == nil {
+			_ = SerializeHTML(doc)
+		}
+	})
+}

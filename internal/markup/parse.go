@@ -1,0 +1,578 @@
+// Package markup parses and serializes XML and (leniently) HTML into
+// the dom package's trees. It is the browser's page parser of Figure 1
+// ("the browser receives an XHTML document and parses it; it generates
+// the DOM") and the engine's fn:doc / constructor serializer.
+//
+// HTML mode is deliberately forgiving: tag names are lower-cased (the
+// inverse of the Internet Explorer upper-casing issue discussed in
+// paper §5.1 — we normalise down so XPath is written in lower case),
+// void elements need no end tag, unquoted attribute values are
+// accepted, and <script>/<style> content is raw text so embedded XQuery
+// or JavaScript is never mistaken for markup.
+package markup
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+)
+
+// XMLNamespace is the reserved namespace URI of the xml: prefix.
+const XMLNamespace = "http://www.w3.org/XML/1998/namespace"
+
+// XMLNSNamespace is the reserved namespace URI of xmlns declarations.
+const XMLNSNamespace = "http://www.w3.org/2000/xmlns/"
+
+// voidElements are HTML elements that never have content.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements have character-data content that must not be parsed
+// as markup in HTML mode.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// Mode selects the parsing dialect.
+type Mode int
+
+// Parsing dialects.
+const (
+	XML Mode = iota
+	HTML
+)
+
+// ParseError reports a syntax error with byte offset and line number.
+type ParseError struct {
+	Offset int
+	Line   int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("markup: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse parses src as strict XML and returns its document node.
+func Parse(src string) (*dom.Node, error) { return parse(src, XML) }
+
+// ParseHTML parses src as lenient HTML/XHTML.
+func ParseHTML(src string) (*dom.Node, error) { return parse(src, HTML) }
+
+// ParseFragment parses src as XML content (possibly multiple roots and
+// text) and returns the parsed nodes, detached.
+func ParseFragment(src string) ([]*dom.Node, error) { return parseFrag(src, XML) }
+
+// ParseFragmentHTML parses src leniently as HTML content (innerHTML
+// semantics) and returns the parsed nodes, detached.
+func ParseFragmentHTML(src string) ([]*dom.Node, error) { return parseFrag(src, HTML) }
+
+func parseFrag(src string, mode Mode) ([]*dom.Node, error) {
+	doc, err := parse("<frag>"+src+"</frag>", mode)
+	if err != nil {
+		return nil, err
+	}
+	wrapper := doc.DocumentElement()
+	kids := append([]*dom.Node(nil), wrapper.Children()...)
+	for _, k := range kids {
+		k.Detach()
+	}
+	return kids, nil
+}
+
+type parser struct {
+	src  string
+	pos  int
+	mode Mode
+	// namespace scopes: stack of prefix->URI maps
+	nsStack []map[string]string
+}
+
+func parse(src string, mode Mode) (*dom.Node, error) {
+	p := &parser{src: src, mode: mode,
+		nsStack: []map[string]string{{"xml": XMLNamespace}}}
+	doc := dom.NewDocument()
+	if err := p.parseContent(doc, ""); err != nil {
+		return nil, err
+	}
+	if mode == XML {
+		if doc.DocumentElement() == nil {
+			return nil, p.errorf("no root element")
+		}
+		// Strict XML: exactly one root element, no text outside it
+		// (whitespace ok).
+		elements := 0
+		for _, c := range doc.Children() {
+			switch c.Type {
+			case dom.ElementNode:
+				elements++
+			case dom.TextNode:
+				if strings.TrimSpace(c.Data) != "" {
+					return nil, p.errorf("text outside root element")
+				}
+			}
+		}
+		if elements > 1 {
+			return nil, p.errorf("multiple root elements")
+		}
+	}
+	// Drop pure-whitespace text at the document level.
+	var drop []*dom.Node
+	for _, c := range doc.Children() {
+		if c.Type == dom.TextNode && strings.TrimSpace(c.Data) == "" {
+			drop = append(drop, c)
+		}
+	}
+	for _, c := range drop {
+		c.Detach()
+	}
+	return doc, nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n")
+	return &ParseError{Offset: p.pos, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) hasPrefix(s string) bool { return strings.HasPrefix(p.src[p.pos:], s) }
+
+func (p *parser) hasPrefixFold(s string) bool {
+	if p.pos+len(s) > len(p.src) {
+		return false
+	}
+	return strings.EqualFold(p.src[p.pos:p.pos+len(s)], s)
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func (p *parser) readName() (string, error) {
+	start := p.pos
+	if p.eof() || !isNameStart(p.src[p.pos]) {
+		return "", p.errorf("expected name")
+	}
+	for !p.eof() && isNameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parseContent parses children into parent until the matching end tag of
+// closeName (or EOF for the document level, closeName == "").
+func (p *parser) parseContent(parent *dom.Node, closeName string) error {
+	var text strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			_ = parent.AppendChild(dom.NewText(text.String()))
+			text.Reset()
+		}
+	}
+	for {
+		if p.eof() {
+			flush()
+			if closeName == "" {
+				return nil
+			}
+			if p.mode == HTML {
+				return nil // implied close at EOF
+			}
+			return p.errorf("unexpected EOF: unclosed <%s>", closeName)
+		}
+		c := p.src[p.pos]
+		if c != '<' {
+			if c == '&' {
+				r, err := p.readEntity()
+				if err != nil {
+					return err
+				}
+				text.WriteString(r)
+				continue
+			}
+			text.WriteByte(c)
+			p.pos++
+			continue
+		}
+		// Markup.
+		switch {
+		case p.hasPrefix("<!--"):
+			flush()
+			if err := p.parseComment(parent); err != nil {
+				return err
+			}
+		case p.hasPrefix("<![CDATA["):
+			p.pos += len("<![CDATA[")
+			end := strings.Index(p.src[p.pos:], "]]>")
+			if end < 0 {
+				return p.errorf("unterminated CDATA section")
+			}
+			text.WriteString(p.src[p.pos : p.pos+end])
+			p.pos += end + 3
+		case p.hasPrefix("<!"):
+			// DOCTYPE or other declaration: skip to '>'.
+			end := strings.IndexByte(p.src[p.pos:], '>')
+			if end < 0 {
+				return p.errorf("unterminated declaration")
+			}
+			p.pos += end + 1
+		case p.hasPrefix("<?"):
+			flush()
+			if err := p.parsePI(parent); err != nil {
+				return err
+			}
+		case p.hasPrefix("</"):
+			flush()
+			save := p.pos
+			p.pos += 2
+			name, err := p.readName()
+			if err != nil {
+				return err
+			}
+			p.skipSpace()
+			if p.peek() != '>' {
+				return p.errorf("malformed end tag </%s", name)
+			}
+			p.pos++
+			if p.mode == HTML {
+				name = strings.ToLower(name)
+			}
+			if name == closeName {
+				return nil
+			}
+			if p.mode == HTML {
+				// Mismatched end tag: if an ancestor matches, imply the
+				// close of the current element by rewinding so the
+				// ancestor's parseContent re-reads this end tag.
+				if closeName != "" && p.openAncestorMatches(parent, name) {
+					p.pos = save
+					return nil
+				}
+				// Otherwise ignore the stray end tag.
+				continue
+			}
+			return p.errorf("mismatched end tag </%s>, expected </%s>", name, closeName)
+		default:
+			flush()
+			if err := p.parseElement(parent); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// openAncestorMatches reports whether parent or one of its ancestors is
+// an element with the given (lower-cased) local name.
+func (p *parser) openAncestorMatches(parent *dom.Node, name string) bool {
+	for a := parent; a != nil; a = a.Parent() {
+		if a.Type == dom.ElementNode && a.Name.Local == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseComment(parent *dom.Node) error {
+	p.pos += len("<!--")
+	end := strings.Index(p.src[p.pos:], "-->")
+	if end < 0 {
+		return p.errorf("unterminated comment")
+	}
+	_ = parent.AppendChild(dom.NewComment(p.src[p.pos : p.pos+end]))
+	p.pos += end + 3
+	return nil
+}
+
+func (p *parser) parsePI(parent *dom.Node) error {
+	p.pos += 2
+	target, err := p.readName()
+	if err != nil {
+		return err
+	}
+	end := strings.Index(p.src[p.pos:], "?>")
+	if end < 0 {
+		return p.errorf("unterminated processing instruction")
+	}
+	data := strings.TrimLeft(p.src[p.pos:p.pos+end], " \t\r\n")
+	p.pos += end + 2
+	if strings.EqualFold(target, "xml") {
+		return nil // XML declaration: ignore
+	}
+	_ = parent.AppendChild(dom.NewPI(target, data))
+	return nil
+}
+
+func (p *parser) parseElement(parent *dom.Node) error {
+	p.pos++ // '<'
+	rawName, err := p.readName()
+	if err != nil {
+		return err
+	}
+	if p.mode == HTML {
+		rawName = strings.ToLower(rawName)
+	}
+
+	type attr struct {
+		name  string
+		value string
+	}
+	var attrs []attr
+	selfClose := false
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return p.errorf("unterminated start tag <%s", rawName)
+		}
+		if p.hasPrefix("/>") {
+			p.pos += 2
+			selfClose = true
+			break
+		}
+		if p.peek() == '>' {
+			p.pos++
+			break
+		}
+		aname, err := p.readName()
+		if err != nil {
+			return err
+		}
+		if p.mode == HTML {
+			aname = strings.ToLower(aname)
+		}
+		p.skipSpace()
+		aval := ""
+		if p.peek() == '=' {
+			p.pos++
+			p.skipSpace()
+			aval, err = p.readAttrValue()
+			if err != nil {
+				return err
+			}
+		} else if p.mode == XML {
+			return p.errorf("attribute %s missing value", aname)
+		}
+		attrs = append(attrs, attr{aname, aval})
+	}
+
+	// Push a namespace scope and collect declarations.
+	scope := map[string]string{}
+	for k, v := range p.nsStack[len(p.nsStack)-1] {
+		scope[k] = v
+	}
+	for _, a := range attrs {
+		if a.name == "xmlns" {
+			scope[""] = a.value
+		} else if strings.HasPrefix(a.name, "xmlns:") {
+			scope[a.name[6:]] = a.value
+		}
+	}
+	p.nsStack = append(p.nsStack, scope)
+	defer func() { p.nsStack = p.nsStack[:len(p.nsStack)-1] }()
+
+	el := dom.NewElement(p.resolveName(rawName, true))
+	for _, a := range attrs {
+		if a.name == "xmlns" {
+			// Keep declarations as attributes for faithful reserialization.
+			el.SetAttr(dom.QName{Space: XMLNSNamespace, Local: "xmlns"}, a.value)
+			continue
+		}
+		if strings.HasPrefix(a.name, "xmlns:") {
+			el.SetAttr(dom.QName{Space: XMLNSNamespace, Prefix: "xmlns",
+				Local: a.name[6:]}, a.value)
+			continue
+		}
+		el.SetAttr(p.resolveName(a.name, false), a.value)
+	}
+	if err := parent.AppendChild(el); err != nil {
+		return err
+	}
+	if selfClose {
+		return nil
+	}
+	if p.mode == HTML {
+		if voidElements[el.Name.Local] {
+			return nil
+		}
+		if rawTextElements[el.Name.Local] {
+			return p.parseRawText(el)
+		}
+	}
+	// End tags match on the lexical (possibly prefixed) name.
+	return p.parseContent(el, rawName)
+}
+
+// parseRawText consumes character data until the matching end tag,
+// without interpreting markup (HTML <script>/<style> content model).
+func (p *parser) parseRawText(el *dom.Node) error {
+	closing := "</" + el.Name.Local
+	var data strings.Builder
+	for {
+		if p.eof() {
+			break // implied close
+		}
+		if p.hasPrefixFold(closing) {
+			after := p.pos + len(closing)
+			// Must be followed by whitespace or '>'.
+			if after < len(p.src) && (p.src[after] == '>' || p.src[after] == ' ' ||
+				p.src[after] == '\t' || p.src[after] == '\n' || p.src[after] == '\r') {
+				p.pos = after
+				for !p.eof() && p.peek() != '>' {
+					p.pos++
+				}
+				if !p.eof() {
+					p.pos++
+				}
+				break
+			}
+		}
+		data.WriteByte(p.src[p.pos])
+		p.pos++
+	}
+	text := data.String()
+	// Strip a CDATA wrapper if the page author used one (XHTML habit).
+	trimmed := strings.TrimSpace(text)
+	if strings.HasPrefix(trimmed, "<![CDATA[") && strings.HasSuffix(trimmed, "]]>") {
+		text = strings.TrimSuffix(strings.TrimPrefix(trimmed, "<![CDATA["), "]]>")
+	}
+	if text != "" {
+		_ = el.AppendChild(dom.NewText(text))
+	}
+	return nil
+}
+
+// resolveName maps a lexical name to an expanded QName using the current
+// namespace scope. Elements use the default namespace; attributes do not.
+func (p *parser) resolveName(lexical string, element bool) dom.QName {
+	scope := p.nsStack[len(p.nsStack)-1]
+	if i := strings.IndexByte(lexical, ':'); i > 0 {
+		prefix, local := lexical[:i], lexical[i+1:]
+		uri := scope[prefix]
+		return dom.QName{Space: uri, Prefix: prefix, Local: local}
+	}
+	if element {
+		return dom.QName{Space: scope[""], Local: lexical}
+	}
+	return dom.QName{Local: lexical}
+}
+
+func (p *parser) readAttrValue() (string, error) {
+	if p.eof() {
+		return "", p.errorf("expected attribute value")
+	}
+	q := p.peek()
+	if q == '"' || q == '\'' {
+		p.pos++
+		var b strings.Builder
+		for {
+			if p.eof() {
+				return "", p.errorf("unterminated attribute value")
+			}
+			c := p.src[p.pos]
+			if c == q {
+				p.pos++
+				return b.String(), nil
+			}
+			if c == '&' {
+				r, err := p.readEntity()
+				if err != nil {
+					return "", err
+				}
+				b.WriteString(r)
+				continue
+			}
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	if p.mode == HTML {
+		// Unquoted value: up to whitespace or '>'.
+		start := p.pos
+		for !p.eof() {
+			c := p.peek()
+			if c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '>' {
+				break
+			}
+			if c == '/' && p.hasPrefix("/>") {
+				break
+			}
+			p.pos++
+		}
+		return p.src[start:p.pos], nil
+	}
+	return "", p.errorf("attribute value must be quoted")
+}
+
+func (p *parser) readEntity() (string, error) {
+	// p.src[p.pos] == '&'
+	rest := p.src[p.pos:]
+	semi := strings.IndexByte(rest, ';')
+	if semi < 0 || semi > 32 {
+		if p.mode == HTML {
+			p.pos++
+			return "&", nil // bare ampersand tolerated
+		}
+		return "", p.errorf("unterminated entity reference")
+	}
+	ent := rest[1:semi]
+	adv := semi + 1
+	var out string
+	switch {
+	case ent == "lt":
+		out = "<"
+	case ent == "gt":
+		out = ">"
+	case ent == "amp":
+		out = "&"
+	case ent == "quot":
+		out = `"`
+	case ent == "apos":
+		out = "'"
+	case ent == "nbsp" && p.mode == HTML:
+		out = " "
+	case strings.HasPrefix(ent, "#x") || strings.HasPrefix(ent, "#X"):
+		var n int
+		if _, err := fmt.Sscanf(ent[2:], "%x", &n); err != nil {
+			return "", p.errorf("bad character reference &%s;", ent)
+		}
+		out = string(rune(n))
+	case strings.HasPrefix(ent, "#"):
+		var n int
+		if _, err := fmt.Sscanf(ent[1:], "%d", &n); err != nil {
+			return "", p.errorf("bad character reference &%s;", ent)
+		}
+		out = string(rune(n))
+	default:
+		if p.mode == HTML {
+			p.pos++
+			return "&", nil
+		}
+		return "", p.errorf("unknown entity &%s;", ent)
+	}
+	p.pos += adv
+	return out, nil
+}

@@ -1,0 +1,474 @@
+// Package rest implements the paper's REST and Web-service support
+// (§3.4, §4.4): serving an XQuery library module as a web service
+// (`declare option fn:webservice "true"` plus the `port:` module
+// extension), importing such a service from a client (the import
+// registers proxy functions that issue remote calls), and the
+// synchronous GET the implementation section notes Zorba shipped first
+// (§5.1), with the whole-document client cache the Elsevier migration
+// relies on (§6.1).
+package rest
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/dom"
+	"repro/internal/markup"
+	"repro/internal/xdm"
+	"repro/internal/xquery"
+	"repro/internal/xquery/ast"
+	"repro/internal/xquery/runtime"
+)
+
+// Namespace is the rest: function namespace for client-side calls.
+const Namespace = "http://www.example.com/rest"
+
+// --- web-service server ---------------------------------------------------------
+
+// ServerStats counts the server-side work a service performed — the
+// measurements behind the Figure-2 off-loading experiment.
+type ServerStats struct {
+	mu               sync.Mutex
+	Requests         int
+	BytesServed      int64
+	QueriesEvaluated int
+}
+
+// Snapshot returns a copy of the counters.
+func (s *ServerStats) Snapshot() (requests int, bytes int64, queries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Requests, s.BytesServed, s.QueriesEvaluated
+}
+
+// Reset zeroes the counters.
+func (s *ServerStats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Requests, s.BytesServed, s.QueriesEvaluated = 0, 0, 0
+}
+
+func (s *ServerStats) count(bytes int, query bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Requests++
+	s.BytesServed += int64(bytes)
+	if query {
+		s.QueriesEvaluated++
+	}
+}
+
+// ModuleServer serves an XQuery library module as a web service.
+type ModuleServer struct {
+	prog  *xquery.Program
+	uri   string
+	docs  runtime.DocResolver
+	Stats ServerStats
+}
+
+// NewModuleServer compiles a library module for serving. The module
+// must declare `option fn:webservice "true"` (paper §3.4).
+func NewModuleServer(src string, docs runtime.DocResolver, opts ...xquery.Option) (*ModuleServer, error) {
+	e := xquery.New(opts...)
+	prog, err := e.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	m := prog.Module()
+	if !m.IsLibrary {
+		return nil, fmt.Errorf("rest: a web service must be a library module")
+	}
+	if v := m.Prolog.Options["fn:webservice"]; v != "true" {
+		return nil, fmt.Errorf(`rest: module does not declare option fn:webservice "true"`)
+	}
+	return &ModuleServer{prog: prog, uri: m.URI, docs: docs}, nil
+}
+
+// URI returns the module's namespace URI.
+func (s *ModuleServer) URI() string { return s.uri }
+
+// Port returns the port declared in the module header (0 if none).
+func (s *ModuleServer) Port() int { return s.prog.Module().Port }
+
+// Handler exposes the service over HTTP:
+//
+//	GET  /wsdl         — the service description (functions + arities)
+//	POST /call/{name}  — invoke a function; the body is an <args>
+//	                     element with one <arg> per parameter
+func (s *ModuleServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /wsdl", func(w http.ResponseWriter, r *http.Request) {
+		out := s.describe()
+		w.Header().Set("Content-Type", "application/xml")
+		n, _ := io.WriteString(w, out)
+		s.Stats.count(n, false)
+	})
+	mux.HandleFunc("POST /call/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out, err := s.Call(name, string(body))
+		if err != nil {
+			s.Stats.count(0, true)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		n, _ := io.WriteString(w, out)
+		s.Stats.count(n, true)
+	})
+	return mux
+}
+
+func (s *ModuleServer) describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<service namespace="%s">`, markup.EscapeAttr(s.uri))
+	for _, f := range s.prog.Module().Prolog.Functions {
+		if f.Name.Space != s.uri {
+			continue
+		}
+		fmt.Fprintf(&b, `<function name="%s" arity="%d"/>`,
+			markup.EscapeAttr(f.Name.Local), len(f.Params))
+	}
+	b.WriteString(`</service>`)
+	return b.String()
+}
+
+// Call invokes a module function with an <args> payload and returns the
+// serialized <result>.
+func (s *ModuleServer) Call(name, argsXML string) (string, error) {
+	args, err := DecodeArgs(argsXML)
+	if err != nil {
+		return "", err
+	}
+	ctx := s.prog.NewContext(xquery.RunConfig{Docs: s.docs, Sequential: true})
+	if err := ctx.InitGlobals(); err != nil {
+		return "", err
+	}
+	res, err := ctx.CallFunction(dom.QName{Space: s.uri, Local: name}, args)
+	if err != nil {
+		return "", err
+	}
+	return EncodeSequence(res), nil
+}
+
+// --- sequence wire format ----------------------------------------------------------
+
+// EncodeSequence serializes an XDM sequence for transport: each item is
+// an <item> carrying either a typed lexical value or a node payload.
+func EncodeSequence(s xdm.Sequence) string {
+	var b strings.Builder
+	b.WriteString("<result>")
+	for _, it := range s {
+		if n, ok := xdm.IsNode(it); ok {
+			b.WriteString(`<item kind="node">`)
+			b.WriteString(markup.Serialize(n))
+			b.WriteString(`</item>`)
+			continue
+		}
+		fmt.Fprintf(&b, `<item type="%s">%s</item>`,
+			markup.EscapeAttr(it.Type().String()), markup.EscapeText(it.String()))
+	}
+	b.WriteString("</result>")
+	return b.String()
+}
+
+// DecodeSequence parses the wire format back into a sequence.
+func DecodeSequence(src string) (xdm.Sequence, error) {
+	doc, err := markup.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("rest: malformed result payload: %w", err)
+	}
+	root := doc.DocumentElement()
+	if root == nil || root.Name.Local != "result" {
+		return nil, fmt.Errorf("rest: unexpected result payload")
+	}
+	var out xdm.Sequence
+	for _, item := range root.Children() {
+		if item.Type != dom.ElementNode || item.Name.Local != "item" {
+			continue
+		}
+		it, err := decodeItem(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, it)
+	}
+	return out, nil
+}
+
+func decodeItem(item *dom.Node) (xdm.Item, error) {
+	if item.AttrValue("kind") == "node" {
+		for _, c := range item.Children() {
+			if c.Type == dom.ElementNode {
+				cp := c.Clone()
+				return xdm.NewNode(cp), nil
+			}
+		}
+		return xdm.NewNode(dom.NewText(item.StringValue())), nil
+	}
+	text := item.StringValue()
+	typeName := item.AttrValue("type")
+	local := strings.TrimPrefix(typeName, "xs:")
+	t, ok := xdm.AtomicTypeByName(local)
+	if !ok {
+		return xdm.UntypedAtomic(text), nil
+	}
+	v, err := xdm.Cast(xdm.String(text), t)
+	if err != nil {
+		return nil, fmt.Errorf("rest: cannot decode %s %q: %w", typeName, text, err)
+	}
+	return v, nil
+}
+
+// EncodeArgs serializes a call's arguments.
+func EncodeArgs(args []xdm.Sequence) string {
+	var b strings.Builder
+	b.WriteString("<args>")
+	for _, a := range args {
+		b.WriteString("<arg>")
+		b.WriteString(strings.TrimSuffix(strings.TrimPrefix(EncodeSequence(a), "<result>"), "</result>"))
+		b.WriteString("</arg>")
+	}
+	b.WriteString("</args>")
+	return b.String()
+}
+
+// DecodeArgs parses an <args> payload.
+func DecodeArgs(src string) ([]xdm.Sequence, error) {
+	doc, err := markup.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("rest: malformed args payload: %w", err)
+	}
+	root := doc.DocumentElement()
+	if root == nil || root.Name.Local != "args" {
+		return nil, fmt.Errorf("rest: unexpected args payload")
+	}
+	var out []xdm.Sequence
+	for _, arg := range root.Children() {
+		if arg.Type != dom.ElementNode || arg.Name.Local != "arg" {
+			continue
+		}
+		var seq xdm.Sequence
+		for _, item := range arg.Children() {
+			if item.Type != dom.ElementNode || item.Name.Local != "item" {
+				continue
+			}
+			it, err := decodeItem(item)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, it)
+		}
+		out = append(out, seq)
+	}
+	return out, nil
+}
+
+// --- client ---------------------------------------------------------------------------
+
+// Client issues REST calls from the engine, with an optional
+// whole-document cache: "whole XML documents can be cached in the
+// browser so that most user requests can be processed without any
+// interaction with the Elsevier server" (§6.1).
+type Client struct {
+	HTTP *http.Client
+
+	mu       sync.Mutex
+	caching  bool
+	cache    map[string]*dom.Node
+	Fetches  int // network requests actually issued
+	CacheHit int
+}
+
+// NewClient builds a client around an http.Client (nil uses the
+// default).
+func NewClient(h *http.Client) *Client {
+	if h == nil {
+		h = http.DefaultClient
+	}
+	return &Client{HTTP: h, cache: map[string]*dom.Node{}}
+}
+
+// EnableCache switches the whole-document cache on or off.
+func (c *Client) EnableCache(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.caching = on
+	if !on {
+		c.cache = map[string]*dom.Node{}
+	}
+}
+
+// ClearCache drops all cached documents.
+func (c *Client) ClearCache() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache = map[string]*dom.Node{}
+}
+
+// Get fetches a URI and parses the body as XML, serving repeated
+// fetches from the cache when enabled.
+func (c *Client) Get(uri string) (*dom.Node, error) {
+	c.mu.Lock()
+	if c.caching {
+		if doc, ok := c.cache[uri]; ok {
+			c.CacheHit++
+			c.mu.Unlock()
+			return doc, nil
+		}
+	}
+	c.mu.Unlock()
+
+	resp, err := c.HTTP.Get(uri)
+	if err != nil {
+		return nil, fmt.Errorf("rest: GET %s: %w", uri, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("rest: GET %s: %s: %s", uri, resp.Status, strings.TrimSpace(string(body)))
+	}
+	doc, err := markup.Parse(string(body))
+	if err != nil {
+		return nil, fmt.Errorf("rest: GET %s: parsing body: %w", uri, err)
+	}
+	doc.BaseURI = uri
+
+	c.mu.Lock()
+	c.Fetches++
+	if c.caching {
+		c.cache[uri] = doc
+	}
+	c.mu.Unlock()
+	return doc, nil
+}
+
+// RegisterFunctions installs the rest: client functions:
+//
+//	rest:get($uri)        — synchronous GET returning the document (§5.1)
+//	rest:get-text($uri)   — synchronous GET returning the raw body
+func (c *Client) RegisterFunctions(reg *runtime.Registry) {
+	name := func(local string) dom.QName {
+		return dom.QName{Space: Namespace, Prefix: "rest", Local: local}
+	}
+	reg.Register(&runtime.Function{
+		Name: name("get"), MinArgs: 1, MaxArgs: 1,
+		Invoke: func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			it, err := xdm.AtomizeSequence(args[0]).One()
+			if err != nil {
+				return nil, err
+			}
+			doc, err := c.Get(it.String())
+			if err != nil {
+				return nil, err
+			}
+			return xdm.Singleton(xdm.NewNode(doc)), nil
+		},
+	})
+	reg.Register(&runtime.Function{
+		Name: name("get-text"), MinArgs: 1, MaxArgs: 1,
+		Invoke: func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			it, err := xdm.AtomizeSequence(args[0]).One()
+			if err != nil {
+				return nil, err
+			}
+			resp, err := c.HTTP.Get(it.String())
+			if err != nil {
+				return nil, err
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return nil, err
+			}
+			c.mu.Lock()
+			c.Fetches++
+			c.mu.Unlock()
+			return xdm.Singleton(xdm.String(string(body))), nil
+		},
+	})
+}
+
+// Resolver returns a module resolver that materialises
+// `import module namespace p = "uri" at "http://host/wsdl"` by fetching
+// the service description and registering one proxy function per
+// declared function — the paper's client side of §3.4. Each proxy call
+// POSTs the arguments and decodes the result sequence.
+func (c *Client) Resolver() runtime.ModuleResolver {
+	return func(imp ast.ModuleImport, reg *runtime.Registry) error {
+		if len(imp.Hints) == 0 {
+			return fmt.Errorf("rest: import of %q needs an \"at\" location hint", imp.URI)
+		}
+		base := strings.TrimSuffix(imp.Hints[0], "/wsdl")
+		resp, err := c.HTTP.Get(base + "/wsdl")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("rest: %s/wsdl: %s", base, resp.Status)
+		}
+		desc, err := markup.Parse(string(body))
+		if err != nil {
+			return fmt.Errorf("rest: parsing service description: %w", err)
+		}
+		root := desc.DocumentElement()
+		if root == nil || root.Name.Local != "service" {
+			return fmt.Errorf("rest: %s/wsdl is not a service description", base)
+		}
+		ns := root.AttrValue("namespace")
+		if ns != imp.URI {
+			return fmt.Errorf("rest: service namespace %q does not match import %q", ns, imp.URI)
+		}
+		for _, f := range root.Children() {
+			if f.Type != dom.ElementNode || f.Name.Local != "function" {
+				continue
+			}
+			fname := f.AttrValue("name")
+			arity := 0
+			fmt.Sscanf(f.AttrValue("arity"), "%d", &arity)
+			callURL := base + "/call/" + fname
+			reg.Register(&runtime.Function{
+				Name:    dom.QName{Space: ns, Local: fname},
+				MinArgs: arity, MaxArgs: arity,
+				Invoke: func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+					return c.invoke(callURL, args)
+				},
+			})
+		}
+		return nil
+	}
+}
+
+func (c *Client) invoke(callURL string, args []xdm.Sequence) (xdm.Sequence, error) {
+	resp, err := c.HTTP.Post(callURL, "application/xml", strings.NewReader(EncodeArgs(args)))
+	if err != nil {
+		return nil, fmt.Errorf("rest: calling %s: %w", callURL, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.Fetches++
+	c.mu.Unlock()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("rest: %s: %s: %s", callURL, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return DecodeSequence(string(body))
+}

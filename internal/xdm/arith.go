@@ -1,0 +1,215 @@
+package xdm
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"time"
+)
+
+// Arithmetic implements the XPath 2.0 arithmetic operators over atomic
+// items with numeric promotion (integer → decimal → double) and the
+// date/duration overloads the paper's examples rely on (e.g. comparing
+// lastModified times). Untyped operands are cast to xs:double first.
+// op is one of "+", "-", "*", "div", "idiv", "mod".
+func Arithmetic(op string, a, b Item) (Item, error) {
+	var err error
+	if a.Type() == TUntypedAtomic {
+		if a, err = Cast(a, TDouble); err != nil {
+			return nil, err
+		}
+	}
+	if b.Type() == TUntypedAtomic {
+		if b, err = Cast(b, TDouble); err != nil {
+			return nil, err
+		}
+	}
+	ta, tb := a.Type(), b.Type()
+	if ta.IsNumeric() && tb.IsNumeric() {
+		return numericArith(op, a, b)
+	}
+	// Date/time and duration overloads.
+	switch {
+	case (ta == TDateTime || ta == TDate || ta == TTime) && isDurationType(tb):
+		dt, d := a.(DateTime), b.(Duration)
+		switch op {
+		case "+":
+			return addDuration(dt, d, 1), nil
+		case "-":
+			return addDuration(dt, d, -1), nil
+		}
+	case isDurationType(ta) && (tb == TDateTime || tb == TDate || tb == TTime) && op == "+":
+		return addDuration(b.(DateTime), a.(Duration), 1), nil
+	case (ta == TDateTime || ta == TDate || ta == TTime) && ta == tb && op == "-":
+		x, y := a.(DateTime), b.(DateTime)
+		return Duration{Nanos: x.T.Sub(y.T), Kind: TDayTimeDuration}, nil
+	case isDurationType(ta) && isDurationType(tb):
+		x, y := a.(Duration), b.(Duration)
+		switch op {
+		case "+":
+			return normDuration(Duration{Months: x.Months + y.Months, Nanos: x.Nanos + y.Nanos}), nil
+		case "-":
+			return normDuration(Duration{Months: x.Months - y.Months, Nanos: x.Nanos - y.Nanos}), nil
+		case "div":
+			if x.Months == 0 && y.Months == 0 && y.Nanos != 0 {
+				return Double(float64(x.Nanos) / float64(y.Nanos)), nil
+			}
+			if x.Nanos == 0 && y.Nanos == 0 && y.Months != 0 {
+				return Double(float64(x.Months) / float64(y.Months)), nil
+			}
+		}
+	case isDurationType(ta) && tb.IsNumeric():
+		f := toFloat(b)
+		switch op {
+		case "*":
+			return scaleDuration(a.(Duration), f), nil
+		case "div":
+			if f == 0 {
+				return nil, fmt.Errorf("xdm: duration division by zero")
+			}
+			return scaleDuration(a.(Duration), 1/f), nil
+		}
+	case ta.IsNumeric() && isDurationType(tb) && op == "*":
+		return scaleDuration(b.(Duration), toFloat(a)), nil
+	}
+	return nil, fmt.Errorf("xdm: operator %q not defined for %s and %s", op, ta, tb)
+}
+
+func addDuration(dt DateTime, d Duration, sign int) DateTime {
+	t := dt.T.AddDate(0, sign*int(d.Months), 0)
+	t = t.Add(time.Duration(sign) * d.Nanos)
+	return DateTime{T: t, Kind: dt.Kind, HasTZ: dt.HasTZ}
+}
+
+func normDuration(d Duration) Duration {
+	switch {
+	case d.Months == 0:
+		d.Kind = TDayTimeDuration
+	case d.Nanos == 0:
+		d.Kind = TYearMonthDuration
+	default:
+		d.Kind = TDuration
+	}
+	return d
+}
+
+func scaleDuration(d Duration, f float64) Duration {
+	return normDuration(Duration{
+		Months: int64(math.Round(float64(d.Months) * f)),
+		Nanos:  time.Duration(float64(d.Nanos) * f),
+	})
+}
+
+func numericArith(op string, a, b Item) (Item, error) {
+	ta, tb := a.Type(), b.Type()
+	// Promote to the widest operand type.
+	if ta == TDouble || tb == TDouble {
+		x, y := toFloat(a), toFloat(b)
+		switch op {
+		case "+":
+			return Double(x + y), nil
+		case "-":
+			return Double(x - y), nil
+		case "*":
+			return Double(x * y), nil
+		case "div":
+			return Double(x / y), nil
+		case "idiv":
+			if y == 0 {
+				return nil, fmt.Errorf("xdm: integer division by zero")
+			}
+			q := math.Trunc(x / y)
+			if math.IsNaN(q) || math.IsInf(q, 0) {
+				return nil, fmt.Errorf("xdm: idiv overflow")
+			}
+			return Integer(int64(q)), nil
+		case "mod":
+			return Double(math.Mod(x, y)), nil
+		}
+	}
+	if ta == TDecimal || tb == TDecimal {
+		x, y := toRat(a), toRat(b)
+		r := new(big.Rat)
+		switch op {
+		case "+":
+			return Decimal{r: r.Add(x, y)}, nil
+		case "-":
+			return Decimal{r: r.Sub(x, y)}, nil
+		case "*":
+			return Decimal{r: r.Mul(x, y)}, nil
+		case "div":
+			if y.Sign() == 0 {
+				return nil, fmt.Errorf("xdm: decimal division by zero")
+			}
+			return Decimal{r: r.Quo(x, y)}, nil
+		case "idiv":
+			if y.Sign() == 0 {
+				return nil, fmt.Errorf("xdm: integer division by zero")
+			}
+			q := new(big.Int).Quo(
+				new(big.Int).Mul(x.Num(), y.Denom()),
+				new(big.Int).Mul(y.Num(), x.Denom()))
+			return Integer(q.Int64()), nil
+		case "mod":
+			if y.Sign() == 0 {
+				return nil, fmt.Errorf("xdm: decimal modulo by zero")
+			}
+			q := new(big.Int).Quo(
+				new(big.Int).Mul(x.Num(), y.Denom()),
+				new(big.Int).Mul(y.Num(), x.Denom()))
+			qr := new(big.Rat).SetInt(q)
+			return Decimal{r: r.Sub(x, qr.Mul(qr, y))}, nil
+		}
+	}
+	x, y := int64(a.(Integer)), int64(b.(Integer))
+	switch op {
+	case "+":
+		return Integer(x + y), nil
+	case "-":
+		return Integer(x - y), nil
+	case "*":
+		return Integer(x * y), nil
+	case "div":
+		// Integer div produces a decimal per XPath 2.0.
+		if y == 0 {
+			return nil, fmt.Errorf("xdm: division by zero")
+		}
+		if x%y == 0 {
+			return Integer(x / y), nil
+		}
+		return Decimal{r: big.NewRat(x, y)}, nil
+	case "idiv":
+		if y == 0 {
+			return nil, fmt.Errorf("xdm: integer division by zero")
+		}
+		return Integer(x / y), nil
+	case "mod":
+		if y == 0 {
+			return nil, fmt.Errorf("xdm: modulo by zero")
+		}
+		return Integer(x % y), nil
+	}
+	return nil, fmt.Errorf("xdm: unknown arithmetic operator %q", op)
+}
+
+// Negate implements unary minus over a numeric or duration item.
+func Negate(a Item) (Item, error) {
+	if a.Type() == TUntypedAtomic {
+		var err error
+		if a, err = Cast(a, TDouble); err != nil {
+			return nil, err
+		}
+	}
+	switch v := a.(type) {
+	case Integer:
+		return -v, nil
+	case Double:
+		return -v, nil
+	case Decimal:
+		return Decimal{r: new(big.Rat).Neg(v.Rat())}, nil
+	case Duration:
+		return Duration{Months: -v.Months, Nanos: -v.Nanos, Kind: v.Kind}, nil
+	default:
+		return nil, fmt.Errorf("xdm: cannot negate %s", a.Type())
+	}
+}

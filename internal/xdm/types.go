@@ -1,0 +1,289 @@
+package xdm
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+)
+
+// Type identifies a dynamic XDM type: an atomic xs: type or a node kind.
+type Type int
+
+// Atomic types and node kinds.
+const (
+	TUntypedAtomic Type = iota + 1
+	TString
+	TBoolean
+	TDecimal
+	TInteger
+	TDouble
+	TDate
+	TTime
+	TDateTime
+	TDuration
+	TYearMonthDuration
+	TDayTimeDuration
+	TQName
+	TAnyURI
+
+	TDocumentNode
+	TElementNode
+	TAttributeNode
+	TTextNode
+	TCommentNode
+	TPINode
+)
+
+// String returns the conventional name of the type.
+func (t Type) String() string {
+	switch t {
+	case TUntypedAtomic:
+		return "xs:untypedAtomic"
+	case TString:
+		return "xs:string"
+	case TBoolean:
+		return "xs:boolean"
+	case TDecimal:
+		return "xs:decimal"
+	case TInteger:
+		return "xs:integer"
+	case TDouble:
+		return "xs:double"
+	case TDate:
+		return "xs:date"
+	case TTime:
+		return "xs:time"
+	case TDateTime:
+		return "xs:dateTime"
+	case TDuration:
+		return "xs:duration"
+	case TYearMonthDuration:
+		return "xs:yearMonthDuration"
+	case TDayTimeDuration:
+		return "xs:dayTimeDuration"
+	case TQName:
+		return "xs:QName"
+	case TAnyURI:
+		return "xs:anyURI"
+	case TDocumentNode:
+		return "document-node()"
+	case TElementNode:
+		return "element()"
+	case TAttributeNode:
+		return "attribute()"
+	case TTextNode:
+		return "text()"
+	case TCommentNode:
+		return "comment()"
+	case TPINode:
+		return "processing-instruction()"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// IsNumeric reports whether the type is in the numeric tower.
+func (t Type) IsNumeric() bool {
+	return t == TInteger || t == TDecimal || t == TDouble
+}
+
+// IsNode reports whether the type is a node kind.
+func (t Type) IsNode() bool { return t >= TDocumentNode }
+
+// AtomicTypeByName resolves the xs: local name of an atomic type (for
+// `cast as` and sequence types). ok is false for unknown names.
+func AtomicTypeByName(local string) (Type, bool) {
+	switch local {
+	case "untypedAtomic":
+		return TUntypedAtomic, true
+	case "string":
+		return TString, true
+	case "boolean":
+		return TBoolean, true
+	case "decimal":
+		return TDecimal, true
+	case "integer", "int", "long", "short", "byte",
+		"nonNegativeInteger", "positiveInteger", "negativeInteger",
+		"nonPositiveInteger", "unsignedInt", "unsignedLong",
+		"unsignedShort", "unsignedByte":
+		return TInteger, true
+	case "double", "float":
+		return TDouble, true
+	case "date":
+		return TDate, true
+	case "time":
+		return TTime, true
+	case "dateTime":
+		return TDateTime, true
+	case "duration":
+		return TDuration, true
+	case "yearMonthDuration":
+		return TYearMonthDuration, true
+	case "dayTimeDuration":
+		return TDayTimeDuration, true
+	case "QName":
+		return TQName, true
+	case "anyURI":
+		return TAnyURI, true
+	default:
+		return 0, false
+	}
+}
+
+// Occurrence is a sequence-type occurrence indicator.
+type Occurrence int
+
+// Occurrence indicators.
+const (
+	ExactlyOne Occurrence = iota
+	ZeroOrOne             // ?
+	ZeroOrMore            // *
+	OneOrMore             // +
+)
+
+// String renders the indicator.
+func (o Occurrence) String() string {
+	switch o {
+	case ZeroOrOne:
+		return "?"
+	case ZeroOrMore:
+		return "*"
+	case OneOrMore:
+		return "+"
+	default:
+		return ""
+	}
+}
+
+// ItemTest is the item-type part of a sequence type.
+type ItemTest struct {
+	// AnyItem matches item().
+	AnyItem bool
+	// Atomic, when non-zero, matches the atomic type (with derivation:
+	// integer is a decimal; untyped matches untypedAtomic only).
+	Atomic Type
+	// Kind, when non-zero, matches the node kind; KindName optionally
+	// constrains the element/attribute name ("*" local matches any).
+	Kind     Type
+	KindName dom.QName
+	HasName  bool
+	// AnyNode matches node().
+	AnyNode bool
+}
+
+// Matches reports whether the item satisfies the test.
+func (it ItemTest) Matches(i Item) bool {
+	switch {
+	case it.AnyItem:
+		return true
+	case it.AnyNode:
+		_, ok := i.(Node)
+		return ok
+	case it.Atomic != 0:
+		t := i.Type()
+		if t.IsNode() {
+			return false
+		}
+		if t == it.Atomic {
+			return true
+		}
+		// Derivation shortcuts in our collapsed hierarchy.
+		switch it.Atomic {
+		case TDecimal:
+			return t == TInteger
+		case TDuration:
+			return t == TYearMonthDuration || t == TDayTimeDuration
+		}
+		return false
+	case it.Kind != 0:
+		n, ok := i.(Node)
+		if !ok || n.Type() != it.Kind {
+			return false
+		}
+		if it.HasName && it.KindName.Local != "*" {
+			return n.N.Name.Matches(it.KindName)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// String renders the test.
+func (it ItemTest) String() string {
+	switch {
+	case it.AnyItem:
+		return "item()"
+	case it.AnyNode:
+		return "node()"
+	case it.Atomic != 0:
+		return it.Atomic.String()
+	case it.Kind != 0:
+		name := ""
+		if it.HasName {
+			name = it.KindName.String()
+		}
+		switch it.Kind {
+		case TElementNode:
+			return "element(" + name + ")"
+		case TAttributeNode:
+			return "attribute(" + name + ")"
+		case TDocumentNode:
+			return "document-node()"
+		case TTextNode:
+			return "text()"
+		case TCommentNode:
+			return "comment()"
+		default:
+			return "processing-instruction()"
+		}
+	default:
+		return "none"
+	}
+}
+
+// SeqType is a sequence type: an item test plus occurrence indicator.
+// The zero value matches nothing; use AnySeqType for item()*.
+type SeqType struct {
+	Item  ItemTest
+	Occ   Occurrence
+	Empty bool // empty-sequence()
+}
+
+// AnySeqType matches any sequence (item()*).
+var AnySeqType = SeqType{Item: ItemTest{AnyItem: true}, Occ: ZeroOrMore}
+
+// Matches reports whether the sequence is an instance of the type.
+func (st SeqType) Matches(s Sequence) bool {
+	if st.Empty {
+		return len(s) == 0
+	}
+	switch st.Occ {
+	case ExactlyOne:
+		if len(s) != 1 {
+			return false
+		}
+	case ZeroOrOne:
+		if len(s) > 1 {
+			return false
+		}
+	case OneOrMore:
+		if len(s) == 0 {
+			return false
+		}
+	}
+	for _, i := range s {
+		if !st.Item.Matches(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the sequence type.
+func (st SeqType) String() string {
+	if st.Empty {
+		return "empty-sequence()"
+	}
+	return st.Item.String() + st.Occ.String()
+}

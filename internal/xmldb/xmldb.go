@@ -1,0 +1,238 @@
+// Package xmldb is a REST-accessible XML document store — the stand-in
+// for the MarkLogic XMLDB behind the paper's Elsevier Reference 2.0
+// application (§6.1). It offers both endpoint granularities that §6.1
+// contrasts: per-query access (the original architecture) and
+// whole-document access ("adjusted so that they serve whole documents
+// rather than individual queries … to better enable caching").
+package xmldb
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dom"
+	"repro/internal/markup"
+	"repro/internal/xdm"
+	"repro/internal/xquery"
+	"repro/internal/xquery/runtime"
+)
+
+// Stats counts server-side work for the off-loading experiments.
+type Stats struct {
+	mu               sync.Mutex
+	Requests         int
+	BytesServed      int64
+	QueriesEvaluated int
+	DocsServed       int
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Requests: s.Requests, BytesServed: s.BytesServed,
+		QueriesEvaluated: s.QueriesEvaluated, DocsServed: s.DocsServed}
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Requests, s.BytesServed, s.QueriesEvaluated, s.DocsServed = 0, 0, 0, 0
+}
+
+// Store is an in-memory XML document database keyed by URI.
+type Store struct {
+	mu     sync.RWMutex
+	docs   map[string]*dom.Node
+	engine *xquery.Engine
+	Stats  Stats
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{docs: map[string]*dom.Node{}, engine: xquery.New()}
+}
+
+// Put stores (or replaces) a document under a URI.
+func (s *Store) Put(uri string, doc *dom.Node) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc.BaseURI = uri
+	s.docs[uri] = doc
+}
+
+// PutXML parses and stores a document.
+func (s *Store) PutXML(uri, src string) error {
+	doc, err := markup.Parse(src)
+	if err != nil {
+		return fmt.Errorf("xmldb: %s: %w", uri, err)
+	}
+	s.Put(uri, doc)
+	return nil
+}
+
+// Get returns the document stored under a URI.
+func (s *Store) Get(uri string) (*dom.Node, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[uri]
+	return d, ok
+}
+
+// Delete removes a document.
+func (s *Store) Delete(uri string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.docs, uri)
+}
+
+// List returns the stored URIs, sorted.
+func (s *Store) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	uris := make([]string, 0, len(s.docs))
+	for u := range s.docs {
+		uris = append(uris, u)
+	}
+	sort.Strings(uris)
+	return uris
+}
+
+// Len returns the number of stored documents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// Resolver exposes the store as an fn:doc resolver (server-side XQuery
+// runs doc("articles/a1.xml") directly against the database).
+func (s *Store) Resolver() runtime.DocResolver {
+	return func(uri string) (*dom.Node, error) {
+		if d, ok := s.Get(uri); ok {
+			return d, nil
+		}
+		return nil, fmt.Errorf("xmldb: no document %q", uri)
+	}
+}
+
+// CollectionResolver exposes the store as an fn:collection resolver:
+// the empty URI (the default collection) yields every document; a
+// non-empty URI yields the documents whose URIs have it as a prefix
+// (directory-style collections, e.g. collection("articles/")).
+func (s *Store) CollectionResolver() runtime.CollectionResolver {
+	return func(uri string) ([]*dom.Node, error) {
+		var out []*dom.Node
+		for _, u := range s.List() {
+			if uri == "" || strings.HasPrefix(u, uri) {
+				if d, ok := s.Get(u); ok {
+					out = append(out, d)
+				}
+			}
+		}
+		return out, nil
+	}
+}
+
+// Query evaluates an XQuery expression with a stored document as the
+// context item and the store as the doc resolver.
+func (s *Store) Query(uri, query string) (string, error) {
+	doc, ok := s.Get(uri)
+	if !ok {
+		return "", fmt.Errorf("xmldb: no document %q", uri)
+	}
+	prog, err := s.engine.Compile(query)
+	if err != nil {
+		return "", err
+	}
+	res, err := prog.Run(xquery.RunConfig{
+		ContextItem: xdm.NewNode(doc),
+		Docs:        s.Resolver(),
+		Collections: s.CollectionResolver(),
+		Sequential:  true,
+	})
+	if err != nil {
+		return "", err
+	}
+	s.Stats.mu.Lock()
+	s.Stats.QueriesEvaluated++
+	s.Stats.mu.Unlock()
+	return xquery.FormatSequence(res.Value, markup.Serialize), nil
+}
+
+// Handler exposes the store over HTTP:
+//
+//	GET /doc?uri=U           — the whole document (cache-friendly, §6.1)
+//	GET /query?uri=U&q=Q     — evaluate Q against U and return the result
+//	PUT /doc?uri=U           — store the request body as a document
+//	GET /list                — the stored URIs
+func (s *Store) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /doc", func(w http.ResponseWriter, r *http.Request) {
+		uri := r.URL.Query().Get("uri")
+		doc, ok := s.Get(uri)
+		if !ok {
+			s.count(0, false, false)
+			http.Error(w, fmt.Sprintf("no document %q", uri), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		n, _ := io.WriteString(w, markup.Serialize(doc))
+		s.count(n, false, true)
+	})
+	mux.HandleFunc("GET /query", func(w http.ResponseWriter, r *http.Request) {
+		uri := r.URL.Query().Get("uri")
+		q := r.URL.Query().Get("q")
+		out, err := s.Query(uri, q)
+		if err != nil {
+			s.count(0, true, false)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		n, _ := io.WriteString(w, "<result>"+out+"</result>")
+		s.count(n, false, false) // Query already counted the evaluation
+	})
+	mux.HandleFunc("PUT /doc", func(w http.ResponseWriter, r *http.Request) {
+		uri := r.URL.Query().Get("uri")
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.PutXML(uri, string(body)); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.count(0, false, false)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /list", func(w http.ResponseWriter, r *http.Request) {
+		var out string
+		out += "<uris>"
+		for _, u := range s.List() {
+			out += "<uri>" + markup.EscapeText(u) + "</uri>"
+		}
+		out += "</uris>"
+		w.Header().Set("Content-Type", "application/xml")
+		n, _ := io.WriteString(w, out)
+		s.count(n, false, false)
+	})
+	return mux
+}
+
+func (s *Store) count(bytes int, queryErr, doc bool) {
+	s.Stats.mu.Lock()
+	defer s.Stats.mu.Unlock()
+	s.Stats.Requests++
+	s.Stats.BytesServed += int64(bytes)
+	if doc {
+		s.Stats.DocsServed++
+	}
+	_ = queryErr
+}

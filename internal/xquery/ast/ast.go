@@ -1,0 +1,511 @@
+// Package ast defines the abstract syntax of the extended XQuery dialect
+// this repository implements: XQuery 1.0, the Update Facility, the
+// Scripting Extension subset, full-text ftcontains, and the browser
+// extensions proposed in the paper (§4.3 event grammar, §4.5 CSS
+// grammar). QNames in the AST are fully resolved: the parser expands
+// prefixes against the in-scope namespaces, so later phases never see a
+// lexical prefix they cannot interpret.
+package ast
+
+import (
+	"repro/internal/dom"
+	"repro/internal/xdm"
+)
+
+// Expr is any expression node.
+type Expr interface{ exprNode() }
+
+// --- Literals and primaries ----------------------------------------------
+
+// StringLit is a string literal.
+type StringLit struct{ Val string }
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// DecimalLit is a decimal literal, kept in lexical form for exactness.
+type DecimalLit struct{ Val string }
+
+// DoubleLit is a double literal.
+type DoubleLit struct{ Val float64 }
+
+// VarRef is a variable reference $name.
+type VarRef struct{ Name dom.QName }
+
+// ContextItem is the "." expression.
+type ContextItem struct{}
+
+// SeqExpr is the comma operator; with no items it is the empty sequence
+// "()".
+type SeqExpr struct{ Items []Expr }
+
+// FuncCall is a static function call.
+type FuncCall struct {
+	Name dom.QName
+	Args []Expr
+}
+
+// Ordered is ordered{...} / unordered{...}; we always evaluate in order,
+// so it is a transparent wrapper.
+type Ordered struct{ X Expr }
+
+// --- Control expressions --------------------------------------------------
+
+// If is the conditional expression.
+type If struct{ Cond, Then, Else Expr }
+
+// FLWOR is the for/let/where/order by/return expression.
+type FLWOR struct {
+	Clauses []Clause // for and let clauses, in order
+	Where   Expr     // nil if absent
+	OrderBy []OrderSpec
+	Return  Expr
+}
+
+// Clause is a for or let clause of a FLWOR.
+type Clause struct {
+	For    bool
+	Var    dom.QName
+	PosVar dom.QName // "at $i", zero if absent (for only)
+	Type   *xdm.SeqType
+	In     Expr // binding sequence (for) or value (let)
+}
+
+// OrderSpec is one key of an order by clause.
+type OrderSpec struct {
+	Key        Expr
+	Descending bool
+	EmptyLeast bool
+	EmptySet   bool // whether empty greatest/least was written
+}
+
+// Quantified is some/every $x in ... satisfies ....
+type Quantified struct {
+	Every     bool
+	Vars      []Clause // For is true for all of them
+	Satisfies Expr
+}
+
+// Typeswitch is the typeswitch expression.
+type Typeswitch struct {
+	Operand    Expr
+	Cases      []TypeswitchCase
+	DefaultVar dom.QName // zero if unnamed
+	Default    Expr
+}
+
+// TypeswitchCase is one case of a typeswitch.
+type TypeswitchCase struct {
+	Var  dom.QName // zero if unnamed
+	Type xdm.SeqType
+	Body Expr
+}
+
+// --- Operators --------------------------------------------------------------
+
+// Binary covers or, and, arithmetic (+ - * div idiv mod), union (| union),
+// intersect and except; Op holds the operator name.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// CompareKind distinguishes the three comparison families.
+type CompareKind int
+
+// Comparison families.
+const (
+	GeneralComp CompareKind = iota // = != < <= > >=
+	ValueComp                      // eq ne lt le gt ge
+	NodeComp                       // is << >>
+)
+
+// Compare is a comparison expression.
+type Compare struct {
+	Op   string
+	Kind CompareKind
+	L, R Expr
+}
+
+// Unary is a chain of unary +/- collapsed to a single sign.
+type Unary struct {
+	Neg bool
+	X   Expr
+}
+
+// Range is the "to" expression.
+type Range struct{ L, R Expr }
+
+// InstanceOf is "instance of".
+type InstanceOf struct {
+	X    Expr
+	Type xdm.SeqType
+}
+
+// TreatAs is "treat as".
+type TreatAs struct {
+	X    Expr
+	Type xdm.SeqType
+}
+
+// CastAs covers "cast as" and "castable as" (Castable flag).
+type CastAs struct {
+	X        Expr
+	Type     xdm.Type
+	Optional bool // "?" on the single type
+	Castable bool
+}
+
+// --- Paths -----------------------------------------------------------------
+
+// Axis enumerates the XPath axes.
+type Axis int
+
+// The thirteen axes (namespace excluded).
+const (
+	AxisChild Axis = iota
+	AxisDescendant
+	AxisAttribute
+	AxisSelf
+	AxisDescendantOrSelf
+	AxisFollowingSibling
+	AxisFollowing
+	AxisParent
+	AxisAncestor
+	AxisPrecedingSibling
+	AxisPreceding
+	AxisAncestorOrSelf
+)
+
+// Reverse reports whether the axis is a reverse axis (affects predicate
+// position numbering).
+func (a Axis) Reverse() bool {
+	switch a {
+	case AxisParent, AxisAncestor, AxisPrecedingSibling, AxisPreceding, AxisAncestorOrSelf:
+		return true
+	}
+	return false
+}
+
+// String returns the axis name.
+func (a Axis) String() string {
+	return [...]string{"child", "descendant", "attribute", "self",
+		"descendant-or-self", "following-sibling", "following", "parent",
+		"ancestor", "preceding-sibling", "preceding", "ancestor-or-self"}[a]
+}
+
+// NodeTest selects nodes on an axis. Exactly one of the fields is
+// meaningful: a name test (possibly wildcarded), a kind test, or the
+// universal node() test.
+type NodeTest struct {
+	// AnyNode is the node() test.
+	AnyNode bool
+
+	// Name test: Local "*" matches any local name; Space "*" (lexical
+	// prefix wildcard) matches any namespace.
+	Name     dom.QName
+	AnySpace bool
+	IsName   bool
+
+	// Kind test: one of the node types, zero otherwise. KindName
+	// optionally constrains element()/attribute() names; PITarget
+	// constrains processing-instruction(target).
+	Kind     xdm.Type
+	KindName dom.QName
+	HasName  bool
+	PITarget string
+}
+
+// Step is one step of a relative path: either an axis step or a primary
+// ("filter") expression, each with trailing predicates.
+type Step struct {
+	// Axis step (when Primary is nil).
+	Axis Axis
+	Test NodeTest
+
+	// Filter step.
+	Primary Expr
+
+	Preds []Expr
+}
+
+// Path is a path expression. Absolute paths start at the root of the
+// context node's tree ("/..."); an empty Steps list with Absolute set is
+// the "/" expression itself.
+type Path struct {
+	Absolute bool
+	Steps    []Step
+}
+
+// --- Constructors ------------------------------------------------------------
+
+// DirElem is a direct element constructor. Attribute and content values
+// interleave literal text (StringLit) with enclosed expressions.
+type DirElem struct {
+	Name    dom.QName
+	Attrs   []DirAttr
+	Content []Expr // StringLit text runs, nested constructors, enclosed exprs
+}
+
+// DirAttr is an attribute of a direct element constructor.
+type DirAttr struct {
+	Name   dom.QName
+	Pieces []Expr // StringLit and enclosed expressions
+}
+
+// CompConstructor is a computed constructor. Kind selects the node type;
+// for element/attribute/PI either Name or NameExpr gives the name.
+type CompConstructor struct {
+	Kind     xdm.Type
+	Name     dom.QName
+	NameExpr Expr
+	Content  Expr // nil for empty
+}
+
+// --- Update Facility ---------------------------------------------------------
+
+// InsertPos says where an insert places its nodes.
+type InsertPos int
+
+// Insert positions.
+const (
+	Into InsertPos = iota
+	IntoFirst
+	IntoLast
+	Before
+	After
+)
+
+// Insert is "insert node(s) Source ... Target".
+type Insert struct {
+	Source Expr
+	Target Expr
+	Pos    InsertPos
+}
+
+// Delete is "delete node(s) Target".
+type Delete struct{ Target Expr }
+
+// Replace is "replace (value of)? node Target with With".
+type Replace struct {
+	ValueOf bool
+	Target  Expr
+	With    Expr
+}
+
+// Rename is "rename node Target as NewName".
+type Rename struct {
+	Target  Expr
+	NewName Expr
+}
+
+// Transform is "copy $x := e modify m return r".
+type Transform struct {
+	Bindings []Clause // Var + In
+	Modify   Expr
+	Return   Expr
+}
+
+// --- Scripting extension -------------------------------------------------------
+
+// Block is a sequential block "{ stmt; stmt; ... }" (or "block {...}").
+// Statements see the side effects of earlier statements.
+type Block struct {
+	Stmts []Expr
+}
+
+// BlockDecl is "declare variable $x := e;" inside a block.
+type BlockDecl struct {
+	Var  dom.QName
+	Type *xdm.SeqType
+	Init Expr // nil means empty sequence
+}
+
+// Assign is "set $x := e" or "$x := e".
+type Assign struct {
+	Var dom.QName
+	Val Expr
+}
+
+// While is the scripting while loop.
+type While struct {
+	Cond Expr
+	Body Expr
+}
+
+// Exit is "exit with e" / "exit returning e".
+type Exit struct{ With Expr }
+
+// Break is the scripting "break" statement (§3.3).
+type Break struct{}
+
+// Continue is the scripting "continue" statement (§3.3).
+type Continue struct{}
+
+// --- Browser extensions (paper §4.3, §4.5) -----------------------------------
+
+// EventAttach is "on event E (at|behind) T attach listener F".
+type EventAttach struct {
+	Event    Expr
+	Target   Expr
+	Behind   bool // asynchronous-call binding (§4.4)
+	Listener dom.QName
+}
+
+// EventDetach is "on event E at T detach listener F".
+type EventDetach struct {
+	Event    Expr
+	Target   Expr
+	Listener dom.QName
+}
+
+// EventTrigger is "trigger event E at T".
+type EventTrigger struct {
+	Event  Expr
+	Target Expr
+}
+
+// SetStyle is "set style P of T to V".
+type SetStyle struct{ Prop, Target, Value Expr }
+
+// GetStyle is "get style P of T".
+type GetStyle struct{ Prop, Target Expr }
+
+// --- Full text ------------------------------------------------------------------
+
+// FTContains is "X ftcontains Selection".
+type FTContains struct {
+	X   Expr
+	Sel FTSelection
+}
+
+// FTSelection is a full-text selection tree.
+type FTSelection interface{ ftNode() }
+
+// FTWords matches the words/phrases produced by an expression; each
+// string item is a phrase whose tokens must occur consecutively.
+type FTWords struct {
+	Source Expr
+	// AnyAll: "any" (default), "all", "any word", "all words", "phrase".
+	AnyAll string
+	Opts   FTOptions
+}
+
+// FTAnd requires both selections to match.
+type FTAnd struct{ L, R FTSelection }
+
+// FTOr requires either selection to match.
+type FTOr struct{ L, R FTSelection }
+
+// FTNot is ftnot / not-in negation.
+type FTNot struct{ X FTSelection }
+
+// FTOptions are the match options we support (paper uses stemming).
+type FTOptions struct {
+	Stemming      bool
+	CaseSensitive bool
+}
+
+func (FTWords) ftNode() {}
+func (FTAnd) ftNode()   {}
+func (FTOr) ftNode()    {}
+func (FTNot) ftNode()   {}
+
+// --- Modules ----------------------------------------------------------------------
+
+// Param is a function parameter.
+type Param struct {
+	Name dom.QName
+	Type *xdm.SeqType
+}
+
+// FuncDecl is a function declaration from the prolog.
+type FuncDecl struct {
+	Name       dom.QName
+	Params     []Param
+	ReturnType *xdm.SeqType
+	Body       Expr // nil for external
+	Updating   bool
+	Sequential bool
+	External   bool
+}
+
+// VarDecl is a global variable declaration from the prolog.
+type VarDecl struct {
+	Name     dom.QName
+	Type     *xdm.SeqType
+	Init     Expr // nil for external
+	External bool
+}
+
+// ModuleImport records "import module namespace p = uri (at hints)?;".
+type ModuleImport struct {
+	Prefix string
+	URI    string
+	Hints  []string
+}
+
+// Prolog is the query prolog.
+type Prolog struct {
+	Namespaces   map[string]string // prefix -> URI declared by the query
+	DefaultElemNS string
+	DefaultFnNS   string
+	Vars         []VarDecl
+	Functions    []FuncDecl
+	Imports      []ModuleImport
+	Options      map[string]string // lexical QName -> value
+}
+
+// Module is a parsed main or library module.
+type Module struct {
+	// Library module header: "module namespace p = uri (port:N)?;".
+	IsLibrary bool
+	Prefix    string
+	URI       string
+	Port      int // webservice extension (paper §3.4), 0 if absent
+
+	Prolog Prolog
+	Body   Expr // nil for library modules
+}
+
+func (StringLit) exprNode()       {}
+func (IntLit) exprNode()          {}
+func (DecimalLit) exprNode()      {}
+func (DoubleLit) exprNode()       {}
+func (VarRef) exprNode()          {}
+func (ContextItem) exprNode()     {}
+func (SeqExpr) exprNode()         {}
+func (FuncCall) exprNode()        {}
+func (Ordered) exprNode()         {}
+func (If) exprNode()              {}
+func (FLWOR) exprNode()           {}
+func (Quantified) exprNode()      {}
+func (Typeswitch) exprNode()      {}
+func (Binary) exprNode()          {}
+func (Compare) exprNode()         {}
+func (Unary) exprNode()           {}
+func (Range) exprNode()           {}
+func (InstanceOf) exprNode()      {}
+func (TreatAs) exprNode()         {}
+func (CastAs) exprNode()          {}
+func (Path) exprNode()            {}
+func (DirElem) exprNode()         {}
+func (CompConstructor) exprNode() {}
+func (Insert) exprNode()          {}
+func (Delete) exprNode()          {}
+func (Replace) exprNode()         {}
+func (Rename) exprNode()          {}
+func (Transform) exprNode()       {}
+func (Block) exprNode()           {}
+func (BlockDecl) exprNode()       {}
+func (Assign) exprNode()          {}
+func (While) exprNode()           {}
+func (Exit) exprNode()            {}
+func (Break) exprNode()           {}
+func (Continue) exprNode()        {}
+func (EventAttach) exprNode()     {}
+func (EventDetach) exprNode()     {}
+func (EventTrigger) exprNode()    {}
+func (SetStyle) exprNode()        {}
+func (GetStyle) exprNode()        {}
+func (FTContains) exprNode()      {}

@@ -1,0 +1,255 @@
+// Package xquery is the engine façade: it wires the parser, the
+// built-in function library and the runtime into a compile-and-run API,
+// playing the role Zorba plays for the paper's plug-in (§5.2). The same
+// engine object serves all tiers: the browser host (internal/core), the
+// web-service server (internal/rest) and the command line (cmd/xq).
+package xquery
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dom"
+	"repro/internal/xdm"
+	"repro/internal/xquery/ast"
+	"repro/internal/xquery/funclib"
+	"repro/internal/xquery/parser"
+	"repro/internal/xquery/runtime"
+	"repro/internal/xquery/update"
+)
+
+// Engine compiles XQuery programs against a shared static environment.
+type Engine struct {
+	base     *runtime.Registry
+	resolver runtime.ModuleResolver
+	blockDoc bool
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithModuleResolver installs the module-import resolver (the REST
+// substrate registers web-service proxies through it).
+func WithModuleResolver(r runtime.ModuleResolver) Option {
+	return func(e *Engine) { e.resolver = r }
+}
+
+// WithBrowserProfile blocks fn:doc/fn:put, per the paper's §4.2.1
+// security rule for in-browser execution.
+func WithBrowserProfile() Option {
+	return func(e *Engine) { e.blockDoc = true }
+}
+
+// WithFunctions registers extra built-in functions (the browser: library
+// uses this).
+func WithFunctions(register func(*runtime.Registry)) Option {
+	return func(e *Engine) { register(e.base) }
+}
+
+// New builds an engine with the full fn: library installed.
+func New(opts ...Option) *Engine {
+	e := &Engine{base: runtime.NewRegistry()}
+	funclib.Register(e.base)
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Registry exposes the engine's base registry for host extensions.
+func (e *Engine) Registry() *runtime.Registry { return e.base }
+
+// Program is a compiled, runnable XQuery program.
+type Program struct {
+	engine *Engine
+	prog   *runtime.Program
+}
+
+// Compile parses and compiles a main or library module.
+func (e *Engine) Compile(src string) (*Program, error) {
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := runtime.Compile(m, runtime.CompileConfig{
+		Registry: e.base,
+		Resolver: e.resolver,
+		BlockDoc: e.blockDoc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{engine: e, prog: p}, nil
+}
+
+// MustCompile compiles or panics; for tests and fixed queries.
+func (e *Engine) MustCompile(src string) *Program {
+	p, err := e.Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Module returns the compiled module's AST (the REST server inspects
+// the prolog's options and function declarations).
+func (p *Program) Module() *ast.Module { return p.prog.Module }
+
+// Runtime returns the underlying runtime program (host integration).
+func (p *Program) Runtime() *runtime.Program { return p.prog }
+
+// RunConfig parameterises one evaluation.
+type RunConfig struct {
+	// ContextItem is the initial focus (e.g. the page document in the
+	// browser: paper §4.2.3 "the document in browser:self() is the
+	// context item").
+	ContextItem xdm.Item
+	// AmbientFocus additionally makes ContextItem the focus inside user
+	// function bodies (the browser host's processing model).
+	AmbientFocus bool
+	// Docs resolves fn:doc calls.
+	Docs runtime.DocResolver
+	// Collections resolves fn:collection calls.
+	Collections runtime.CollectionResolver
+	// Hooks provides the browser extension points.
+	Hooks runtime.Hooks
+	// Variables are external variable bindings.
+	Variables map[dom.QName]xdm.Sequence
+	// Sequential enables scripting snapshot semantics: pending updates
+	// apply after every statement. When false, updates apply once at the
+	// end of the run (pure XQuery Update semantics).
+	Sequential bool
+	// OnUpdate is called for each applied update primitive.
+	OnUpdate func(update.Primitive)
+	// Now fixes the evaluation's current dateTime (defaults to
+	// time.Now).
+	Now time.Time
+	// Profiler, when non-nil, collects per-expression evaluation
+	// statistics (the §7 "performance profiler" tooling).
+	Profiler *runtime.Profiler
+}
+
+// Result is the outcome of an evaluation.
+type Result struct {
+	Value xdm.Sequence
+	// Updates counts the update primitives applied during the run.
+	Updates int
+}
+
+// NewContext prepares a reusable evaluation context (the browser host
+// keeps one per page so listener invocations share global state).
+func (p *Program) NewContext(cfg RunConfig) *runtime.Context {
+	ctx := runtime.NewContext(p.prog)
+	ctx.Item = cfg.ContextItem
+	if cfg.ContextItem != nil {
+		ctx.Pos, ctx.Size = 1, 1
+	}
+	if cfg.AmbientFocus {
+		ctx.Ambient = cfg.ContextItem
+	}
+	ctx.Profiler = cfg.Profiler
+	ctx.Docs = cfg.Docs
+	ctx.Collections = cfg.Collections
+	ctx.Hooks = cfg.Hooks
+	if !cfg.Now.IsZero() {
+		ctx.Now = cfg.Now
+	}
+	for name, val := range cfg.Variables {
+		ctx.Bind(name, val)
+	}
+	if cfg.Sequential {
+		ctx.SnapshotApply = func(pul *update.PUL) error {
+			return pul.Apply(cfg.OnUpdate)
+		}
+	}
+	return ctx
+}
+
+// Run evaluates the module body (after initialising globals) and applies
+// any pending updates.
+func (p *Program) Run(cfg RunConfig) (*Result, error) {
+	ctx := p.NewContext(cfg)
+	return finishRun(ctx, cfg, func() (xdm.Sequence, error) { return ctx.Run() })
+}
+
+// RunWith evaluates using a prepared context (listener dispatch path).
+func RunWith(ctx *runtime.Context, cfg RunConfig, name dom.QName, args []xdm.Sequence) (*Result, error) {
+	return finishRun(ctx, cfg, func() (xdm.Sequence, error) {
+		return ctx.CallFunction(name, args)
+	})
+}
+
+func finishRun(ctx *runtime.Context, cfg RunConfig, eval func() (xdm.Sequence, error)) (*Result, error) {
+	applied := 0
+	count := func(pr update.Primitive) {
+		applied++
+		if cfg.OnUpdate != nil {
+			cfg.OnUpdate(pr)
+		}
+	}
+	if cfg.Sequential {
+		ctx.SnapshotApply = func(pul *update.PUL) error { return pul.Apply(count) }
+	}
+	val, err := eval()
+	if err != nil {
+		return nil, err
+	}
+	if ctx.PUL != nil && !ctx.PUL.Empty() {
+		if err := ctx.PUL.Apply(count); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Value: val, Updates: applied}, nil
+}
+
+// EvalQuery is a convenience: compile and run a query against an
+// optional context document.
+func (e *Engine) EvalQuery(src string, contextDoc *dom.Node) (xdm.Sequence, error) {
+	p, err := e.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	cfg := RunConfig{Sequential: true}
+	if contextDoc != nil {
+		cfg.ContextItem = xdm.NewNode(contextDoc)
+	}
+	res, err := p.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Value, nil
+}
+
+// FormatSequence renders a sequence the way cmd/xq prints results:
+// nodes serialized as XML, atomics by their lexical form, separated by
+// spaces.
+func FormatSequence(s xdm.Sequence, serialize func(*dom.Node) string) string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		if n, ok := xdm.IsNode(it); ok {
+			parts[i] = serialize(n)
+		} else {
+			parts[i] = it.String()
+		}
+	}
+	return joinNonEmpty(parts)
+}
+
+func joinNonEmpty(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}
+
+// Err formats an error chain for user display.
+func Err(err error) string {
+	if err == nil {
+		return ""
+	}
+	return fmt.Sprintf("%v", err)
+}

@@ -1,0 +1,156 @@
+package xquery
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/xdm"
+)
+
+// Fourth batch: concurrency of compiled programs and randomized
+// evaluation totality.
+
+// TestProgramConcurrentRuns verifies a compiled program is reusable
+// from many goroutines: each Run gets its own context, so read-only
+// evaluation must be race-free (run with -race in CI).
+func TestProgramConcurrentRuns(t *testing.T) {
+	e := New()
+	prog := e.MustCompile(`
+		declare function local:f($n as xs:integer) as xs:integer {
+			if ($n le 1) then 1 else $n * local:f($n - 1)
+		};
+		sum(for $i in 1 to 8 return local:f($i))`)
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, err := prog.Run(RunConfig{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Value[0].String() != "46233" {
+					errs <- fmt.Errorf("wrong result %s", res.Value[0])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineConcurrentCompiles(t *testing.T) {
+	e := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := fmt.Sprintf(`declare function local:f%d() { %d }; local:f%d() + %d`, w, i, w, w)
+				seq, err := e.EvalQuery(q, nil)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				want := fmt.Sprintf("%d", i+w)
+				if seq[0].String() != want {
+					t.Errorf("worker %d: got %s want %s", w, seq[0], want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// randomQuery builds a random, type-reasonable query. Generated queries
+// may legitimately fail (division by zero, casts), but must never
+// panic and must be deterministic.
+func randomQuery(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return fmt.Sprintf("%d", r.Intn(100)-50)
+		case 1:
+			return fmt.Sprintf("%d.%d", r.Intn(10), r.Intn(100))
+		case 2:
+			return fmt.Sprintf("%q", "s")
+		case 3:
+			return "()"
+		default:
+			return fmt.Sprintf("(%d to %d)", r.Intn(5), r.Intn(10))
+		}
+	}
+	sub := func() string { return randomQuery(r, depth-1) }
+	switch r.Intn(12) {
+	case 0:
+		return "(" + sub() + " + " + sub() + ")"
+	case 1:
+		return "(" + sub() + " * " + sub() + ")"
+	case 2:
+		return "(" + sub() + ", " + sub() + ")"
+	case 3:
+		return "count(" + sub() + ")"
+	case 4:
+		return "string-join(for $x in " + sub() + " return string($x), \",\")"
+	case 5:
+		return "if (" + sub() + ") then " + sub() + " else " + sub()
+	case 6:
+		return "sum((" + sub() + ")[. instance of xs:integer])"
+	case 7:
+		return "<e a=\"{" + sub() + "}\">{" + sub() + "}</e>"
+	case 8:
+		return "some $v in " + sub() + " satisfies $v = $v"
+	case 9:
+		return "let $v := " + sub() + " return ($v, $v)"
+	case 10:
+		return "reverse(" + sub() + ")"
+	default:
+		return "string(" + sub() + ")"
+	}
+}
+
+func TestRandomizedEvaluationTotality(t *testing.T) {
+	e := New()
+	r := rand.New(rand.NewSource(2009))
+	for i := 0; i < 300; i++ {
+		q := randomQuery(r, 3)
+		// Determinism: two evaluations agree (both in value or error).
+		s1, err1 := e.EvalQuery(q, nil)
+		s2, err2 := e.EvalQuery(q, nil)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("non-deterministic error for %q: %v vs %v", q, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if xdm.Sequence(s1).Empty() != xdm.Sequence(s2).Empty() || len(s1) != len(s2) {
+			t.Fatalf("non-deterministic result for %q", q)
+		}
+		for j := range s1 {
+			n1, ok1 := xdm.IsNode(s1[j])
+			_, ok2 := xdm.IsNode(s2[j])
+			if ok1 != ok2 {
+				t.Fatalf("non-deterministic item kind for %q", q)
+			}
+			if ok1 {
+				_ = n1
+				continue // constructed nodes are fresh each run
+			}
+			if s1[j].String() != s2[j].String() {
+				t.Fatalf("non-deterministic atomic for %q: %s vs %s", q, s1[j], s2[j])
+			}
+		}
+	}
+}

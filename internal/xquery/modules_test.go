@@ -1,0 +1,111 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/markup"
+	"repro/internal/xdm"
+)
+
+const mathModule = `module namespace m = "urn:math";
+declare variable $m:pi := 3.14159;
+declare function m:square($x) { $x * $x };
+declare function m:cube($x) { $x * m:square($x) };
+declare function m:tau() { $m:pi * 2 };`
+
+func TestLocalModuleImport(t *testing.T) {
+	resolver := NewLocalResolver(map[string]string{"urn:math": mathModule})
+	e := New(WithModuleResolver(resolver))
+	res, err := e.EvalQuery(`import module namespace m = "urn:math";
+		m:square(6) + m:cube(2)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].String() != "44" {
+		t.Errorf("result = %v", res)
+	}
+	// Library globals work inside library functions.
+	res, err = e.EvalQuery(`import module namespace m = "urn:math"; m:tau()`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].String() != "6.28318" {
+		t.Errorf("tau = %v", res)
+	}
+}
+
+func TestLocalModuleErrors(t *testing.T) {
+	resolver := NewLocalResolver(map[string]string{
+		"urn:math": mathModule,
+		"urn:main": `1+1`, // not a library module
+		"urn:bad":  `module namespace b = "urn:OTHER"; declare function b:f() { 1 };`,
+	})
+	e := New(WithModuleResolver(resolver))
+	if _, err := e.Compile(`import module namespace x = "urn:nosuch"; 1`); err == nil {
+		t.Error("unknown module must fail")
+	}
+	if _, err := e.Compile(`import module namespace x = "urn:main"; 1`); err == nil {
+		t.Error("main module as import must fail")
+	}
+	if _, err := e.Compile(`import module namespace x = "urn:bad"; 1`); err == nil {
+		t.Error("namespace mismatch must fail")
+	}
+}
+
+func TestLocalModuleUpdatesShareSnapshot(t *testing.T) {
+	lib := `module namespace u = "urn:upd";
+declare updating function u:mark($target) {
+  insert node <marked/> into $target
+};`
+	resolver := NewLocalResolver(map[string]string{"urn:upd": lib})
+	e := New(WithModuleResolver(resolver))
+	doc, err := markup.Parse(`<root/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := e.Compile(`import module namespace u = "urn:upd"; u:mark(/root)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Run(RunConfig{ContextItem: xdm.NewNode(doc), Sequential: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := markup.Serialize(doc); got != `<root><marked/></root>` {
+		t.Errorf("library update lost: %s", got)
+	}
+}
+
+func TestCombineResolvers(t *testing.T) {
+	r1 := NewLocalResolver(map[string]string{"urn:math": mathModule})
+	r2 := NewLocalResolver(map[string]string{
+		"urn:other": `module namespace o = "urn:other"; declare function o:one() { 1 };`,
+	})
+	e := New(WithModuleResolver(CombineResolvers(r1, r2)))
+	res, err := e.EvalQuery(`import module namespace m = "urn:math";
+		import module namespace o = "urn:other";
+		m:square(o:one() + 1)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].String() != "4" {
+		t.Errorf("combined = %v", res)
+	}
+	// Neither resolver knows the module.
+	if _, err := e.Compile(`import module namespace z = "urn:zzz"; 1`); err == nil ||
+		!strings.Contains(err.Error(), "urn:zzz") {
+		t.Errorf("missing module error: %v", err)
+	}
+}
+
+func TestModuleImportCachedCompilation(t *testing.T) {
+	resolver := NewLocalResolver(map[string]string{"urn:math": mathModule})
+	e := New(WithModuleResolver(resolver))
+	// Two programs importing the same module share the compiled library.
+	for i := 0; i < 2; i++ {
+		res, err := e.EvalQuery(`import module namespace m = "urn:math"; m:square(3)`, nil)
+		if err != nil || res[0].String() != "9" {
+			t.Fatalf("round %d: %v %v", i, res, err)
+		}
+	}
+}

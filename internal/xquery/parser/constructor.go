@@ -1,0 +1,396 @@
+package parser
+
+import (
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/xdm"
+	"repro/internal/xquery/ast"
+	"repro/internal/xquery/lexer"
+)
+
+// Direct constructors ("<a x='{$v}'>text{expr}</a>") cannot be tokenized
+// by the regular lexer: inside a constructor the input is XML-shaped
+// character data with embedded {expr} escapes. The parser therefore
+// rewinds the lexer to the "<" and scans characters itself, recursing
+// back into token-level parsing for each enclosed expression.
+
+type rawScanner struct {
+	p   *Parser
+	src string
+	pos int
+}
+
+func (p *Parser) parseDirectConstructor() ast.Expr {
+	start := p.peek().Start // offset of "<"
+	r := &rawScanner{p: p, src: p.lx.Src(), pos: start}
+	var e ast.Expr
+	switch {
+	case strings.HasPrefix(r.src[r.pos:], "<!--"):
+		e = r.comment()
+	case strings.HasPrefix(r.src[r.pos:], "<?"):
+		e = r.pi()
+	default:
+		e = r.element()
+	}
+	p.lx.Reset(r.pos)
+	return e
+}
+
+func (r *rawScanner) fail(format string, args ...any) {
+	r.p.failAt(r.p.lx.Line(r.pos), format, args...)
+}
+
+func (r *rawScanner) eof() bool { return r.pos >= len(r.src) }
+
+func (r *rawScanner) peek() byte {
+	if r.eof() {
+		return 0
+	}
+	return r.src[r.pos]
+}
+
+func (r *rawScanner) has(s string) bool { return strings.HasPrefix(r.src[r.pos:], s) }
+
+func (r *rawScanner) skipSpace() {
+	for !r.eof() {
+		switch r.src[r.pos] {
+		case ' ', '\t', '\r', '\n':
+			r.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (r *rawScanner) name() string {
+	start := r.pos
+	if r.eof() || !isNameStartByte(r.src[r.pos]) {
+		r.fail("expected a name in element constructor")
+	}
+	for !r.eof() && isNameByte(r.src[r.pos]) {
+		r.pos++
+	}
+	return r.src[start:r.pos]
+}
+
+func isNameStartByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameByte(c byte) bool {
+	return isNameStartByte(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+// qname reads an optionally prefixed lexical name.
+func (r *rawScanner) qname() (prefix, local string) {
+	first := r.name()
+	if !r.eof() && r.peek() == ':' && r.pos+1 < len(r.src) && isNameStartByte(r.src[r.pos+1]) {
+		r.pos++
+		return first, r.name()
+	}
+	return "", first
+}
+
+// enclosed parses "{ Expr }" starting at the "{", by handing control
+// back to the token-level parser at the current offset.
+func (r *rawScanner) enclosed() ast.Expr {
+	r.pos++ // "{"
+	r.p.lx.Reset(r.pos)
+	e := r.p.parseExpr()
+	tok := r.p.next()
+	if !tok.IsSym("}") {
+		r.p.failAt(tok.Line, "expected \"}\" to close enclosed expression, found %s", tok)
+	}
+	r.pos = tok.End
+	return e
+}
+
+func (r *rawScanner) comment() ast.Expr {
+	r.pos += len("<!--")
+	end := strings.Index(r.src[r.pos:], "-->")
+	if end < 0 {
+		r.fail("unterminated comment constructor")
+	}
+	text := r.src[r.pos : r.pos+end]
+	r.pos += end + 3
+	return ast.CompConstructor{Kind: xdm.TCommentNode, Content: ast.StringLit{Val: text}}
+}
+
+func (r *rawScanner) pi() ast.Expr {
+	r.pos += 2
+	target := r.name()
+	end := strings.Index(r.src[r.pos:], "?>")
+	if end < 0 {
+		r.fail("unterminated processing-instruction constructor")
+	}
+	data := strings.TrimLeft(r.src[r.pos:r.pos+end], " \t\r\n")
+	r.pos += end + 2
+	return ast.CompConstructor{Kind: xdm.TPINode,
+		Name:    dom.Name(target),
+		Content: ast.StringLit{Val: data}}
+}
+
+// element parses a full direct element constructor.
+func (r *rawScanner) element() ast.Expr {
+	if r.p.depth++; r.p.depth > maxParseDepth {
+		r.fail("element nesting exceeds %d levels", maxParseDepth)
+	}
+	defer func() { r.p.depth-- }()
+	r.pos++ // "<"
+	prefix, local := r.qname()
+
+	type rawAttr struct {
+		prefix, local string
+		pieces        []ast.Expr
+		literal       string // the concatenated literal form, for xmlns
+		isLiteral     bool
+	}
+	var attrs []rawAttr
+	selfClose := false
+	for {
+		r.skipSpace()
+		if r.eof() {
+			r.fail("unterminated start tag <%s", local)
+		}
+		if r.has("/>") {
+			r.pos += 2
+			selfClose = true
+			break
+		}
+		if r.peek() == '>' {
+			r.pos++
+			break
+		}
+		ap, al := r.qname()
+		r.skipSpace()
+		if r.peek() != '=' {
+			r.fail("expected \"=\" after attribute %s", al)
+		}
+		r.pos++
+		r.skipSpace()
+		pieces, lit, isLit := r.attrValue()
+		attrs = append(attrs, rawAttr{prefix: ap, local: al, pieces: pieces, literal: lit, isLiteral: isLit})
+	}
+
+	// Push a namespace scope: xmlns attributes are declarations.
+	savedNS := r.p.ns
+	savedDefault := r.p.defaultElemNS
+	scope := make(map[string]string, len(savedNS)+2)
+	for k, v := range savedNS {
+		scope[k] = v
+	}
+	r.p.ns = scope
+	defer func() {
+		r.p.ns = savedNS
+		r.p.defaultElemNS = savedDefault
+	}()
+
+	el := ast.DirElem{}
+	for _, a := range attrs {
+		if a.prefix == "" && a.local == "xmlns" {
+			if !a.isLiteral {
+				r.fail("namespace declarations must be literal")
+			}
+			scope[""] = a.literal
+			r.p.defaultElemNS = a.literal
+			continue
+		}
+		if a.prefix == "xmlns" {
+			if !a.isLiteral {
+				r.fail("namespace declarations must be literal")
+			}
+			scope[a.local] = a.literal
+			continue
+		}
+	}
+	for _, a := range attrs {
+		if (a.prefix == "" && a.local == "xmlns") || a.prefix == "xmlns" {
+			continue
+		}
+		name := dom.Name(a.local)
+		if a.prefix != "" {
+			uri, ok := scope[a.prefix]
+			if !ok {
+				r.fail("undeclared namespace prefix %q", a.prefix)
+			}
+			name = dom.QName{Space: uri, Prefix: a.prefix, Local: a.local}
+		}
+		el.Attrs = append(el.Attrs, ast.DirAttr{Name: name, Pieces: a.pieces})
+	}
+
+	// Resolve the element name in the (possibly extended) scope.
+	if prefix != "" {
+		uri, ok := scope[prefix]
+		if !ok {
+			r.fail("undeclared namespace prefix %q", prefix)
+		}
+		el.Name = dom.QName{Space: uri, Prefix: prefix, Local: local}
+	} else {
+		el.Name = dom.QName{Space: r.p.defaultElemNS, Local: local}
+	}
+
+	if selfClose {
+		return el
+	}
+	el.Content = r.content(local)
+
+	// Closing tag (the "</" was consumed by content()).
+	cp, cl := r.qname()
+	closing := cl
+	if cp != "" {
+		closing = cp + ":" + cl
+	}
+	opening := local
+	if prefix != "" {
+		opening = prefix + ":" + local
+	}
+	if closing != opening {
+		r.fail("mismatched end tag </%s>, expected </%s>", closing, opening)
+	}
+	r.skipSpace()
+	if r.peek() != '>' {
+		r.fail("malformed end tag </%s", closing)
+	}
+	r.pos++
+	return el
+}
+
+// content parses element content until the matching "</", which it
+// consumes. Boundary whitespace (pure-whitespace text runs) is stripped,
+// the XQuery default.
+func (r *rawScanner) content(openName string) []ast.Expr {
+	var out []ast.Expr
+	var text strings.Builder
+	flush := func() {
+		if text.Len() == 0 {
+			return
+		}
+		s := text.String()
+		text.Reset()
+		if strings.TrimSpace(s) == "" {
+			return // boundary-space strip
+		}
+		out = append(out, ast.StringLit{Val: s})
+	}
+	for {
+		if r.eof() {
+			r.fail("unterminated element constructor <%s>", openName)
+		}
+		c := r.peek()
+		switch {
+		case r.has("</"):
+			flush()
+			r.pos += 2
+			return out
+		case r.has("<!--"):
+			flush()
+			out = append(out, r.comment())
+		case r.has("<![CDATA["):
+			r.pos += len("<![CDATA[")
+			end := strings.Index(r.src[r.pos:], "]]>")
+			if end < 0 {
+				r.fail("unterminated CDATA section")
+			}
+			// CDATA content is never boundary-stripped.
+			if s := r.src[r.pos : r.pos+end]; s != "" {
+				flush()
+				out = append(out, ast.StringLit{Val: s})
+			}
+			r.pos += end + 3
+		case r.has("<?"):
+			flush()
+			out = append(out, r.pi())
+		case c == '<':
+			flush()
+			out = append(out, r.element())
+		case r.has("{{"):
+			text.WriteByte('{')
+			r.pos += 2
+		case r.has("}}"):
+			text.WriteByte('}')
+			r.pos += 2
+		case c == '{':
+			flush()
+			out = append(out, r.enclosed())
+		case c == '}':
+			r.fail("unescaped \"}\" in element content")
+		case c == '&':
+			s, n, ok := lexer.DecodeEntity(r.src[r.pos:])
+			if !ok {
+				r.fail("invalid entity reference in element content")
+			}
+			text.WriteString(s)
+			r.pos += n
+		default:
+			text.WriteByte(c)
+			r.pos++
+		}
+	}
+}
+
+// attrValue parses a quoted attribute value with {expr} escapes. It
+// returns the pieces, plus the literal string and whether the value was
+// fully literal (required for xmlns declarations).
+func (r *rawScanner) attrValue() ([]ast.Expr, string, bool) {
+	quote := r.peek()
+	if quote != '"' && quote != '\'' {
+		r.fail("attribute value must be quoted")
+	}
+	r.pos++
+	var pieces []ast.Expr
+	var text strings.Builder
+	isLiteral := true
+	var literal strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			pieces = append(pieces, ast.StringLit{Val: text.String()})
+			text.Reset()
+		}
+	}
+	for {
+		if r.eof() {
+			r.fail("unterminated attribute value")
+		}
+		c := r.peek()
+		switch {
+		case c == quote:
+			// Doubled quote escapes itself.
+			if r.pos+1 < len(r.src) && r.src[r.pos+1] == quote {
+				text.WriteByte(quote)
+				literal.WriteByte(quote)
+				r.pos += 2
+				continue
+			}
+			r.pos++
+			flush()
+			return pieces, literal.String(), isLiteral
+		case r.has("{{"):
+			text.WriteByte('{')
+			literal.WriteByte('{')
+			r.pos += 2
+		case r.has("}}"):
+			text.WriteByte('}')
+			literal.WriteByte('}')
+			r.pos += 2
+		case c == '{':
+			flush()
+			isLiteral = false
+			pieces = append(pieces, r.enclosed())
+		case c == '}':
+			r.fail("unescaped \"}\" in attribute value")
+		case c == '&':
+			s, n, ok := lexer.DecodeEntity(r.src[r.pos:])
+			if !ok {
+				r.fail("invalid entity reference in attribute value")
+			}
+			text.WriteString(s)
+			literal.WriteString(s)
+			r.pos += n
+		default:
+			text.WriteByte(c)
+			literal.WriteByte(c)
+			r.pos++
+		}
+	}
+}

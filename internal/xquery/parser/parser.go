@@ -1,0 +1,838 @@
+// Package parser implements a recursive-descent parser for the extended
+// XQuery dialect: XQuery 1.0 with the Update Facility, the Scripting
+// Extension subset, full-text ftcontains, and the paper's browser
+// grammar extensions (§4.3 events, §4.5 CSS). XQuery has no reserved
+// words, so keyword decisions are made by grammatical position with
+// bounded lookahead, exactly as the W3C grammar prescribes.
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+	"repro/internal/xquery/ast"
+	"repro/internal/xquery/lexer"
+)
+
+// Well-known namespace URIs preset in the static context.
+const (
+	FnNamespace      = "http://www.w3.org/2005/xpath-functions"
+	XSNamespace      = "http://www.w3.org/2001/XMLSchema"
+	LocalNamespace   = "http://www.w3.org/2005/xquery-local-functions"
+	BrowserNamespace = "http://www.example.com/browser" // paper §4.2
+	XMLNamespace     = "http://www.w3.org/XML/1998/namespace"
+)
+
+// Error is a syntax error with line information.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("xquery: syntax error at line %d: %s", e.Line, e.Msg) }
+
+// Parser holds the parsing state.
+type Parser struct {
+	lx            *lexer.Lexer
+	ns            map[string]string
+	defaultElemNS string
+	defaultFnNS   string
+	// noRange suppresses the "to" range operator while parsing the
+	// target of "set style ... of T to V", whose grammar reuses "to".
+	noRange int
+	// depth guards against pathologically nested input blowing the
+	// stack: recursive descent fails cleanly past maxParseDepth.
+	depth int
+}
+
+// maxParseDepth bounds expression nesting.
+const maxParseDepth = 3000
+
+// ParseModule parses a complete main or library module.
+func ParseModule(src string) (m *ast.Module, err error) {
+	p := newParser(src)
+	defer p.recoverTo(&err)
+	m = p.parseModule()
+	return m, nil
+}
+
+// ParseExpr parses a standalone expression (no prolog) — the XPath
+// subset entry point used by the JavaScript-baseline document.evaluate.
+func ParseExpr(src string) (e ast.Expr, err error) {
+	p := newParser(src)
+	defer p.recoverTo(&err)
+	e = p.parseExpr()
+	p.expectEOF()
+	return e, nil
+}
+
+func newParser(src string) *Parser {
+	return &Parser{
+		lx: lexer.New(src),
+		ns: map[string]string{
+			"xs":      XSNamespace,
+			"fn":      FnNamespace,
+			"local":   LocalNamespace,
+			"browser": BrowserNamespace,
+			"xml":     XMLNamespace,
+		},
+		defaultFnNS: FnNamespace,
+	}
+}
+
+func (p *Parser) recoverTo(err *error) {
+	if r := recover(); r != nil {
+		if pe, ok := r.(*Error); ok {
+			*err = pe
+			return
+		}
+		panic(r)
+	}
+}
+
+func (p *Parser) failAt(line int, format string, args ...any) {
+	panic(&Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *Parser) fail(format string, args ...any) {
+	p.failAt(p.lx.Peek().Line, format, args...)
+}
+
+// --- token helpers --------------------------------------------------------
+
+func (p *Parser) next() lexer.Token {
+	t := p.lx.Next()
+	if err := p.lx.Err(); err != nil {
+		le := err.(*lexer.Error)
+		p.failAt(le.Line, "%s", le.Msg)
+	}
+	return t
+}
+
+func (p *Parser) peek() lexer.Token    { return p.lx.Peek() }
+func (p *Parser) peekAt(k int) lexer.Token { return p.lx.PeekAt(k) }
+
+func (p *Parser) expectSym(s string) lexer.Token {
+	t := p.next()
+	if !t.IsSym(s) {
+		p.failAt(t.Line, "expected %q, found %s", s, t)
+	}
+	return t
+}
+
+func (p *Parser) expectName(word string) {
+	t := p.next()
+	if !t.IsName(word) {
+		p.failAt(t.Line, "expected %q, found %s", word, t)
+	}
+}
+
+func (p *Parser) expectEOF() {
+	if t := p.peek(); t.Kind != lexer.EOF {
+		p.failAt(t.Line, "unexpected %s after end of expression", t)
+	}
+}
+
+// eatSym consumes the symbol if present.
+func (p *Parser) eatSym(s string) bool {
+	if p.peek().IsSym(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// eatName consumes the unprefixed name if present.
+func (p *Parser) eatName(w string) bool {
+	if p.peek().IsName(w) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// --- QName resolution -------------------------------------------------------
+
+func (p *Parser) resolve(t lexer.Token, kind string) dom.QName {
+	if t.Kind != lexer.Name {
+		p.failAt(t.Line, "expected a name, found %s", t)
+	}
+	if t.Prefix == "" {
+		switch kind {
+		case "element":
+			return dom.QName{Space: p.defaultElemNS, Local: t.Local}
+		case "function":
+			return dom.QName{Space: p.defaultFnNS, Local: t.Local}
+		default: // variable, attribute: no namespace
+			return dom.Name(t.Local)
+		}
+	}
+	uri, ok := p.ns[t.Prefix]
+	if !ok {
+		p.failAt(t.Line, "undeclared namespace prefix %q", t.Prefix)
+	}
+	return dom.QName{Space: uri, Prefix: t.Prefix, Local: t.Local}
+}
+
+func (p *Parser) qname(kind string) dom.QName {
+	return p.resolve(p.next(), kind)
+}
+
+// varName parses "$" QName.
+func (p *Parser) varName() dom.QName {
+	p.expectSym("$")
+	return p.qname("variable")
+}
+
+// --- expressions ----------------------------------------------------------
+
+// parseExpr parses the comma operator level.
+func (p *Parser) parseExpr() ast.Expr {
+	first := p.parseExprSingle()
+	if !p.peek().IsSym(",") {
+		return first
+	}
+	items := []ast.Expr{first}
+	for p.eatSym(",") {
+		items = append(items, p.parseExprSingle())
+	}
+	return ast.SeqExpr{Items: items}
+}
+
+// parseExprSingle dispatches on the leading keywords of the composite
+// expressions, falling through to the operator precedence chain.
+func (p *Parser) parseExprSingle() ast.Expr {
+	if p.depth++; p.depth > maxParseDepth {
+		p.fail("expression nesting exceeds %d levels", maxParseDepth)
+	}
+	defer func() { p.depth-- }()
+	t := p.peek()
+	if t.Kind == lexer.Name && t.Prefix == "" {
+		n1 := p.peekAt(1)
+		switch t.Local {
+		case "for", "let":
+			if n1.IsSym("$") {
+				return p.parseFLWOR()
+			}
+		case "some", "every":
+			if n1.IsSym("$") {
+				return p.parseQuantified()
+			}
+		case "typeswitch":
+			if n1.IsSym("(") {
+				return p.parseTypeswitch()
+			}
+		case "if":
+			if n1.IsSym("(") {
+				return p.parseIf()
+			}
+		case "insert":
+			if n1.IsName("node") || n1.IsName("nodes") {
+				return p.parseInsert()
+			}
+		case "delete":
+			if n1.IsName("node") || n1.IsName("nodes") {
+				p.next()
+				p.next()
+				return ast.Delete{Target: p.parseExprSingle()}
+			}
+		case "replace":
+			if n1.IsName("node") || n1.IsName("value") {
+				return p.parseReplace()
+			}
+		case "rename":
+			if n1.IsName("node") {
+				p.next()
+				p.next()
+				target := p.parseExprSingle()
+				p.expectName("as")
+				return ast.Rename{Target: target, NewName: p.parseExprSingle()}
+			}
+		case "copy":
+			if n1.IsSym("$") {
+				return p.parseTransform()
+			}
+		case "do":
+			// The scripting drafts (and paper §4.4) prefix updating
+			// expressions with "do"; it is transparent for us.
+			if n1.IsName("insert") || n1.IsName("delete") ||
+				n1.IsName("replace") || n1.IsName("rename") {
+				p.next()
+				return p.parseExprSingle()
+			}
+		case "block":
+			if n1.IsSym("{") {
+				p.next()
+				p.next()
+				return p.parseBlock()
+			}
+		case "declare":
+			if n1.IsName("variable") {
+				return p.parseBlockDecl()
+			}
+		case "set":
+			if n1.IsName("style") {
+				p.next()
+				p.next()
+				prop := p.parseExprSingle()
+				p.expectName("of")
+				target := p.parseExprSingleNoRange()
+				p.expectName("to")
+				return ast.SetStyle{Prop: prop, Target: target, Value: p.parseExprSingle()}
+			}
+			if n1.IsSym("$") {
+				p.next()
+				v := p.varName()
+				p.expectSym(":=")
+				return ast.Assign{Var: v, Val: p.parseExprSingle()}
+			}
+		case "get":
+			if n1.IsName("style") {
+				p.next()
+				p.next()
+				prop := p.parseExprSingle()
+				p.expectName("of")
+				return ast.GetStyle{Prop: prop, Target: p.parseExprSingle()}
+			}
+		case "while":
+			if n1.IsSym("(") {
+				p.next()
+				p.expectSym("(")
+				cond := p.parseExpr()
+				p.expectSym(")")
+				return ast.While{Cond: cond, Body: p.parseExprSingle()}
+			}
+		case "exit":
+			if n1.IsName("with") || n1.IsName("returning") {
+				p.next()
+				p.next()
+				return ast.Exit{With: p.parseExprSingle()}
+			}
+		case "break", "continue":
+			// Bare loop-control statements (§3.3). Only when a
+			// statement/branch terminator follows — "break" is still a
+			// legal path step ("break/x") since XQuery has no reserved
+			// words.
+			if n1.IsSym(";") || n1.IsSym("}") || n1.IsSym(")") || n1.IsSym(",") ||
+				n1.IsName("else") || n1.Kind == lexer.EOF {
+				p.next()
+				if t.Local == "break" {
+					return ast.Break{}
+				}
+				return ast.Continue{}
+			}
+		case "on":
+			if n1.IsName("event") {
+				return p.parseEventExpr()
+			}
+		case "trigger":
+			if n1.IsName("event") {
+				p.next()
+				p.next()
+				ev := p.parseExprSingle()
+				p.expectName("at")
+				return ast.EventTrigger{Event: ev, Target: p.parseExprSingle()}
+			}
+		}
+	}
+	// Scripting assignment "$x := e".
+	if t.IsSym("$") && p.peekAt(1).Kind == lexer.Name && p.peekAt(2).IsSym(":=") {
+		v := p.varName()
+		p.next() // :=
+		return ast.Assign{Var: v, Val: p.parseExprSingle()}
+	}
+	// Bare block "{ ... }" (paper §3.3 writes blocks without a keyword).
+	if t.IsSym("{") {
+		p.next()
+		return p.parseBlock()
+	}
+	return p.parseOr()
+}
+
+func (p *Parser) parseFLWOR() ast.Expr {
+	var f ast.FLWOR
+	for {
+		t := p.peek()
+		if t.IsName("for") && p.peekAt(1).IsSym("$") {
+			p.next()
+			for {
+				cl := ast.Clause{For: true}
+				cl.Var = p.varName()
+				if p.peek().IsName("as") {
+					p.next()
+					st := p.parseSequenceType()
+					cl.Type = &st
+				}
+				if p.eatName("at") {
+					cl.PosVar = p.varName()
+				}
+				p.expectName("in")
+				cl.In = p.parseExprSingle()
+				f.Clauses = append(f.Clauses, cl)
+				if !p.eatSym(",") {
+					break
+				}
+			}
+			continue
+		}
+		if t.IsName("let") && p.peekAt(1).IsSym("$") {
+			p.next()
+			for {
+				cl := ast.Clause{}
+				cl.Var = p.varName()
+				if p.peek().IsName("as") {
+					p.next()
+					st := p.parseSequenceType()
+					cl.Type = &st
+				}
+				p.expectSym(":=")
+				cl.In = p.parseExprSingle()
+				f.Clauses = append(f.Clauses, cl)
+				if !p.eatSym(",") {
+					break
+				}
+			}
+			continue
+		}
+		break
+	}
+	if len(f.Clauses) == 0 {
+		p.fail("FLWOR expression needs at least one for/let clause")
+	}
+	if p.eatName("where") {
+		f.Where = p.parseExprSingle()
+	}
+	if p.peek().IsName("stable") || p.peek().IsName("order") {
+		p.eatName("stable")
+		p.expectName("order")
+		p.expectName("by")
+		for {
+			spec := ast.OrderSpec{Key: p.parseExprSingle()}
+			if p.eatName("descending") {
+				spec.Descending = true
+			} else {
+				p.eatName("ascending")
+			}
+			if p.eatName("empty") {
+				spec.EmptySet = true
+				if p.eatName("least") {
+					spec.EmptyLeast = true
+				} else {
+					p.expectName("greatest")
+				}
+			}
+			f.OrderBy = append(f.OrderBy, spec)
+			if !p.eatSym(",") {
+				break
+			}
+		}
+	}
+	p.expectName("return")
+	f.Return = p.parseExprSingle()
+	return f
+}
+
+func (p *Parser) parseQuantified() ast.Expr {
+	q := ast.Quantified{Every: p.next().Local == "every"}
+	for {
+		cl := ast.Clause{For: true}
+		cl.Var = p.varName()
+		if p.peek().IsName("as") {
+			p.next()
+			st := p.parseSequenceType()
+			cl.Type = &st
+		}
+		p.expectName("in")
+		cl.In = p.parseExprSingle()
+		q.Vars = append(q.Vars, cl)
+		if !p.eatSym(",") {
+			break
+		}
+	}
+	p.expectName("satisfies")
+	q.Satisfies = p.parseExprSingle()
+	return q
+}
+
+func (p *Parser) parseTypeswitch() ast.Expr {
+	p.next() // typeswitch
+	p.expectSym("(")
+	ts := ast.Typeswitch{Operand: p.parseExpr()}
+	p.expectSym(")")
+	for p.peek().IsName("case") {
+		p.next()
+		var c ast.TypeswitchCase
+		if p.peek().IsSym("$") {
+			c.Var = p.varName()
+			p.expectName("as")
+		}
+		c.Type = p.parseSequenceType()
+		p.expectName("return")
+		c.Body = p.parseExprSingle()
+		ts.Cases = append(ts.Cases, c)
+	}
+	if len(ts.Cases) == 0 {
+		p.fail("typeswitch needs at least one case")
+	}
+	p.expectName("default")
+	if p.peek().IsSym("$") {
+		ts.DefaultVar = p.varName()
+	}
+	p.expectName("return")
+	ts.Default = p.parseExprSingle()
+	return ts
+}
+
+func (p *Parser) parseIf() ast.Expr {
+	p.next() // if
+	p.expectSym("(")
+	cond := p.parseExpr()
+	p.expectSym(")")
+	p.expectName("then")
+	then := p.parseExprSingle()
+	p.expectName("else")
+	return ast.If{Cond: cond, Then: then, Else: p.parseExprSingle()}
+}
+
+func (p *Parser) parseInsert() ast.Expr {
+	p.next() // insert
+	p.next() // node(s)
+	src := p.parseExprSingle()
+	var pos ast.InsertPos
+	switch {
+	case p.eatName("into"):
+		pos = ast.Into
+	case p.eatName("as"):
+		switch {
+		case p.eatName("first"):
+			pos = ast.IntoFirst
+		case p.eatName("last"):
+			pos = ast.IntoLast
+		default:
+			p.fail(`expected "first" or "last" after "as"`)
+		}
+		p.expectName("into")
+	case p.eatName("before"):
+		pos = ast.Before
+	case p.eatName("after"):
+		pos = ast.After
+	default:
+		p.fail(`expected "into", "as first into", "as last into", "before" or "after"`)
+	}
+	target := p.parseExprSingle()
+	// The paper's §4.2.1 example writes "into $d/html/body as first";
+	// accept the postfix placement as well as the spec's prefix form.
+	if pos == ast.Into && p.peek().IsName("as") &&
+		(p.peekAt(1).IsName("first") || p.peekAt(1).IsName("last")) {
+		p.next()
+		if p.next().Local == "first" {
+			pos = ast.IntoFirst
+		} else {
+			pos = ast.IntoLast
+		}
+	}
+	return ast.Insert{Source: src, Target: target, Pos: pos}
+}
+
+func (p *Parser) parseReplace() ast.Expr {
+	p.next() // replace
+	r := ast.Replace{}
+	if p.eatName("value") {
+		p.expectName("of")
+		r.ValueOf = true
+	}
+	p.expectName("node")
+	r.Target = p.parseExprSingle()
+	p.expectName("with")
+	r.With = p.parseExprSingle()
+	return r
+}
+
+func (p *Parser) parseTransform() ast.Expr {
+	p.next() // copy
+	var tr ast.Transform
+	for {
+		cl := ast.Clause{Var: p.varName()}
+		p.expectSym(":=")
+		cl.In = p.parseExprSingle()
+		tr.Bindings = append(tr.Bindings, cl)
+		if !p.eatSym(",") {
+			break
+		}
+	}
+	p.expectName("modify")
+	tr.Modify = p.parseExprSingle()
+	p.expectName("return")
+	tr.Return = p.parseExprSingle()
+	return tr
+}
+
+// parseBlock parses the statements of a block after the opening "{".
+func (p *Parser) parseBlock() ast.Expr {
+	var stmts []ast.Expr
+	for {
+		if p.peek().IsSym("}") {
+			p.next()
+			break
+		}
+		if p.peek().Kind == lexer.EOF {
+			p.fail("unterminated block")
+		}
+		stmts = append(stmts, p.parseExprSingle())
+		if !p.eatSym(";") {
+			p.expectSym("}")
+			break
+		}
+	}
+	return ast.Block{Stmts: stmts}
+}
+
+func (p *Parser) parseBlockDecl() ast.Expr {
+	p.next() // declare
+	p.next() // variable
+	d := ast.BlockDecl{Var: p.varName()}
+	if p.peek().IsName("as") {
+		p.next()
+		st := p.parseSequenceType()
+		d.Type = &st
+	}
+	// The paper writes both ":=" and "=" in block declarations.
+	if p.eatSym(":=") || p.eatSym("=") {
+		d.Init = p.parseExprSingle()
+	}
+	return d
+}
+
+func (p *Parser) parseEventExpr() ast.Expr {
+	p.next() // on
+	p.next() // event
+	ev := p.parseExprSingle()
+	behind := false
+	switch {
+	case p.eatName("at"):
+	case p.eatName("behind"):
+		behind = true
+	default:
+		p.fail(`expected "at" or "behind" in event expression`)
+	}
+	target := p.parseExprSingle()
+	switch {
+	case p.eatName("attach"):
+		p.expectName("listener")
+		return ast.EventAttach{Event: ev, Target: target, Behind: behind,
+			Listener: p.qname("function")}
+	case p.eatName("detach"):
+		if behind {
+			p.fail(`"behind" cannot be used with detach`)
+		}
+		p.expectName("listener")
+		return ast.EventDetach{Event: ev, Target: target, Listener: p.qname("function")}
+	default:
+		p.fail(`expected "attach listener" or "detach listener"`)
+		return nil
+	}
+}
+
+// --- operator precedence chain ---------------------------------------------
+
+func (p *Parser) parseOr() ast.Expr {
+	l := p.parseAnd()
+	for p.peek().IsName("or") {
+		p.next()
+		l = ast.Binary{Op: "or", L: l, R: p.parseAnd()}
+	}
+	return l
+}
+
+func (p *Parser) parseAnd() ast.Expr {
+	l := p.parseComparison()
+	for p.peek().IsName("and") {
+		p.next()
+		l = ast.Binary{Op: "and", L: l, R: p.parseComparison()}
+	}
+	return l
+}
+
+func (p *Parser) parseComparison() ast.Expr {
+	l := p.parseFTContains()
+	t := p.peek()
+	switch {
+	case t.Kind == lexer.Sym:
+		switch t.Text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.next()
+			return ast.Compare{Op: t.Text, Kind: ast.GeneralComp, L: l, R: p.parseFTContains()}
+		case "<<", ">>":
+			p.next()
+			return ast.Compare{Op: t.Text, Kind: ast.NodeComp, L: l, R: p.parseFTContains()}
+		}
+	case t.Kind == lexer.Name && t.Prefix == "":
+		switch t.Local {
+		case "eq", "ne", "lt", "le", "gt", "ge":
+			// Only a comparison if an operand follows (not, e.g., a path
+			// step named "eq" — position disambiguates because we are
+			// after a complete operand).
+			p.next()
+			return ast.Compare{Op: t.Local, Kind: ast.ValueComp, L: l, R: p.parseFTContains()}
+		case "is":
+			p.next()
+			return ast.Compare{Op: "is", Kind: ast.NodeComp, L: l, R: p.parseFTContains()}
+		}
+	}
+	return l
+}
+
+func (p *Parser) parseFTContains() ast.Expr {
+	l := p.parseRange()
+	if p.peek().IsName("ftcontains") {
+		p.next()
+		return ast.FTContains{X: l, Sel: p.parseFTOr()}
+	}
+	return l
+}
+
+func (p *Parser) parseRange() ast.Expr {
+	l := p.parseAdditive()
+	if p.noRange == 0 && p.peek().IsName("to") {
+		p.next()
+		return ast.Range{L: l, R: p.parseAdditive()}
+	}
+	return l
+}
+
+// parseExprSingleNoRange parses an ExprSingle with the "to" operator
+// disabled (the set-style target position).
+func (p *Parser) parseExprSingleNoRange() ast.Expr {
+	p.noRange++
+	defer func() { p.noRange-- }()
+	return p.parseExprSingle()
+}
+
+func (p *Parser) parseAdditive() ast.Expr {
+	l := p.parseMultiplicative()
+	for {
+		t := p.peek()
+		if t.IsSym("+") || t.IsSym("-") {
+			p.next()
+			l = ast.Binary{Op: t.Text, L: l, R: p.parseMultiplicative()}
+			continue
+		}
+		return l
+	}
+}
+
+func (p *Parser) parseMultiplicative() ast.Expr {
+	l := p.parseUnion()
+	for {
+		t := p.peek()
+		op := ""
+		switch {
+		case t.IsSym("*"):
+			op = "*"
+		case t.IsName("div"):
+			op = "div"
+		case t.IsName("idiv"):
+			op = "idiv"
+		case t.IsName("mod"):
+			op = "mod"
+		}
+		if op == "" {
+			return l
+		}
+		p.next()
+		l = ast.Binary{Op: op, L: l, R: p.parseUnion()}
+	}
+}
+
+func (p *Parser) parseUnion() ast.Expr {
+	l := p.parseIntersectExcept()
+	for {
+		t := p.peek()
+		if t.IsSym("|") || t.IsName("union") {
+			p.next()
+			l = ast.Binary{Op: "union", L: l, R: p.parseIntersectExcept()}
+			continue
+		}
+		return l
+	}
+}
+
+func (p *Parser) parseIntersectExcept() ast.Expr {
+	l := p.parseInstanceOf()
+	for {
+		t := p.peek()
+		if t.IsName("intersect") || t.IsName("except") {
+			p.next()
+			l = ast.Binary{Op: t.Local, L: l, R: p.parseInstanceOf()}
+			continue
+		}
+		return l
+	}
+}
+
+func (p *Parser) parseInstanceOf() ast.Expr {
+	l := p.parseTreat()
+	if p.peek().IsName("instance") && p.peekAt(1).IsName("of") {
+		p.next()
+		p.next()
+		return ast.InstanceOf{X: l, Type: p.parseSequenceType()}
+	}
+	return l
+}
+
+func (p *Parser) parseTreat() ast.Expr {
+	l := p.parseCastable()
+	if p.peek().IsName("treat") && p.peekAt(1).IsName("as") {
+		p.next()
+		p.next()
+		return ast.TreatAs{X: l, Type: p.parseSequenceType()}
+	}
+	return l
+}
+
+func (p *Parser) parseCastable() ast.Expr {
+	l := p.parseCast()
+	if p.peek().IsName("castable") && p.peekAt(1).IsName("as") {
+		p.next()
+		p.next()
+		typ, opt := p.parseSingleType()
+		return ast.CastAs{X: l, Type: typ, Optional: opt, Castable: true}
+	}
+	return l
+}
+
+func (p *Parser) parseCast() ast.Expr {
+	l := p.parseUnary()
+	if p.peek().IsName("cast") && p.peekAt(1).IsName("as") {
+		p.next()
+		p.next()
+		typ, opt := p.parseSingleType()
+		return ast.CastAs{X: l, Type: typ, Optional: opt}
+	}
+	return l
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	neg := false
+	signed := false
+	for {
+		t := p.peek()
+		if t.IsSym("-") {
+			neg = !neg
+			signed = true
+			p.next()
+			continue
+		}
+		if t.IsSym("+") {
+			signed = true
+			p.next()
+			continue
+		}
+		break
+	}
+	x := p.parsePath()
+	if signed {
+		return ast.Unary{Neg: neg, X: x}
+	}
+	return x
+}

@@ -1,0 +1,214 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/xdm"
+	"repro/internal/xquery/ast"
+)
+
+// Node construction. Constructed elements copy their content (XQuery
+// copy semantics): a node inserted into a constructor never aliases the
+// source document.
+
+func (ctx *Context) constructElement(e ast.DirElem) (*dom.Node, error) {
+	el := dom.NewElement(e.Name)
+	for _, a := range e.Attrs {
+		val, err := ctx.attrValue(a.Pieces)
+		if err != nil {
+			return nil, err
+		}
+		if el.AttrNode(a.Name) != nil {
+			return nil, fmt.Errorf("xquery: duplicate attribute %s", a.Name)
+		}
+		el.SetAttr(a.Name, val)
+	}
+	for _, c := range e.Content {
+		if lit, ok := c.(ast.StringLit); ok {
+			if err := el.AppendChild(dom.NewText(lit.Val)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		s, err := ctx.Eval(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := appendContent(el, s); err != nil {
+			return nil, err
+		}
+	}
+	el.NormalizeText()
+	return el, nil
+}
+
+// attrValue concatenates the pieces of an attribute value template:
+// literal runs verbatim, enclosed expressions atomized and
+// space-joined.
+func (ctx *Context) attrValue(pieces []ast.Expr) (string, error) {
+	var b strings.Builder
+	for _, piece := range pieces {
+		if lit, ok := piece.(ast.StringLit); ok {
+			b.WriteString(lit.Val)
+			continue
+		}
+		s, err := ctx.Eval(piece)
+		if err != nil {
+			return "", err
+		}
+		for i, it := range xdm.AtomizeSequence(s) {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			b.WriteString(it.String())
+		}
+	}
+	return b.String(), nil
+}
+
+// appendContent adds an evaluated sequence to an element being
+// constructed: nodes are deep-copied, adjacent atomics become a single
+// space-separated text node, attribute nodes become attributes (only
+// legal before any other content).
+func appendContent(el *dom.Node, s xdm.Sequence) error {
+	var pendingText []string
+	flush := func() error {
+		if len(pendingText) == 0 {
+			return nil
+		}
+		t := strings.Join(pendingText, " ")
+		pendingText = nil
+		return el.AppendChild(dom.NewText(t))
+	}
+	for _, it := range s {
+		n, ok := xdm.IsNode(it)
+		if !ok {
+			pendingText = append(pendingText, it.String())
+			continue
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		switch n.Type {
+		case dom.AttributeNode:
+			if len(el.Children()) > 0 {
+				return fmt.Errorf("xquery: attribute %s constructed after element content", n.Name)
+			}
+			if el.AttrNode(n.Name) != nil {
+				return fmt.Errorf("xquery: duplicate attribute %s", n.Name)
+			}
+			el.SetAttr(n.Name, n.Data)
+		case dom.DocumentNode:
+			for _, c := range n.Children() {
+				if err := el.AppendChild(c.Clone()); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := el.AppendChild(n.Clone()); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+func (ctx *Context) evalCompConstructor(x ast.CompConstructor) (xdm.Sequence, error) {
+	content := xdm.Sequence(nil)
+	if x.Content != nil {
+		var err error
+		content, err = ctx.Eval(x.Content)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch x.Kind {
+	case xdm.TElementNode:
+		name, err := ctx.constructorName(x)
+		if err != nil {
+			return nil, err
+		}
+		el := dom.NewElement(name)
+		if err := appendContent(el, content); err != nil {
+			return nil, err
+		}
+		el.NormalizeText()
+		return xdm.Singleton(xdm.NewNode(el)), nil
+	case xdm.TAttributeNode:
+		name, err := ctx.constructorName(x)
+		if err != nil {
+			return nil, err
+		}
+		return xdm.Singleton(xdm.NewNode(dom.NewAttr(name, joinAtomized(content)))), nil
+	case xdm.TTextNode:
+		if len(content) == 0 {
+			return nil, nil // text {()} is the empty sequence
+		}
+		return xdm.Singleton(xdm.NewNode(dom.NewText(joinAtomized(content)))), nil
+	case xdm.TCommentNode:
+		return xdm.Singleton(xdm.NewNode(dom.NewComment(joinAtomized(content)))), nil
+	case xdm.TPINode:
+		name, err := ctx.constructorName(x)
+		if err != nil {
+			return nil, err
+		}
+		return xdm.Singleton(xdm.NewNode(dom.NewPI(name.Local, joinAtomized(content)))), nil
+	case xdm.TDocumentNode:
+		doc := dom.NewDocument()
+		// Reuse element content rules via a scratch element.
+		scratch := dom.NewElement(dom.Name("x"))
+		if err := appendContent(scratch, content); err != nil {
+			return nil, err
+		}
+		scratch.NormalizeText()
+		for _, c := range append([]*dom.Node(nil), scratch.Children()...) {
+			if err := doc.AppendChild(c); err != nil {
+				return nil, err
+			}
+		}
+		return xdm.Singleton(xdm.NewNode(doc)), nil
+	default:
+		return nil, fmt.Errorf("xquery: unknown computed constructor kind %v", x.Kind)
+	}
+}
+
+func (ctx *Context) constructorName(x ast.CompConstructor) (dom.QName, error) {
+	if x.NameExpr == nil {
+		return x.Name, nil
+	}
+	it, err := ctx.evalAtomizedOne(x.NameExpr)
+	if err != nil {
+		return dom.QName{}, err
+	}
+	if it == nil {
+		return dom.QName{}, fmt.Errorf("xquery: computed constructor name is the empty sequence")
+	}
+	return lexicalQName(it)
+}
+
+// lexicalQName turns an atomic item into a QName: QName values pass
+// through, strings are split on ":" (the prefix is kept lexical — our
+// documents are predominantly in no namespace).
+func lexicalQName(it xdm.Item) (dom.QName, error) {
+	if q, ok := it.(xdm.QNameValue); ok {
+		return q.Name, nil
+	}
+	s := strings.TrimSpace(it.String())
+	if s == "" {
+		return dom.QName{}, fmt.Errorf("xquery: empty name in constructor")
+	}
+	if i := strings.IndexByte(s, ':'); i > 0 {
+		return dom.QName{Prefix: s[:i], Local: s[i+1:]}, nil
+	}
+	return dom.Name(s), nil
+}
+
+func joinAtomized(s xdm.Sequence) string {
+	parts := make([]string, len(s))
+	for i, it := range xdm.AtomizeSequence(s) {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,87 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/xquery/ast"
+)
+
+// Profiler collects per-expression-kind evaluation counts and wall
+// time — the "performance profiler" the paper's §7 lists as future
+// tooling work. Attach one to a Context; collection is off (zero cost)
+// when the pointer is nil.
+type Profiler struct {
+	mu      sync.Mutex
+	entries map[string]*ProfileEntry
+}
+
+// ProfileEntry accumulates one expression kind's statistics.
+type ProfileEntry struct {
+	Kind  string
+	Count int64
+	Time  time.Duration
+}
+
+// NewProfiler creates an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{entries: map[string]*ProfileEntry{}}
+}
+
+func (p *Profiler) record(kind string, d time.Duration) {
+	p.mu.Lock()
+	e := p.entries[kind]
+	if e == nil {
+		e = &ProfileEntry{Kind: kind}
+		p.entries[kind] = e
+	}
+	e.Count++
+	e.Time += d
+	p.mu.Unlock()
+}
+
+// Entries returns the collected statistics sorted by total time,
+// descending.
+func (p *Profiler) Entries() []ProfileEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ProfileEntry, 0, len(p.entries))
+	for _, e := range p.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time > out[j].Time })
+	return out
+}
+
+// Total returns the aggregate evaluation count.
+func (p *Profiler) Total() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	for _, e := range p.entries {
+		n += e.Count
+	}
+	return n
+}
+
+// Format renders a report (cmd/xq -profile).
+func (p *Profiler) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %10s %14s\n", "expression", "count", "time")
+	for _, e := range p.Entries() {
+		fmt.Fprintf(&b, "%-20s %10d %14s\n", e.Kind, e.Count, e.Time)
+	}
+	return b.String()
+}
+
+// exprKind names an AST node for profiling.
+func exprKind(e ast.Expr) string {
+	s := fmt.Sprintf("%T", e)
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}

@@ -1,0 +1,445 @@
+// Package runtime evaluates compiled XQuery modules: the dynamic
+// context, variable environments, the function registry, and a
+// tree-walking evaluator for the full extended dialect (XQuery 1.0 +
+// Update Facility + Scripting + full-text + the paper's browser
+// extensions). The runtime is host-agnostic: browser behaviour enters
+// through the Hooks interface and the DocResolver, which is how the
+// same engine runs in the browser plug-in, on the server (internal/rest)
+// and on the command line (cmd/xq) — the "XQuery on all tiers" property
+// the paper argues for.
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dom"
+	"repro/internal/xdm"
+	"repro/internal/xquery/ast"
+	"repro/internal/xquery/update"
+)
+
+// maxCallDepth bounds recursion so runaway user functions produce an
+// error instead of a stack overflow.
+const maxCallDepth = 4096
+
+// DocResolver resolves fn:doc URIs to document nodes.
+type DocResolver func(uri string) (*dom.Node, error)
+
+// CollectionResolver resolves fn:collection URIs to document lists
+// ("" is the default collection).
+type CollectionResolver func(uri string) ([]*dom.Node, error)
+
+// Hooks are the browser extension points (paper §4). A nil Hooks makes
+// the event/style expressions and browser: functions unavailable, which
+// is the correct server-side behaviour.
+type Hooks interface {
+	// AttachListener registers listener for the event type on each
+	// target node (paper §4.3.1).
+	AttachListener(ctx *Context, event string, targets xdm.Sequence, listener dom.QName) error
+	// AttachBehind binds the listener to the asynchronous evaluation of
+	// call: the host starts the evaluation, fires readyState events, and
+	// invokes the listener on each (paper §4.4).
+	AttachBehind(ctx *Context, event string, call func() (xdm.Sequence, error), listener dom.QName) error
+	// DetachListener removes a registration.
+	DetachListener(ctx *Context, event string, targets xdm.Sequence, listener dom.QName) error
+	// TriggerEvent synthesises an event at the targets.
+	TriggerEvent(ctx *Context, event string, targets xdm.Sequence) error
+	// SetStyle / GetStyle implement the CSS grammar (paper §4.5).
+	SetStyle(ctx *Context, prop string, targets xdm.Sequence, value string) error
+	GetStyle(ctx *Context, prop string, targets xdm.Sequence) (xdm.Sequence, error)
+}
+
+// Function is a callable: a built-in, an imported web-service proxy, or
+// a compiled user function.
+type Function struct {
+	Name       dom.QName
+	MinArgs    int
+	MaxArgs    int // -1 for variadic
+	Updating   bool
+	Sequential bool
+	Invoke     func(ctx *Context, args []xdm.Sequence) (xdm.Sequence, error)
+}
+
+// Registry maps function names to implementations.
+type Registry struct {
+	funcs map[string][]*Function
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{funcs: map[string][]*Function{}} }
+
+func fkey(n dom.QName) string { return n.Space + "#" + n.Local }
+
+// Register adds a function. A function with an overlapping name and
+// arity range replaces the earlier registration (imports may shadow).
+func (r *Registry) Register(f *Function) {
+	key := fkey(f.Name)
+	list := r.funcs[key]
+	for i, g := range list {
+		if g.MinArgs == f.MinArgs && g.MaxArgs == f.MaxArgs {
+			list[i] = f
+			return
+		}
+	}
+	r.funcs[key] = append(list, f)
+}
+
+// Lookup finds the function accepting the given arity, or nil.
+func (r *Registry) Lookup(name dom.QName, arity int) *Function {
+	for _, f := range r.funcs[fkey(name)] {
+		if arity >= f.MinArgs && (f.MaxArgs < 0 || arity <= f.MaxArgs) {
+			return f
+		}
+	}
+	return nil
+}
+
+// Names returns the number of distinct registered function names.
+func (r *Registry) Names() int { return len(r.funcs) }
+
+// Clone copies the registry so a program's own declarations do not leak
+// into the shared built-in table.
+func (r *Registry) Clone() *Registry {
+	c := NewRegistry()
+	for k, v := range r.funcs {
+		c.funcs[k] = append([]*Function(nil), v...)
+	}
+	return c
+}
+
+// ModuleResolver materialises a module import by registering its
+// functions (and possibly global variables) into the registry. The REST
+// substrate registers web-service proxies here (paper §3.4).
+type ModuleResolver func(imp ast.ModuleImport, reg *Registry) error
+
+// CompileConfig parameterises compilation.
+type CompileConfig struct {
+	// Registry provides the built-in functions; it is cloned.
+	Registry *Registry
+	// Resolver handles module imports; nil rejects imports.
+	Resolver ModuleResolver
+	// BlockDoc disables fn:doc and fn:put — the browser profile's
+	// security rule (paper §4.2.1).
+	BlockDoc bool
+}
+
+// Program is a compiled module ready for evaluation.
+type Program struct {
+	Module   *ast.Module
+	Reg      *Registry
+	BlockDoc bool
+}
+
+// Compile resolves imports and user function declarations of a parsed
+// module against the given configuration.
+func Compile(m *ast.Module, cfg CompileConfig) (*Program, error) {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	reg = reg.Clone()
+	p := &Program{Module: m, Reg: reg, BlockDoc: cfg.BlockDoc}
+	for _, imp := range m.Prolog.Imports {
+		if cfg.Resolver == nil {
+			return nil, fmt.Errorf("xquery: no module resolver for import of %q", imp.URI)
+		}
+		if err := cfg.Resolver(imp, reg); err != nil {
+			return nil, fmt.Errorf("xquery: importing %q: %w", imp.URI, err)
+		}
+	}
+	for i := range m.Prolog.Functions {
+		decl := &m.Prolog.Functions[i]
+		if decl.External {
+			if reg.Lookup(decl.Name, len(decl.Params)) == nil {
+				return nil, fmt.Errorf("xquery: external function %s/%d has no implementation",
+					decl.Name, len(decl.Params))
+			}
+			continue
+		}
+		f, err := p.compileUserFunction(decl)
+		if err != nil {
+			return nil, err
+		}
+		reg.Register(f)
+	}
+	return p, nil
+}
+
+func (p *Program) compileUserFunction(decl *ast.FuncDecl) (*Function, error) {
+	d := decl
+	return &Function{
+		Name:       d.Name,
+		MinArgs:    len(d.Params),
+		MaxArgs:    len(d.Params),
+		Updating:   d.Updating,
+		Sequential: d.Sequential,
+		Invoke: func(ctx *Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			if ctx.depth >= maxCallDepth {
+				return nil, fmt.Errorf("xquery: call depth limit exceeded in %s", d.Name)
+			}
+			// A fresh frame rooted at the globals: user functions do not
+			// see the caller's local variables or context item.
+			callee := *ctx
+			callee.depth = ctx.depth + 1
+			callee.env = ctx.globals
+			callee.Item = ctx.Ambient
+			callee.Pos, callee.Size = 0, 0
+			if callee.Item != nil {
+				callee.Pos, callee.Size = 1, 1
+			}
+			for i, prm := range d.Params {
+				v := args[i]
+				if prm.Type != nil {
+					cv, err := ConvertValue(v, *prm.Type)
+					if err != nil {
+						return nil, fmt.Errorf("xquery: argument $%s of %s: %w", prm.Name.Local, d.Name, err)
+					}
+					v = cv
+				}
+				callee.env = callee.env.bind(prm.Name, v)
+			}
+			res, err := callee.Eval(d.Body)
+			if ex, ok := err.(*exitError); ok {
+				res, err = ex.val, nil
+			}
+			if err == errBreak || err == errContinue {
+				// Loop control must not cross a function boundary.
+				return nil, fmt.Errorf("%w (in function %s)", err, d.Name)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if d.ReturnType != nil {
+				res, err = ConvertValue(res, *d.ReturnType)
+				if err != nil {
+					return nil, fmt.Errorf("xquery: result of %s: %w", d.Name, err)
+				}
+			}
+			return res, nil
+		},
+	}, nil
+}
+
+// --- environments ------------------------------------------------------------
+
+// Box is a mutable variable cell (needed by the scripting extension's
+// assignment statement).
+type Box struct{ Val xdm.Sequence }
+
+type env struct {
+	parent *env
+	name   dom.QName
+	box    *Box
+}
+
+func (e *env) bind(name dom.QName, val xdm.Sequence) *env {
+	return &env{parent: e, name: name, box: &Box{Val: val}}
+}
+
+func (e *env) lookup(name dom.QName) *Box {
+	for f := e; f != nil; f = f.parent {
+		if f.name.Matches(name) {
+			return f.box
+		}
+	}
+	return nil
+}
+
+// --- dynamic context ------------------------------------------------------------
+
+// Context is the dynamic evaluation context. Copies are cheap; pointer
+// fields (environment chain, PUL, hooks) are shared intentionally.
+type Context struct {
+	Prog *Program
+
+	// Focus.
+	Item xdm.Item
+	Pos  int
+	Size int
+
+	// Ambient, when set, is installed as the context item inside user
+	// function bodies (which per XQuery 1.0 have an undefined focus).
+	// The browser host sets it to the page document so listeners can
+	// write //div[@id=...] directly — §4.2.3: "accessing any node in
+	// the document is easy and straightforward".
+	Ambient xdm.Item
+
+	// External interfaces.
+	Docs        DocResolver
+	Collections CollectionResolver
+	Hooks       Hooks
+	Now         time.Time
+
+	// PUL accumulates update primitives; nil forbids updating
+	// expressions. SnapshotApply, when non-nil, is called after every
+	// sequential statement to make side effects visible (scripting
+	// semantics); when nil the PUL just accumulates (pure XQuery +
+	// Update semantics: apply at end of query).
+	PUL           *update.PUL
+	SnapshotApply func(*update.PUL) error
+
+	// Profiler, when non-nil, collects per-expression statistics (§7
+	// future-work tooling); nil costs nothing.
+	Profiler *Profiler
+
+	env     *env
+	globals *env
+	depth   int
+}
+
+// NewContext builds a root context for the program.
+func NewContext(p *Program) *Context {
+	ctx := &Context{Prog: p, Now: time.Now(), PUL: &update.PUL{}}
+	ctx.env = nil
+	ctx.globals = nil
+	return ctx
+}
+
+// Bind adds a variable binding (used by the host to inject external
+// variables) and returns the box.
+func (ctx *Context) Bind(name dom.QName, val xdm.Sequence) *Box {
+	ctx.env = ctx.env.bind(name, val)
+	if ctx.globals == nil {
+		ctx.globals = ctx.env
+	}
+	return ctx.env.box
+}
+
+// Var returns the current value of a variable, if bound.
+func (ctx *Context) Var(name dom.QName) (xdm.Sequence, bool) {
+	if b := ctx.env.lookup(name); b != nil {
+		return b.Val, true
+	}
+	return nil, false
+}
+
+// InitGlobals evaluates the prolog's global variable declarations in
+// order and installs them in the context.
+func (ctx *Context) InitGlobals() error {
+	for i := range ctx.Prog.Module.Prolog.Vars {
+		v := &ctx.Prog.Module.Prolog.Vars[i]
+		if ctx.env.lookup(v.Name) != nil {
+			continue // externally bound (or duplicate) — keep existing
+		}
+		var val xdm.Sequence
+		if v.Init != nil {
+			var err error
+			val, err = ctx.Eval(v.Init)
+			if err != nil {
+				return fmt.Errorf("xquery: initialising $%s: %w", v.Name.Local, err)
+			}
+		} else if v.External {
+			return fmt.Errorf("xquery: external variable $%s was not bound", v.Name.Local)
+		}
+		if v.Type != nil {
+			cv, err := ConvertValue(val, *v.Type)
+			if err != nil {
+				return fmt.Errorf("xquery: variable $%s: %w", v.Name.Local, err)
+			}
+			val = cv
+		}
+		ctx.Bind(v.Name, val)
+	}
+	ctx.globals = ctx.env
+	return nil
+}
+
+// Run initialises globals and evaluates the module body. Pending
+// updates are left in ctx.PUL for the host to apply (unless
+// SnapshotApply consumed them along the way).
+func (ctx *Context) Run() (xdm.Sequence, error) {
+	if err := ctx.InitGlobals(); err != nil {
+		return nil, err
+	}
+	if ctx.Prog.Module.Body == nil {
+		return nil, nil
+	}
+	res, err := ctx.Eval(ctx.Prog.Module.Body)
+	if ex, ok := err.(*exitError); ok {
+		return ex.val, nil
+	}
+	return res, err
+}
+
+// CallFunction invokes a named function with the given arguments — the
+// plug-in host uses this to run event listeners (paper Figure 1: "Zorba
+// is called with the XQuery prolog followed by the listener call").
+func (ctx *Context) CallFunction(name dom.QName, args []xdm.Sequence) (xdm.Sequence, error) {
+	f := ctx.Prog.Reg.Lookup(name, len(args))
+	if f == nil {
+		return nil, fmt.Errorf("xquery: unknown function %s/%d", name, len(args))
+	}
+	res, err := f.Invoke(ctx, args)
+	if ex, ok := err.(*exitError); ok {
+		return ex.val, nil
+	}
+	return res, err
+}
+
+// withFocus returns a copy of the context with a new focus.
+func (ctx *Context) withFocus(item xdm.Item, pos, size int) *Context {
+	c := *ctx
+	c.Item = item
+	c.Pos = pos
+	c.Size = size
+	return &c
+}
+
+// withEnv returns a copy of the context with a new variable frame.
+func (ctx *Context) withBinding(name dom.QName, val xdm.Sequence) *Context {
+	c := *ctx
+	c.env = ctx.env.bind(name, val)
+	return &c
+}
+
+// exitError implements the scripting "exit with" non-local return.
+type exitError struct{ val xdm.Sequence }
+
+func (e *exitError) Error() string { return "xquery: exit outside of a function" }
+
+// ConvertValue applies the function conversion rules to a sequence for
+// the given expected type: atomization for atomic expected types,
+// untypedAtomic casting, numeric promotion, and a final instance check.
+func ConvertValue(s xdm.Sequence, st xdm.SeqType) (xdm.Sequence, error) {
+	if st.Empty {
+		if len(s) != 0 {
+			return nil, fmt.Errorf("expected empty-sequence(), got %d items", len(s))
+		}
+		return s, nil
+	}
+	if st.Item.Atomic != 0 {
+		out := make(xdm.Sequence, 0, len(s))
+		for _, it := range s {
+			a := xdm.Atomize(it)
+			a, err := promoteAtomic(a, st.Item.Atomic)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, a)
+		}
+		s = out
+	}
+	if !st.Matches(s) {
+		return nil, fmt.Errorf("value does not match required type %s", st)
+	}
+	return s, nil
+}
+
+func promoteAtomic(a xdm.Item, target xdm.Type) (xdm.Item, error) {
+	t := a.Type()
+	if t == target {
+		return a, nil
+	}
+	switch {
+	case t == xdm.TUntypedAtomic:
+		return xdm.Cast(a, target)
+	case t == xdm.TInteger && (target == xdm.TDecimal || target == xdm.TDouble):
+		return xdm.Cast(a, target)
+	case t == xdm.TDecimal && target == xdm.TDouble:
+		return xdm.Cast(a, target)
+	case t == xdm.TAnyURI && target == xdm.TString:
+		return xdm.String(a.String()), nil
+	}
+	return a, nil // leave as-is; the instance check decides
+}

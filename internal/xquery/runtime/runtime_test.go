@@ -1,0 +1,281 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/xdm"
+	"repro/internal/xquery/ast"
+	"repro/internal/xquery/parser"
+)
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	name := dom.QName{Space: "urn:t", Local: "f"}
+	r.Register(&Function{Name: name, MinArgs: 1, MaxArgs: 2})
+	if r.Lookup(name, 1) == nil || r.Lookup(name, 2) == nil {
+		t.Error("arity range lookup failed")
+	}
+	if r.Lookup(name, 0) != nil || r.Lookup(name, 3) != nil {
+		t.Error("out-of-range arity matched")
+	}
+	if r.Lookup(dom.QName{Space: "urn:x", Local: "f"}, 1) != nil {
+		t.Error("namespace must distinguish")
+	}
+	// Variadic.
+	vn := dom.QName{Space: "urn:t", Local: "v"}
+	r.Register(&Function{Name: vn, MinArgs: 2, MaxArgs: -1})
+	if r.Lookup(vn, 17) == nil {
+		t.Error("variadic lookup failed")
+	}
+	// Re-registration with identical arity replaces.
+	f2 := &Function{Name: name, MinArgs: 1, MaxArgs: 2}
+	r.Register(f2)
+	if r.Lookup(name, 1) != f2 {
+		t.Error("replacement failed")
+	}
+}
+
+func TestRegistryCloneIsolation(t *testing.T) {
+	r := NewRegistry()
+	n1 := dom.QName{Space: "u", Local: "a"}
+	r.Register(&Function{Name: n1, MinArgs: 0, MaxArgs: 0})
+	c := r.Clone()
+	n2 := dom.QName{Space: "u", Local: "b"}
+	c.Register(&Function{Name: n2, MinArgs: 0, MaxArgs: 0})
+	if r.Lookup(n2, 0) != nil {
+		t.Error("clone leaked into original")
+	}
+	if c.Lookup(n1, 0) == nil {
+		t.Error("clone lost original entries")
+	}
+}
+
+func mustSeqType(t *testing.T, src string) xdm.SeqType {
+	t.Helper()
+	e, err := parser.ParseExpr("$x instance of " + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.(ast.InstanceOf).Type
+}
+
+func TestConvertValue(t *testing.T) {
+	intPlus := mustSeqType(t, "xs:integer+")
+	dbl := mustSeqType(t, "xs:double")
+	str := mustSeqType(t, "xs:string")
+	anyNode := mustSeqType(t, "node()")
+
+	// Untyped content converts to the expected atomic type.
+	el := dom.NewElement(dom.Name("n"))
+	_ = el.AppendChild(dom.NewText("42"))
+	out, err := ConvertValue(xdm.Sequence{xdm.NewNode(el)}, intPlus)
+	if err != nil || out[0].Type() != xdm.TInteger {
+		t.Errorf("untyped→integer: %v %v", out, err)
+	}
+	// Numeric promotion integer→double.
+	out, err = ConvertValue(xdm.Sequence{xdm.Integer(3)}, dbl)
+	if err != nil || out[0].Type() != xdm.TDouble {
+		t.Errorf("integer→double: %v %v", out, err)
+	}
+	// anyURI→string promotion.
+	out, err = ConvertValue(xdm.Sequence{xdm.AnyURI("u")}, str)
+	if err != nil || out[0].Type() != xdm.TString {
+		t.Errorf("anyURI→string: %v %v", out, err)
+	}
+	// Type mismatch errors.
+	if _, err := ConvertValue(xdm.Sequence{xdm.String("x")}, dbl); err == nil {
+		t.Error("string→double without cast should fail")
+	}
+	// Cardinality errors.
+	if _, err := ConvertValue(nil, intPlus); err == nil {
+		t.Error("empty for + should fail")
+	}
+	// Node types pass through unatomized.
+	out, err = ConvertValue(xdm.Sequence{xdm.NewNode(el)}, anyNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := xdm.IsNode(out[0]); !ok {
+		t.Error("node argument atomized for node() type")
+	}
+	// empty-sequence().
+	est := xdm.SeqType{Empty: true}
+	if _, err := ConvertValue(xdm.Sequence{xdm.Integer(1)}, est); err == nil {
+		t.Error("non-empty for empty-sequence() should fail")
+	}
+}
+
+func compileModule(t *testing.T, src string) *Program {
+	t.Helper()
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(m, CompileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestContextBindAndVar(t *testing.T) {
+	p := compileModule(t, `$ext + 1`)
+	ctx := NewContext(p)
+	ctx.Bind(dom.Name("ext"), xdm.Sequence{xdm.Integer(41)})
+	res, err := ctx.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].String() != "42" {
+		t.Errorf("res = %v", res)
+	}
+	if v, ok := ctx.Var(dom.Name("ext")); !ok || v[0].String() != "41" {
+		t.Error("Var lookup failed")
+	}
+	if _, ok := ctx.Var(dom.Name("missing")); ok {
+		t.Error("missing var reported bound")
+	}
+}
+
+func TestExternalVariableRequired(t *testing.T) {
+	p := compileModule(t, `declare variable $x external; $x`)
+	ctx := NewContext(p)
+	if _, err := ctx.Run(); err == nil {
+		t.Error("unbound external variable must fail")
+	}
+	ctx2 := NewContext(p)
+	ctx2.Bind(dom.Name("x"), xdm.Sequence{xdm.String("ok")})
+	res, err := ctx2.Run()
+	if err != nil || res[0].String() != "ok" {
+		t.Errorf("bound external: %v %v", res, err)
+	}
+}
+
+func TestExternalFunctionRequiresImpl(t *testing.T) {
+	m, err := parser.ParseModule(`declare function local:ext() external; local:ext()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(m, CompileConfig{}); err == nil {
+		t.Error("external function without implementation must fail to compile")
+	}
+	// With an implementation pre-registered it compiles and runs.
+	reg := NewRegistry()
+	reg.Register(&Function{
+		Name:    dom.QName{Space: parser.LocalNamespace, Local: "ext"},
+		MinArgs: 0, MaxArgs: 0,
+		Invoke: func(ctx *Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			return xdm.Sequence{xdm.String("native")}, nil
+		},
+	})
+	p, err := Compile(m, CompileConfig{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewContext(p).Run()
+	if err != nil || res[0].String() != "native" {
+		t.Errorf("external call: %v %v", res, err)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	p := compileModule(t, `declare function local:loop() { local:loop() }; local:loop()`)
+	_, err := NewContext(p).Run()
+	if err == nil {
+		t.Fatal("infinite recursion must error, not crash")
+	}
+}
+
+func TestModuleResolverInvoked(t *testing.T) {
+	m, err := parser.ParseModule(`import module namespace x = "urn:x" at "hint"; 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	_, err = Compile(m, CompileConfig{
+		Resolver: func(imp ast.ModuleImport, reg *Registry) error {
+			called = true
+			if imp.URI != "urn:x" || imp.Hints[0] != "hint" {
+				t.Errorf("import = %+v", imp)
+			}
+			return nil
+		},
+	})
+	if err != nil || !called {
+		t.Errorf("resolver: called=%v err=%v", called, err)
+	}
+	// No resolver → import fails.
+	if _, err := Compile(m, CompileConfig{}); err == nil {
+		t.Error("import without resolver must fail")
+	}
+}
+
+func TestAmbientFocusInFunctions(t *testing.T) {
+	// Note: this package compiles without the fn: library, so the body
+	// uses a bare path rather than count().
+	p := compileModule(t, `declare function local:f() { //item }; local:f()`)
+	doc := dom.NewDocument()
+	root := dom.NewElement(dom.Name("r"))
+	_ = doc.AppendChild(root)
+	_ = root.AppendChild(dom.NewElement(dom.Name("item")))
+	_ = root.AppendChild(dom.NewElement(dom.Name("item")))
+
+	// Without ambient: functions have no focus.
+	ctx := NewContext(p)
+	ctx.Item = xdm.NewNode(doc)
+	ctx.Pos, ctx.Size = 1, 1
+	if _, err := ctx.Run(); err == nil {
+		t.Error("function body without ambient focus should fail on //item")
+	}
+	// With ambient: the browser-host behaviour.
+	ctx2 := NewContext(p)
+	ctx2.Item = xdm.NewNode(doc)
+	ctx2.Pos, ctx2.Size = 1, 1
+	ctx2.Ambient = ctx2.Item
+	res, err := ctx2.Run()
+	if err != nil || len(res) != 2 {
+		t.Errorf("ambient focus: %v %v", res, err)
+	}
+}
+
+func TestHooksRequired(t *testing.T) {
+	// Event/style expressions error without a browser host.
+	for _, src := range []string{
+		`on event "click" at <a/> attach listener local:f`,
+		`trigger event "click" at <a/>`,
+		`set style "c" of <a/> to "red"`,
+		`get style "c" of <a/>`,
+	} {
+		p := compileModule(t, `declare updating function local:f($a,$b){()}; `+src)
+		if _, err := NewContext(p).Run(); err == nil {
+			t.Errorf("%q must require hooks", src)
+		}
+	}
+}
+
+func TestUpdatingWithoutPUL(t *testing.T) {
+	p := compileModule(t, `delete node <a/>`)
+	ctx := NewContext(p)
+	ctx.PUL = nil
+	if _, err := ctx.Run(); err == nil {
+		t.Error("updating expression without a PUL must fail")
+	}
+}
+
+func TestCallFunctionByName(t *testing.T) {
+	p := compileModule(t, `declare function local:add($a, $b) { $a + $b }; ()`)
+	ctx := NewContext(p)
+	if err := ctx.InitGlobals(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctx.CallFunction(
+		dom.QName{Space: parser.LocalNamespace, Local: "add"},
+		[]xdm.Sequence{{xdm.Integer(20)}, {xdm.Integer(22)}})
+	if err != nil || res[0].String() != "42" {
+		t.Errorf("CallFunction: %v %v", res, err)
+	}
+	if _, err := ctx.CallFunction(dom.Name("nosuch"), nil); err == nil {
+		t.Error("unknown function must fail")
+	}
+}

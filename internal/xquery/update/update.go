@@ -1,0 +1,262 @@
+// Package update implements the XQuery Update Facility's pending update
+// lists. Updating expressions do not mutate nodes when they evaluate;
+// they accumulate update primitives which are checked for compatibility,
+// merged, and applied in the order the candidate recommendation
+// prescribes — "all modifications are performed once the expression is
+// entirely evaluated: there are no side effects until the end" (paper
+// §3.2). The Scripting Extension then makes snapshots smaller: the host
+// applies the list after every statement instead of once per query.
+package update
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+)
+
+// Kind identifies an update primitive.
+type Kind int
+
+// Update primitives, in declaration order (not application order).
+const (
+	InsertInto Kind = iota + 1
+	InsertIntoFirst
+	InsertIntoLast
+	InsertBefore
+	InsertAfter
+	InsertAttributes
+	Delete
+	ReplaceNode
+	ReplaceValue
+	Rename
+)
+
+// String names the primitive kind.
+func (k Kind) String() string {
+	return [...]string{"", "insertInto", "insertIntoFirst", "insertIntoLast",
+		"insertBefore", "insertAfter", "insertAttributes", "delete",
+		"replaceNode", "replaceValue", "rename"}[k]
+}
+
+// Primitive is one pending update.
+type Primitive struct {
+	Kind    Kind
+	Target  *dom.Node
+	Content []*dom.Node // inserted/replacement nodes (already copies)
+	Value   string      // ReplaceValue
+	Name    dom.QName   // Rename
+}
+
+// PUL is a pending update list.
+type PUL struct {
+	prims []Primitive
+}
+
+// Empty reports whether no updates are pending.
+func (p *PUL) Empty() bool { return len(p.prims) == 0 }
+
+// Len returns the number of pending primitives.
+func (p *PUL) Len() int { return len(p.prims) }
+
+// Primitives returns the pending primitives (callers must not mutate).
+func (p *PUL) Primitives() []Primitive { return p.prims }
+
+// Add appends a primitive, enforcing the Update Facility's
+// compatibility rules: at most one rename, one replaceNode and one
+// replaceValue per target node.
+func (p *PUL) Add(pr Primitive) error {
+	for _, q := range p.prims {
+		if q.Target != pr.Target {
+			continue
+		}
+		if pr.Kind == q.Kind &&
+			(pr.Kind == Rename || pr.Kind == ReplaceNode || pr.Kind == ReplaceValue) {
+			return fmt.Errorf("update: incompatible updates: two %s operations target the same node", pr.Kind)
+		}
+	}
+	p.prims = append(p.prims, pr)
+	return nil
+}
+
+// Merge appends all primitives of q, enforcing compatibility.
+func (p *PUL) Merge(q *PUL) error {
+	for _, pr := range q.prims {
+		if err := p.Add(pr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset drops all pending updates.
+func (p *PUL) Reset() { p.prims = p.prims[:0] }
+
+// TargetsWithin verifies every primitive targets a node whose root is
+// one of the given roots — the "transform" expression's requirement that
+// modify clauses only touch copied trees.
+func (p *PUL) TargetsWithin(roots []*dom.Node) error {
+	in := func(n *dom.Node) bool {
+		r := n.Root()
+		for _, x := range roots {
+			if r == x {
+				return true
+			}
+		}
+		return false
+	}
+	for _, pr := range p.prims {
+		if !in(pr.Target) {
+			return fmt.Errorf("update: %s targets a node outside the copied trees", pr.Kind)
+		}
+	}
+	return nil
+}
+
+// applyOrder is the Update Facility's application order.
+var applyOrder = [][]Kind{
+	{InsertInto, InsertAttributes, ReplaceValue, Rename},
+	{InsertBefore, InsertAfter, InsertIntoFirst, InsertIntoLast},
+	{ReplaceNode},
+	{Delete},
+}
+
+// Apply performs all pending updates against the live trees in the
+// prescribed order and clears the list. If onChange is non-nil it is
+// called once per applied primitive (the plug-in host uses this to count
+// DOM mutations and schedule re-rendering).
+func (p *PUL) Apply(onChange func(Primitive)) error {
+	for _, phase := range applyOrder {
+		for _, pr := range p.prims {
+			if !kindIn(pr.Kind, phase) {
+				continue
+			}
+			if err := applyOne(pr); err != nil {
+				return err
+			}
+			if onChange != nil {
+				onChange(pr)
+			}
+		}
+	}
+	p.Reset()
+	return nil
+}
+
+func kindIn(k Kind, ks []Kind) bool {
+	for _, x := range ks {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+func applyOne(pr Primitive) error {
+	t := pr.Target
+	switch pr.Kind {
+	case InsertInto, InsertIntoLast:
+		for _, c := range pr.Content {
+			if err := insertChildOrAttr(t, c, func(n *dom.Node) error { return t.AppendChild(n) }); err != nil {
+				return err
+			}
+		}
+	case InsertIntoFirst:
+		// Preserve content order while prepending.
+		for i := len(pr.Content) - 1; i >= 0; i-- {
+			c := pr.Content[i]
+			if err := insertChildOrAttr(t, c, func(n *dom.Node) error { return t.PrependChild(n) }); err != nil {
+				return err
+			}
+		}
+	case InsertBefore:
+		parent := t.Parent()
+		if parent == nil {
+			return fmt.Errorf("update: insert before a parentless node")
+		}
+		for _, c := range pr.Content {
+			if err := parent.InsertBefore(c, t); err != nil {
+				return err
+			}
+		}
+	case InsertAfter:
+		parent := t.Parent()
+		if parent == nil {
+			return fmt.Errorf("update: insert after a parentless node")
+		}
+		ref := t
+		for _, c := range pr.Content {
+			if err := parent.InsertAfter(c, ref); err != nil {
+				return err
+			}
+			ref = c
+		}
+	case InsertAttributes:
+		for _, a := range pr.Content {
+			if a.Type != dom.AttributeNode {
+				return fmt.Errorf("update: insertAttributes content must be attributes")
+			}
+			t.SetAttr(a.Name, a.Data)
+		}
+	case Delete:
+		t.Detach()
+	case ReplaceNode:
+		if t.Type == dom.AttributeNode {
+			owner := t.Parent()
+			if owner == nil {
+				return fmt.Errorf("update: replace a detached attribute")
+			}
+			t.Detach()
+			for _, c := range pr.Content {
+				if c.Type != dom.AttributeNode {
+					return fmt.Errorf("update: attribute can only be replaced by attributes")
+				}
+				owner.SetAttr(c.Name, c.Data)
+			}
+			return nil
+		}
+		parent := t.Parent()
+		if parent == nil {
+			return fmt.Errorf("update: replace a parentless node")
+		}
+		ref := t
+		for _, c := range pr.Content {
+			if err := parent.InsertAfter(c, ref); err != nil {
+				return err
+			}
+			ref = c
+		}
+		t.Detach()
+	case ReplaceValue:
+		switch t.Type {
+		case dom.ElementNode:
+			t.ReplaceElementContent(pr.Value)
+		case dom.DocumentNode:
+			return fmt.Errorf("update: cannot replace value of a document node")
+		default:
+			t.SetData(pr.Value)
+		}
+	case Rename:
+		switch t.Type {
+		case dom.ElementNode, dom.AttributeNode, dom.ProcessingInstructionNode:
+			t.Rename(pr.Name)
+		default:
+			return fmt.Errorf("update: cannot rename a %s node", t.Type)
+		}
+	default:
+		return fmt.Errorf("update: unknown primitive %d", pr.Kind)
+	}
+	return nil
+}
+
+// insertChildOrAttr routes attribute nodes in an insert-into content
+// list to the attribute list and everything else through insert.
+func insertChildOrAttr(target, c *dom.Node, insert func(*dom.Node) error) error {
+	if c.Type == dom.AttributeNode {
+		if target.Type != dom.ElementNode {
+			return fmt.Errorf("update: attributes can only be inserted into elements")
+		}
+		target.SetAttr(c.Name, c.Data)
+		return nil
+	}
+	return insert(c)
+}

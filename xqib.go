@@ -1,0 +1,153 @@
+// Package xqib is the public API of this reproduction of "XQuery in the
+// Browser" (WWW 2009): an XQuery 1.0 engine with the Update Facility,
+// Scripting Extension, full-text search and the paper's browser
+// extensions, plus a headless browser plug-in host (XQIB), a
+// JavaScript-style baseline, and REST/web-service substrates.
+//
+// Quick start — run the paper's Hello World page:
+//
+//	h, err := xqib.LoadPage(`<html><head><script type="text/xquery">
+//	    browser:alert("Hello, World!")
+//	</script></head><body/></html>`, "http://example.com/")
+//	fmt.Println(h.Alerts()) // [Hello, World!]
+//
+// Or evaluate XQuery directly:
+//
+//	e := xqib.NewEngine()
+//	seq, err := e.EvalQuery(`for $i in 1 to 3 return $i * $i`, nil)
+//
+// The deeper layers are exposed as aliases so applications can use the
+// engine (xqib.Engine), the DOM (xqib.Node), the browser object model
+// (xqib.Browser), the web-service substrate (rest subpackage types) and
+// the plug-in host (xqib.Host) without importing internal paths.
+package xqib
+
+import (
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/jsruntime"
+	"repro/internal/markup"
+	"repro/internal/rest"
+	"repro/internal/xdm"
+	"repro/internal/xmldb"
+	"repro/internal/xquery"
+)
+
+// Engine compiles and runs XQuery programs (the role Zorba plays in the
+// paper's plug-in).
+type Engine = xquery.Engine
+
+// Program is a compiled XQuery program.
+type Program = xquery.Program
+
+// RunConfig parameterises one evaluation.
+type RunConfig = xquery.RunConfig
+
+// NewEngine builds an engine with the full fn: library.
+var NewEngine = xquery.New
+
+// Engine options.
+var (
+	WithModuleResolver = xquery.WithModuleResolver
+	WithBrowserProfile = xquery.WithBrowserProfile
+	WithFunctions      = xquery.WithFunctions
+)
+
+// Module resolution: local in-memory library modules and resolver
+// composition (mix local libraries with remote web services).
+var (
+	NewLocalResolver = xquery.NewLocalResolver
+	CombineResolvers = xquery.CombineResolvers
+)
+
+// Node is a DOM node; Event is a DOM Level 3 event.
+type (
+	Node  = dom.Node
+	Event = dom.Event
+	QName = dom.QName
+)
+
+// Sequence and Item are the XDM value types.
+type (
+	Sequence = xdm.Sequence
+	Item     = xdm.Item
+)
+
+// NewNode wraps a DOM node as an XDM item.
+var NewNode = xdm.NewNode
+
+// Markup parsing and serialization.
+var (
+	ParseXML      = markup.Parse
+	ParseHTML     = markup.ParseHTML
+	Serialize     = markup.Serialize
+	SerializeHTML = markup.SerializeHTML
+)
+
+// Host is the XQIB plug-in host: a loaded page with executing XQuery
+// (and optionally JavaScript-style) scripts — the paper's contribution.
+type Host = core.Host
+
+// LoadPage boots the plug-in pipeline of Figure 1 on a page.
+var LoadPage = core.LoadPage
+
+// Host options.
+var (
+	WithJSSetup         = core.WithJSSetup
+	WithPageLoader      = core.WithPageLoader
+	WithPolicy          = core.WithPolicy
+	WithNavigator       = core.WithNavigator
+	WithExtraFunctions  = core.WithExtraFunctions
+	WithBrowserSetup    = core.WithBrowserSetup
+	WithHostResolver    = core.WithModuleResolver
+)
+
+// Browser is the headless browser object model (windows, locations,
+// history, security policy).
+type (
+	Browser       = browser.Browser
+	Window        = browser.Window
+	Location      = browser.Location
+	NavigatorInfo = browser.NavigatorInfo
+)
+
+// ParseLocation splits a URL into the JavaScript-style location fields.
+var ParseLocation = browser.ParseLocation
+
+// Security policies for cross-window access (paper §4.2.1).
+type (
+	SameOriginPolicy = browser.SameOriginPolicy
+	AllowAllPolicy   = browser.AllowAllPolicy
+)
+
+// JSDocument is the JavaScript-style DOM scripting baseline.
+type JSDocument = jsruntime.Document
+
+// NewJSDocument wraps a page for imperative scripting.
+var NewJSDocument = jsruntime.NewDocument
+
+// RESTClient issues REST calls with optional whole-document caching;
+// ModuleServer serves an XQuery module as a web service (paper §3.4).
+type (
+	RESTClient   = rest.Client
+	ModuleServer = rest.ModuleServer
+)
+
+// NewRESTClient and NewModuleServer construct the REST substrate.
+var (
+	NewRESTClient   = rest.NewClient
+	NewModuleServer = rest.NewModuleServer
+)
+
+// XMLStore is the REST-accessible XML database (the paper's XMLDB).
+type XMLStore = xmldb.Store
+
+// NewXMLStore creates an empty store.
+var NewXMLStore = xmldb.NewStore
+
+// FormatSequence renders a sequence for display: nodes as XML, atomics
+// by their lexical form, separated by spaces.
+func FormatSequence(s Sequence) string {
+	return xquery.FormatSequence(s, markup.Serialize)
+}
