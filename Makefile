@@ -1,0 +1,29 @@
+# Tier-1 gate: everything `make ci` runs must stay green.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race bench experiments
+
+ci: fmt-check vet build race
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run xxx .
+
+experiments:
+	$(GO) run ./cmd/experiments

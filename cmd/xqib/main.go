@@ -29,6 +29,8 @@ func main() {
 	href := flag.String("href", "http://localhost/page.html", "page URL (origin for the security policy)")
 	script := flag.String("do", "", "interaction script (see command doc)")
 	quiet := flag.Bool("quiet", false, "suppress the final DOM dump")
+	budget := flag.Int64("budget", 0, "max evaluation steps per query, 0 = unlimited")
+	timeout := flag.Duration("timeout", 0, "max wall-clock time per query, 0 = unlimited")
 	flag.Parse()
 
 	if *pageFile == "" {
@@ -38,7 +40,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	h, err := core.LoadPage(string(data), *href)
+	var opts []core.Option
+	if *budget > 0 || *timeout > 0 {
+		opts = append(opts, core.WithQueryBudget(*budget, *timeout))
+	}
+	h, err := core.LoadPage(string(data), *href, opts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -63,8 +63,8 @@ func TestApplyErrors(t *testing.T) {
 		"nonsense",
 		"click:missing",
 		"key:missing=x",
-		"key:t",          // no '='
-		"set:t=v",        // no '@'
+		"key:t",   // no '='
+		"set:t=v", // no '@'
 		"set:missing@a=v",
 		"frobnicate:t",
 	} {

@@ -278,4 +278,3 @@ func ExpectedWeatherTextDE(loc string) string {
 
 // Close releases the services.
 func (m *Mashup) Close() { m.Services.Close() }
-

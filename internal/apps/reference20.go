@@ -257,8 +257,8 @@ func (a *ServerSideApp) Replay(session []Interaction) (Metrics, error) {
 		if err != nil {
 			return m, err
 		}
-		m.ServerRequests++           // one page request per interaction
-		m.ServerQueries++            // one XQuery evaluation on the server
+		m.ServerRequests++ // one page request per interaction
+		m.ServerQueries++  // one XQuery evaluation on the server
 		m.ServerBytes += int64(len(html))
 	}
 	return m, nil

@@ -135,13 +135,13 @@ type ScreenInfo struct {
 
 // NavigatorInfo mirrors window.navigator.
 type NavigatorInfo struct {
-	AppName     string
-	AppVersion  string
-	UserAgent   string
-	Platform    string
-	Language    string
-	Vendor      string
-	CookiesOn   bool
+	AppName    string
+	AppVersion string
+	UserAgent  string
+	Platform   string
+	Language   string
+	Vendor     string
+	CookiesOn  bool
 }
 
 // PageLoader fetches and parses the page for a URL during navigation.
@@ -158,10 +158,10 @@ type Browser struct {
 	Now    func() time.Time
 
 	// UI capture: alerts raised, scripted prompt/confirm answers.
-	Alerts          []string
-	promptAnswers   []string
-	confirmAnswers  []bool
-	writeSink       []string
+	Alerts         []string
+	promptAnswers  []string
+	confirmAnswers []bool
+	writeSink      []string
 
 	// Pull-view bindings: materialized window-tree nodes back to their
 	// windows and properties.

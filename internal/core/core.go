@@ -92,6 +92,20 @@ func WithBrowserSetup(setup func(*browser.Browser)) Option {
 	return func(h *Host) { h.browserSetups = append(h.browserSetups, setup) }
 }
 
+// WithQueryBudget bounds every query evaluation on this page — the
+// inline scripts at load time and each event-listener invocation gets
+// a fresh budget of maxSteps evaluation steps (<= 0: unlimited) and
+// timeout wall-clock time (<= 0: unlimited). A query that exceeds its
+// budget fails with an error matching xquery.ErrBudgetExceeded and its
+// pending updates are discarded, so a runaway listener cannot freeze
+// the page or leave the DOM half-modified.
+func WithQueryBudget(maxSteps int64, timeout time.Duration) Option {
+	return func(h *Host) {
+		h.maxQuerySteps = maxSteps
+		h.queryTimeout = timeout
+	}
+}
+
 // Host is a loaded page with its executing plug-in.
 type Host struct {
 	Browser *browser.Browser
@@ -100,14 +114,16 @@ type Host struct {
 	Page    *dom.Node
 	Times   StageTimes
 
-	programs  []*pageProgram
-	jsSetups  []func(*dom.Node)
-	resolver  runtime.ModuleResolver
-	loader    browser.PageLoader
-	policy    browser.SecurityPolicy
+	programs      []*pageProgram
+	jsSetups      []func(*dom.Node)
+	resolver      runtime.ModuleResolver
+	loader        browser.PageLoader
+	policy        browser.SecurityPolicy
 	navigator     *browser.NavigatorInfo
 	extraFns      []func(*runtime.Registry)
 	browserSetups []func(*browser.Browser)
+	maxQuerySteps int64
+	queryTimeout  time.Duration
 
 	mu          sync.Mutex
 	queue       []func() error
@@ -282,6 +298,8 @@ func (h *Host) runConfig() xquery.RunConfig {
 		Hooks:        &hostHooks{h: h},
 		Sequential:   true,
 		OnUpdate:     h.onUpdate,
+		MaxSteps:     h.maxQuerySteps,
+		Timeout:      h.queryTimeout,
 	}
 }
 

@@ -157,6 +157,11 @@ func (hh *hostHooks) GetStyle(ctx *runtime.Context, prop string, targets xdm.Seq
 func (h *Host) invokeListener(ctx *runtime.Context, name dom.QName, args []xdm.Sequence) error {
 	c := *ctx
 	c.PUL = &update.PUL{}
+	// A fresh budget per invocation: listeners must not inherit the
+	// partially consumed budget of the page-load script (or of an
+	// earlier event), and a budget-tripped listener must not poison
+	// the ones that follow.
+	c.Budget = runtime.NewBudget(h.maxQuerySteps, h.queryTimeout)
 	_, err := h.finish(&c, func() (xdm.Sequence, error) {
 		return c.CallFunction(name, args)
 	})

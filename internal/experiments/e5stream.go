@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/markup"
+	"repro/internal/xdm"
+	"repro/internal/xquery"
+)
+
+// E5EarlyExit quantifies the streaming iterator runtime: queries whose
+// answer is decided by a prefix of the input ((//div)[1], fn:exists,
+// some-satisfies) against the eager materializing baseline
+// (RunConfig.DisableStreaming) over flat DOMs of 10k and 100k nodes.
+// BenchmarkE5_EarlyExit* at the repository root runs the same workloads
+// under testing.B.
+func E5EarlyExit() (Table, error) {
+	t := Table{
+		ID:     "E5b",
+		Title:  "Streaming early exit vs eager materialization",
+		Header: []string{"query", "nodes", "stream/op", "eager/op", "speedup", "stream allocs", "eager allocs"},
+		Notes: []string{
+			"allocs/op measured via runtime.MemStats deltas; the eager column materializes every candidate node",
+			"stream allocs stay O(1) in document size for exists/[1]; the eager side scales with it",
+		},
+	}
+	queries := []struct{ name, q string }{
+		{"(//div)[1]", `(//div)[1]`},
+		{"fn:exists(//div)", `fn:exists(//div)`},
+		{"some-satisfies", `some $d in //div satisfies $d/@id = "d3"`},
+	}
+	e := xquery.New()
+	for _, qc := range queries {
+		prog, err := e.Compile(qc.q)
+		if err != nil {
+			return t, err
+		}
+		for _, size := range []int{10_000, 100_000} {
+			var sb strings.Builder
+			sb.WriteString("<root>")
+			for i := 0; i < size; i++ {
+				fmt.Fprintf(&sb, `<div id="d%d">content %d</div>`, i, i)
+			}
+			sb.WriteString("</root>")
+			doc, err := markup.Parse(sb.String())
+			if err != nil {
+				return t, err
+			}
+			item := xdm.NewNode(doc)
+			run := func(noStream bool) func() error {
+				return func() error {
+					_, err := prog.Run(xquery.RunConfig{
+						ContextItem:      item,
+						DisableStreaming: noStream,
+					})
+					return err
+				}
+			}
+			stream, err := MeasureNsPerOp(run(false), 10, 50*time.Millisecond)
+			if err != nil {
+				return t, err
+			}
+			eager, err := MeasureNsPerOp(run(true), 10, 50*time.Millisecond)
+			if err != nil {
+				return t, err
+			}
+			sa, err := allocsPerOp(run(false))
+			if err != nil {
+				return t, err
+			}
+			ea, err := allocsPerOp(run(true))
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{
+				qc.name, fmt.Sprintf("%d", size),
+				ns(stream), ns(eager), fmt.Sprintf("%.0fx", eager/stream),
+				fmt.Sprintf("%d", sa), fmt.Sprintf("%d", ea),
+			})
+		}
+	}
+	return t, nil
+}
+
+// allocsPerOp estimates heap allocations per call from MemStats deltas.
+func allocsPerOp(f func() error) (int64, error) {
+	const iters = 10
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return int64(after.Mallocs-before.Mallocs) / iters, nil
+}

@@ -68,6 +68,7 @@ func All() []func() (Table, error) {
 		E3Mashup,
 		E4LinesOfCode,
 		E5Performance,
+		E5EarlyExit,
 		E6Async,
 		E7Security,
 		E8EventRegistration,

@@ -83,37 +83,37 @@ func TestContainsAnyAllWords(t *testing.T) {
 func TestStemKnownPairs(t *testing.T) {
 	// Classic Porter reference pairs.
 	tests := map[string]string{
-		"caresses":   "caress",
-		"ponies":     "poni",
-		"ties":       "ti",
-		"caress":     "caress",
-		"cats":       "cat",
-		"feed":       "feed",
-		"agreed":     "agre",
-		"plastered":  "plaster",
-		"bled":       "bled",
-		"motoring":   "motor",
-		"sing":       "sing",
-		"conflated":  "conflat",
-		"troubled":   "troubl",
-		"sized":      "size",
-		"hopping":    "hop",
-		"falling":    "fall",
-		"hissing":    "hiss",
-		"failing":    "fail",
-		"filing":     "file",
-		"happy":      "happi",
-		"sky":        "sky",
-		"relational": "relat",
-		"rational":   "ration",
+		"caresses":    "caress",
+		"ponies":      "poni",
+		"ties":        "ti",
+		"caress":      "caress",
+		"cats":        "cat",
+		"feed":        "feed",
+		"agreed":      "agre",
+		"plastered":   "plaster",
+		"bled":        "bled",
+		"motoring":    "motor",
+		"sing":        "sing",
+		"conflated":   "conflat",
+		"troubled":    "troubl",
+		"sized":       "size",
+		"hopping":     "hop",
+		"falling":     "fall",
+		"hissing":     "hiss",
+		"failing":     "fail",
+		"filing":      "file",
+		"happy":       "happi",
+		"sky":         "sky",
+		"relational":  "relat",
+		"rational":    "ration",
 		"callousness": "callous",
-		"formative":  "form",
-		"adoption":   "adopt",
-		"cease":      "ceas",
-		"controll":   "control",
-		"roll":       "roll",
-		"dogs":       "dog",
-		"running":    "run",
+		"formative":   "form",
+		"adoption":    "adopt",
+		"cease":       "ceas",
+		"controll":    "control",
+		"roll":        "roll",
+		"dogs":        "dog",
+		"running":     "run",
 	}
 	for in, want := range tests {
 		if got := Stem(in); got != want {

@@ -13,6 +13,14 @@ func FuzzParse(f *testing.F) {
 		`<a`,
 		`&bogus;`,
 		``,
+		`<r><d id="d0">x</d><d id="d1">y</d><d id="d2">z</d></r>`,
+		`<a><b><c><d><e><f>deep</f></e></d></c></b></a>`,
+		`<a x="&quot;&amp;&apos;" y=''/>`,
+		`<p:a xmlns:p="u"><p:a><p:a/></p:a></p:a>`,
+		`<a><?target data?><!--c--><![CDATA[]]></a>`,
+		`<a>]]></a>`,
+		`<a x="1" x="2"/>`,
+		`<a xmlns:p="u"/><b/>`,
 	} {
 		f.Add(s)
 	}
@@ -39,6 +47,10 @@ func FuzzParseHTML(f *testing.F) {
 		`<a><b></a>stray</b>`,
 		`text only`,
 		`<input type=button value=Buy>`,
+		`<table><tr><td>1<td>2<tr><td>3</table>`,
+		`<div id="log"/><div id=log2 class='c d'>&nbsp;</div>`,
+		`<!DOCTYPE html><html><head><title>t</head><body onload=go()>`,
+		`<ul><li>a<li>b</ul><select><option>x<option selected>y</select>`,
 	} {
 		f.Add(s)
 	}

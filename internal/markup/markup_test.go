@@ -104,15 +104,15 @@ func TestParsePrefixedEndTags(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	bad := []string{
-		``,                      // no root
-		`<a>`,                   // unclosed
-		`<a></b>`,               // mismatch
-		`<a><b attr></b></a>`,   // valueless attribute
-		`<a>&unknown;</a>`,      // unknown entity
-		`<a><![CDATA[x</a>`,     // unterminated CDATA
-		`<a/><b/>`,              // two roots... actually allowed? no: text/elements after root
-		`text<a/>`,              // text before root
-		`<a x="1 <b></b></a>`,   // unterminated attribute
+		``,                    // no root
+		`<a>`,                 // unclosed
+		`<a></b>`,             // mismatch
+		`<a><b attr></b></a>`, // valueless attribute
+		`<a>&unknown;</a>`,    // unknown entity
+		`<a><![CDATA[x</a>`,   // unterminated CDATA
+		`<a/><b/>`,            // two roots... actually allowed? no: text/elements after root
+		`text<a/>`,            // text before root
+		`<a x="1 <b></b></a>`, // unterminated attribute
 		`<a><!--never closed </a>`,
 	}
 	for _, src := range bad {

@@ -231,9 +231,9 @@ func TestGeneralCompare(t *testing.T) {
 		{"=", Sequence{Integer(1)}, Sequence{}, false},
 		{"!=", Sequence{Integer(1), Integer(2)}, Sequence{Integer(1)}, true}, // 2 != 1
 		{"<", Sequence{Integer(5)}, Sequence{Integer(3), Integer(9)}, true},
-		{"=", Sequence{UntypedAtomic("2")}, Sequence{Integer(2)}, true},    // untyped->double
-		{"=", Sequence{UntypedAtomic("a")}, Sequence{String("a")}, true},   // untyped->string
-		{">", Sequence{UntypedAtomic("10")}, Sequence{Integer(9)}, true},   // numeric not lexical
+		{"=", Sequence{UntypedAtomic("2")}, Sequence{Integer(2)}, true},  // untyped->double
+		{"=", Sequence{UntypedAtomic("a")}, Sequence{String("a")}, true}, // untyped->string
+		{">", Sequence{UntypedAtomic("10")}, Sequence{Integer(9)}, true}, // numeric not lexical
 		{"=", Sequence{Double(math.NaN())}, Sequence{Double(math.NaN())}, false},
 		{"!=", Sequence{Double(math.NaN())}, Sequence{Double(1)}, true},
 	}

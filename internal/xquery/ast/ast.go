@@ -447,13 +447,13 @@ type ModuleImport struct {
 
 // Prolog is the query prolog.
 type Prolog struct {
-	Namespaces   map[string]string // prefix -> URI declared by the query
+	Namespaces    map[string]string // prefix -> URI declared by the query
 	DefaultElemNS string
 	DefaultFnNS   string
-	Vars         []VarDecl
-	Functions    []FuncDecl
-	Imports      []ModuleImport
-	Options      map[string]string // lexical QName -> value
+	Vars          []VarDecl
+	Functions     []FuncDecl
+	Imports       []ModuleImport
+	Options       map[string]string // lexical QName -> value
 }
 
 // Module is a parsed main or library module.

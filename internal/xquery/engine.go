@@ -127,7 +127,21 @@ type RunConfig struct {
 	// Profiler, when non-nil, collects per-expression evaluation
 	// statistics (the §7 "performance profiler" tooling).
 	Profiler *runtime.Profiler
+	// MaxSteps bounds the evaluation steps (expression evaluations plus
+	// streamed items) of this run; <= 0 is unlimited. Exceeding it
+	// fails the run with an error matching ErrBudgetExceeded.
+	MaxSteps int64
+	// Timeout bounds the run's wall-clock time; <= 0 is unlimited.
+	Timeout time.Duration
+	// DisableStreaming forces eager materializing evaluation
+	// everywhere (the pre-iterator behaviour); used as a benchmark
+	// baseline and as an escape hatch.
+	DisableStreaming bool
 }
+
+// ErrBudgetExceeded matches (via errors.Is) the error returned when a
+// run exceeds its MaxSteps or Timeout budget.
+var ErrBudgetExceeded = runtime.ErrBudgetExceeded
 
 // Result is the outcome of an evaluation.
 type Result struct {
@@ -148,6 +162,8 @@ func (p *Program) NewContext(cfg RunConfig) *runtime.Context {
 		ctx.Ambient = cfg.ContextItem
 	}
 	ctx.Profiler = cfg.Profiler
+	ctx.Budget = runtime.NewBudget(cfg.MaxSteps, cfg.Timeout)
+	ctx.NoStream = cfg.DisableStreaming
 	ctx.Docs = cfg.Docs
 	ctx.Collections = cfg.Collections
 	ctx.Hooks = cfg.Hooks

@@ -228,10 +228,10 @@ func TestWhitespaceAndEntitiesInConstructors(t *testing.T) {
 		q    string
 		want string
 	}{
-		{`<a>  </a>`, `<a/>`},                    // boundary space stripped
-		{`<a> x </a>`, `<a> x </a>`},             // mixed content preserved
-		{`<a>{" "}</a>`, `<a> </a>`},             // computed whitespace kept
-		{`<a><![CDATA[  ]]></a>`, `<a>  </a>`},   // CDATA whitespace kept
+		{`<a>  </a>`, `<a/>`},                  // boundary space stripped
+		{`<a> x </a>`, `<a> x </a>`},           // mixed content preserved
+		{`<a>{" "}</a>`, `<a> </a>`},           // computed whitespace kept
+		{`<a><![CDATA[  ]]></a>`, `<a>  </a>`}, // CDATA whitespace kept
 		{`<a t="&amp;&lt;"/>`, `<a t="&amp;&lt;"/>`},
 		{`string(<a>&#xA9;</a>)`, "©"},
 	}

@@ -110,15 +110,15 @@ func TestUpdateEdgeCases(t *testing.T) {
 
 	// Error paths.
 	bad := []string{
-		`insert node <x/> into //book/title/text()`,     // target not element/doc
-		`insert node <x/> before /`,                     // no parent
+		`insert node <x/> into //book/title/text()`,      // target not element/doc
+		`insert node <x/> before /`,                      // no parent
 		`insert node attribute a {"v"} before //book[1]`, // attr before node
-		`replace node / with <x/>`,                      // replace doc/ no parent
-		`replace value of node / with "x"`,              // replace value of doc
-		`replace node //book[1]/@id with <el/>`,         // attr replaced by element
-		`rename node //book[1]/title/text() as "x"`,     // rename text
-		`delete node "atomic"`,                          // non-node delete
-		`insert node <x/> into (//book[1], //book[2])`,  // multi target
+		`replace node / with <x/>`,                       // replace doc/ no parent
+		`replace value of node / with "x"`,               // replace value of doc
+		`replace node //book[1]/@id with <el/>`,          // attr replaced by element
+		`rename node //book[1]/title/text() as "x"`,      // rename text
+		`delete node "atomic"`,                           // non-node delete
+		`insert node <x/> into (//book[1], //book[2])`,   // multi target
 	}
 	for _, q := range bad {
 		doc := libraryDoc(t)

@@ -515,16 +515,16 @@ func TestScriptingVisibleSideEffects(t *testing.T) {
 
 func TestErrorCases(t *testing.T) {
 	bad := []string{
-		`1 +`,                      // syntax
-		`foo(`,                     // syntax
-		`$undefined`,               // undefined variable
-		`unknown-function()`,       // unknown function
-		`"a" + 1`,                  // type error
-		`1 div 0`,                  // division by zero
-		`("a","b") eq "a"`,         // value comparison cardinality
-		`<a>{</a>`,                 // constructor syntax
-		`<a></b>`,                  // mismatched tags
-		`undefined:prefix()`,       // undeclared prefix
+		`1 +`,                // syntax
+		`foo(`,               // syntax
+		`$undefined`,         // undefined variable
+		`unknown-function()`, // unknown function
+		`"a" + 1`,            // type error
+		`1 div 0`,            // division by zero
+		`("a","b") eq "a"`,   // value comparison cardinality
+		`<a>{</a>`,           // constructor syntax
+		`<a></b>`,            // mismatched tags
+		`undefined:prefix()`, // undeclared prefix
 		`declare function local:f() { local:f() }; local:f()`, // infinite recursion
 		`"5" cast as xs:unknownType`,
 		`(1,2) treat as xs:integer`,

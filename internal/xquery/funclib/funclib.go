@@ -29,6 +29,8 @@ func Register(reg *runtime.Registry) {
 	registerDocs(reg)
 	registerContext(reg)
 	registerConstructors(reg)
+	// Last: attaches lazy Stream entry points to the functions above.
+	registerStreaming(reg)
 }
 
 // registerConstructors installs the xs: constructor functions

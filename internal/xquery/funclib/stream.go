@@ -1,0 +1,185 @@
+package funclib
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xdm"
+	"repro/internal/xquery/runtime"
+)
+
+// This file adds the lazy entry points of the function library:
+// fn:head/fn:tail (which only make sense lazily) and Stream
+// implementations for the built-ins whose answer is decided by a prefix
+// of their argument — fn:exists pulls one item, fn:zero-or-one pulls at
+// most two, fn:subsequence stops at the end of its window. Every
+// function keeps its eager Invoke; the evaluator falls back to it when
+// Context.NoStream is set.
+
+// registerStreaming installs fn:head/fn:tail and attaches Stream
+// implementations to already-registered sequence functions.
+func registerStreaming(reg *runtime.Registry) {
+	simple(reg, "head", 1, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		if len(args[0]) == 0 {
+			return nil, nil
+		}
+		return xdm.Singleton(args[0][0]), nil
+	})
+	simple(reg, "tail", 1, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+		if len(args[0]) <= 1 {
+			return nil, nil
+		}
+		return args[0][1:], nil
+	})
+
+	stream(reg, "exists", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+		_, ok, err := args[0].Next()
+		if err != nil {
+			return nil, err
+		}
+		return xdm.SingletonIter(xdm.Boolean(ok)), nil
+	})
+	stream(reg, "empty", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+		_, ok, err := args[0].Next()
+		if err != nil {
+			return nil, err
+		}
+		return xdm.SingletonIter(xdm.Boolean(!ok)), nil
+	})
+	stream(reg, "count", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+		// Counting drains the stream but never stores it.
+		var n int64
+		for {
+			_, ok, err := args[0].Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return xdm.SingletonIter(xdm.Integer(n)), nil
+			}
+			n++
+		}
+	})
+	stream(reg, "head", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+		first, ok, err := args[0].Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return xdm.EmptyIter(), nil
+		}
+		return xdm.SingletonIter(first), nil
+	})
+	stream(reg, "tail", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+		_, _, err := args[0].Next()
+		if err != nil {
+			return nil, err
+		}
+		return args[0], nil
+	})
+	stream(reg, "zero-or-one", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+		s, err := xdm.MaterializeAtMost(args[0], 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(s) > 1 {
+			return nil, fmt.Errorf("fn:zero-or-one: sequence has more than one item")
+		}
+		return xdm.FromSlice(s), nil
+	})
+	stream(reg, "one-or-more", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+		first, ok, err := args[0].Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("fn:one-or-more: empty sequence")
+		}
+		return xdm.ConcatIters(xdm.SingletonIter(first), args[0]), nil
+	})
+	stream(reg, "boolean", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+		b, err := xdm.EffectiveBooleanValueIter(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return xdm.SingletonIter(xdm.Boolean(b)), nil
+	})
+	stream(reg, "not", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+		b, err := xdm.EffectiveBooleanValueIter(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return xdm.SingletonIter(xdm.Boolean(!b)), nil
+	})
+	streamRange(reg, "subsequence", 2, 3, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+		startSeq, err := xdm.Materialize(args[1])
+		if err != nil {
+			return nil, err
+		}
+		start, err := numArg(startSeq)
+		if err != nil || start == nil {
+			return nil, err
+		}
+		from := math.Round(toF(start))
+		to := math.Inf(1)
+		if len(args) == 3 {
+			lenSeq, err := xdm.Materialize(args[2])
+			if err != nil {
+				return nil, err
+			}
+			l, err := numArg(lenSeq)
+			if err != nil || l == nil {
+				return nil, err
+			}
+			to = from + math.Round(toF(l))
+		}
+		in := args[0]
+		p := 0.0
+		done := false
+		return xdm.IterFunc(func() (xdm.Item, bool, error) {
+			for !done {
+				if p+1 >= to {
+					// The next position is past the window: stop
+					// without pulling the input any further.
+					break
+				}
+				item, ok, err := in.Next()
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					break
+				}
+				p++
+				if p >= from {
+					return item, true, nil
+				}
+			}
+			done = true
+			return nil, false, nil
+		}), nil
+	})
+}
+
+// stream attaches a Stream implementation to a registered fixed-arity
+// fn: function.
+func stream(reg *runtime.Registry, local string, arity int,
+	s func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error)) {
+	f := reg.Lookup(fnName(local), arity)
+	if f == nil {
+		panic("funclib: streaming " + local + " not registered")
+	}
+	f.Stream = s
+}
+
+// streamRange is stream for a variable-arity registration.
+func streamRange(reg *runtime.Registry, local string, min, max int,
+	s func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error)) {
+	for a := min; a <= max; a++ {
+		f := reg.Lookup(fnName(local), a)
+		if f == nil {
+			panic("funclib: streaming " + local + " not registered")
+		}
+		f.Stream = s
+	}
+}

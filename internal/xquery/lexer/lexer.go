@@ -18,13 +18,13 @@ type Kind int
 
 // Token kinds.
 const (
-	EOF Kind = iota
-	Name     // QName or NCName, possibly a *-wildcard form
-	Str      // string literal, Text holds the decoded value
-	Int      // integer literal
-	Dec      // decimal literal, Text holds the lexical form
-	Dbl      // double literal
-	Sym      // operator or punctuation, Text holds the symbol
+	EOF  Kind = iota
+	Name      // QName or NCName, possibly a *-wildcard form
+	Str       // string literal, Text holds the decoded value
+	Int       // integer literal
+	Dec       // decimal literal, Text holds the lexical form
+	Dbl       // double literal
+	Sym       // operator or punctuation, Text holds the symbol
 )
 
 // String names the kind.

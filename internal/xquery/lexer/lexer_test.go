@@ -180,10 +180,10 @@ func TestDotDisambiguation(t *testing.T) {
 
 func TestDecodeEntity(t *testing.T) {
 	tests := []struct {
-		in   string
-		out  string
-		n    int
-		ok   bool
+		in  string
+		out string
+		n   int
+		ok  bool
 	}{
 		{"&lt;x", "<", 4, true},
 		{"&amp;", "&", 5, true},

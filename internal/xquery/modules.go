@@ -108,4 +108,3 @@ func CombineResolvers(resolvers ...runtime.ModuleResolver) runtime.ModuleResolve
 		return lastErr
 	}
 }
-

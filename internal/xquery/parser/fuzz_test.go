@@ -38,3 +38,48 @@ func FuzzParseModule(f *testing.F) {
 		_, _ = ParseModule(src) // must not panic
 	})
 }
+
+// FuzzParsePathPredicates targets the grammar the streaming runtime
+// rewrites and analyses: positional predicates, quantifiers and nested
+// paths. The lazy evaluator inspects these AST shapes statically
+// (position-free predicate detection, positional bounds, the //x
+// rewrite), so the parser must produce well-formed trees — or errors —
+// for every contortion of them.
+func FuzzParsePathPredicates(f *testing.F) {
+	seeds := []string{
+		`(//div)[1]`,
+		`//div[1]`,
+		`//book[position() < 3]/title`,
+		`//book[position() = last()]`,
+		`//book[last() - 1]`,
+		`(//a//b//c)[2]`,
+		`//a[.//b[c/@id = "x"][2]]/d[1]`,
+		`(1 to 100)[. mod 7 = 0][position() >= 2][2]`,
+		`some $d in //div satisfies $d/@id = "d3"`,
+		`every $x in //a[1]/b[2] satisfies some $y in $x/c satisfies $y < 3`,
+		`fn:exists(//div[fn:empty(.//span)])`,
+		`fn:head(fn:subsequence(//p, 2, 3))`,
+		`/descendant-or-self::node()/child::div[1]`,
+		`//*[self::a or self::b][1]`,
+		`ancestor::*[1]/preceding-sibling::x[last()]`,
+		`$v/(a | b)[position() ne 1]/..`,
+		`(//a)[//b[//c[1]][1]][1]`,
+		`//a[1][2][3]`,
+		`//a[position()]`,
+		`//a[(1, 2)]`,
+		`(/)[1]`,
+		`//a[`,
+		`//[1]`,
+		`some $x in satisfies 1`,
+		`//a[position() < ]`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		_, _ = ParseModule(src) // must not panic
+	})
+}

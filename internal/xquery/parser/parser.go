@@ -29,7 +29,9 @@ type Error struct {
 	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("xquery: syntax error at line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	return fmt.Sprintf("xquery: syntax error at line %d: %s", e.Line, e.Msg)
+}
 
 // Parser holds the parsing state.
 type Parser struct {
@@ -109,7 +111,7 @@ func (p *Parser) next() lexer.Token {
 	return t
 }
 
-func (p *Parser) peek() lexer.Token    { return p.lx.Peek() }
+func (p *Parser) peek() lexer.Token        { return p.lx.Peek() }
 func (p *Parser) peekAt(k int) lexer.Token { return p.lx.PeekAt(k) }
 
 func (p *Parser) expectSym(s string) lexer.Token {

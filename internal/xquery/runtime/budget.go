@@ -1,0 +1,75 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBudgetExceeded is returned (wrapped) when a query exhausts its
+// per-query execution budget. Hosts match it with errors.Is.
+var ErrBudgetExceeded = errors.New("xquery: execution budget exceeded")
+
+// Budget bounds one query evaluation: a step ceiling (expression
+// evaluations plus items pulled through streaming iterators) and an
+// optional wall-clock deadline. It is safe for concurrent use — a
+// context may be shared with asynchronous behind-call goroutines.
+//
+// The browser host attaches a fresh Budget to every listener
+// invocation, so a runaway listener query fails with ErrBudgetExceeded
+// instead of freezing the page (the robustness knob the paper's "as
+// fast as the hardware allows" goal implies for untrusted pages).
+type Budget struct {
+	steps    atomic.Int64
+	maxSteps int64
+	deadline time.Time
+	tripped  atomic.Bool
+}
+
+// deadlineCheckMask throttles time.Now calls: the deadline is checked
+// once every 256 steps.
+const deadlineCheckMask = 0xff
+
+// NewBudget builds a budget. maxSteps <= 0 means unlimited steps;
+// timeout <= 0 means no deadline. Returns nil when both are unlimited,
+// so a nil *Budget is the zero-cost "no limits" configuration.
+func NewBudget(maxSteps int64, timeout time.Duration) *Budget {
+	if maxSteps <= 0 && timeout <= 0 {
+		return nil
+	}
+	b := &Budget{maxSteps: maxSteps}
+	if timeout > 0 {
+		b.deadline = time.Now().Add(timeout)
+	}
+	return b
+}
+
+// Step consumes one unit of budget and reports whether the budget is
+// exhausted. A nil budget never trips.
+func (b *Budget) Step() error {
+	if b == nil {
+		return nil
+	}
+	n := b.steps.Add(1)
+	if b.maxSteps > 0 && n > b.maxSteps {
+		b.tripped.Store(true)
+		return fmt.Errorf("%w: %d steps (limit %d)", ErrBudgetExceeded, n, b.maxSteps)
+	}
+	if !b.deadline.IsZero() && n&deadlineCheckMask == 0 && time.Now().After(b.deadline) {
+		b.tripped.Store(true)
+		return fmt.Errorf("%w: deadline passed after %d steps", ErrBudgetExceeded, n)
+	}
+	return nil
+}
+
+// Steps returns the number of steps consumed so far.
+func (b *Budget) Steps() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.steps.Load()
+}
+
+// Exceeded reports whether the budget has tripped.
+func (b *Budget) Exceeded() bool { return b != nil && b.tripped.Load() }

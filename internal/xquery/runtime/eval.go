@@ -13,6 +13,9 @@ import (
 
 // Eval evaluates an expression in this context.
 func (ctx *Context) Eval(e ast.Expr) (xdm.Sequence, error) {
+	if err := ctx.Budget.Step(); err != nil {
+		return nil, err
+	}
 	if ctx.Profiler != nil {
 		start := time.Now()
 		defer func() { ctx.Profiler.record(exprKind(e), time.Since(start)) }()
@@ -151,12 +154,18 @@ func (ctx *Context) Eval(e ast.Expr) (xdm.Sequence, error) {
 	}
 }
 
+// evalEBV computes the effective boolean value of an expression. The
+// streaming form pulls at most two items: `if (//div) then ...` over a
+// huge page inspects a single node.
 func (ctx *Context) evalEBV(e ast.Expr) (bool, error) {
-	s, err := ctx.Eval(e)
-	if err != nil {
-		return false, err
+	if ctx.NoStream {
+		s, err := ctx.Eval(e)
+		if err != nil {
+			return false, err
+		}
+		return xdm.EffectiveBooleanValue(s)
 	}
-	return xdm.EffectiveBooleanValue(s)
+	return xdm.EffectiveBooleanValueIter(ctx.EvalIter(e))
 }
 
 // evalAtomizedOne atomizes the value of e to zero-or-one atomic item.
@@ -184,6 +193,17 @@ func (ctx *Context) evalCall(x ast.FuncCall) (xdm.Sequence, error) {
 	f := ctx.Prog.Reg.Lookup(x.Name, len(x.Args))
 	if f == nil {
 		return nil, fmt.Errorf("xquery: unknown function %s/%d", x.Name, len(x.Args))
+	}
+	if f.Stream != nil && !ctx.NoStream {
+		iters := make([]xdm.Iter, len(x.Args))
+		for i, a := range x.Args {
+			iters[i] = ctx.EvalIter(a)
+		}
+		it, err := f.Stream(ctx, iters)
+		if err != nil {
+			return nil, err
+		}
+		return xdm.Materialize(it)
 	}
 	args := make([]xdm.Sequence, len(x.Args))
 	for i, a := range x.Args {
@@ -237,11 +257,11 @@ func (ctx *Context) evalFLWOR(f ast.FLWOR) (xdm.Sequence, error) {
 			return nil
 		}
 		cl := f.Clauses[i]
-		val, err := c.Eval(cl.In)
-		if err != nil {
-			return err
-		}
 		if !cl.For {
+			val, err := c.Eval(cl.In)
+			if err != nil {
+				return err
+			}
 			if cl.Type != nil {
 				if val, err = ConvertValue(val, *cl.Type); err != nil {
 					return fmt.Errorf("xquery: let $%s: %w", cl.Var.Local, err)
@@ -249,7 +269,32 @@ func (ctx *Context) evalFLWOR(f ast.FLWOR) (xdm.Sequence, error) {
 			}
 			return rec(c.withBinding(cl.Var, val), i+1)
 		}
-		for pos, item := range val {
+		// The binding sequence of a for clause streams: the return
+		// clause runs as items arrive, so a consumer that stops early
+		// (EBV, a positional filter on the FLWOR) stops the walk too.
+		// Sequential (scripting) mode keeps the eager snapshot: the
+		// body may apply updates between iterations, and the domain
+		// must be fixed before the first one.
+		var domain xdm.Iter
+		if c.SnapshotApply != nil {
+			val, err := c.Eval(cl.In)
+			if err != nil {
+				return err
+			}
+			domain = xdm.FromSlice(val)
+		} else {
+			domain = c.EvalIter(cl.In)
+		}
+		pos := 0
+		for {
+			item, ok, err := domain.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			pos++
 			one := xdm.Singleton(item)
 			if cl.Type != nil {
 				if one, err = ConvertValue(one, *cl.Type); err != nil {
@@ -258,13 +303,12 @@ func (ctx *Context) evalFLWOR(f ast.FLWOR) (xdm.Sequence, error) {
 			}
 			c2 := c.withBinding(cl.Var, one)
 			if !cl.PosVar.IsZero() {
-				c2 = c2.withBinding(cl.PosVar, xdm.Singleton(xdm.Integer(pos+1)))
+				c2 = c2.withBinding(cl.PosVar, xdm.Singleton(xdm.Integer(pos)))
 			}
 			if err := rec(c2, i+1); err != nil {
 				return err
 			}
 		}
-		return nil
 	}
 	if err := rec(ctx, 0); err != nil {
 		return nil, err
@@ -344,6 +388,9 @@ func compareOrderKeys(a, b xdm.Item, spec ast.OrderSpec) (int, error) {
 	return flip(c), nil
 }
 
+// evalQuantified evaluates some/every. Binding sequences stream, so
+// `some $d in //div satisfies ...` stops walking the page at the first
+// witness (and `every` at the first counterexample).
 func (ctx *Context) evalQuantified(q ast.Quantified) (xdm.Sequence, error) {
 	var rec func(c *Context, i int) (bool, error)
 	rec = func(c *Context, i int) (bool, error) {
@@ -351,11 +398,24 @@ func (ctx *Context) evalQuantified(q ast.Quantified) (xdm.Sequence, error) {
 			return c.evalEBV(q.Satisfies)
 		}
 		cl := q.Vars[i]
-		val, err := c.Eval(cl.In)
-		if err != nil {
-			return false, err
+		var domain xdm.Iter
+		if c.SnapshotApply != nil {
+			val, err := c.Eval(cl.In)
+			if err != nil {
+				return false, err
+			}
+			domain = xdm.FromSlice(val)
+		} else {
+			domain = c.EvalIter(cl.In)
 		}
-		for _, item := range val {
+		for {
+			item, more, err := domain.Next()
+			if err != nil {
+				return false, err
+			}
+			if !more {
+				return q.Every, nil
+			}
 			ok, err := rec(c.withBinding(cl.Var, xdm.Singleton(item)), i+1)
 			if err != nil {
 				return false, err
@@ -367,7 +427,6 @@ func (ctx *Context) evalQuantified(q ast.Quantified) (xdm.Sequence, error) {
 				return false, nil
 			}
 		}
-		return q.Every, nil
 	}
 	ok, err := rec(ctx, 0)
 	if err != nil {
@@ -510,15 +569,29 @@ func sortedNodeSequence(nodes []*dom.Node) xdm.Sequence {
 func (ctx *Context) evalCompare(x ast.Compare) (xdm.Sequence, error) {
 	switch x.Kind {
 	case ast.GeneralComp:
-		l, err := ctx.Eval(x.L)
-		if err != nil {
-			return nil, err
+		// General comparisons are existential: materialize the right
+		// side once, stream the left, and stop at the first pair that
+		// compares true.
+		if ctx.NoStream {
+			l, err := ctx.Eval(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ctx.Eval(x.R)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := xdm.GeneralCompare(x.Op, l, r)
+			if err != nil {
+				return nil, err
+			}
+			return xdm.Singleton(xdm.Boolean(ok)), nil
 		}
 		r, err := ctx.Eval(x.R)
 		if err != nil {
 			return nil, err
 		}
-		ok, err := xdm.GeneralCompare(x.Op, l, r)
+		ok, err := xdm.GeneralCompareStream(x.Op, ctx.EvalIter(x.L), r)
 		if err != nil {
 			return nil, err
 		}

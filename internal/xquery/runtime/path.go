@@ -12,7 +12,19 @@ import (
 // previous step's result through an axis or filter expression; node
 // results are deduplicated and returned in document order, atomic
 // results are only allowed from the final step.
+//
+// The default route is the streaming pipeline in iter.go (materialized
+// at the end); steps that cannot stream fall back to the eager per-step
+// machinery below, which is also the whole story under NoStream.
 func (ctx *Context) evalPath(p ast.Path) (xdm.Sequence, error) {
+	if !ctx.NoStream {
+		it, _ := ctx.pathIter(p)
+		return xdm.Materialize(it)
+	}
+	return ctx.evalPathEager(p)
+}
+
+func (ctx *Context) evalPathEager(p ast.Path) (xdm.Sequence, error) {
 	var current xdm.Sequence
 	if p.Absolute {
 		n, ok := xdm.IsNode(ctx.Item)
@@ -102,18 +114,14 @@ func (ctx *Context) evalStep(step ast.Step, item xdm.Item, pos, size int) (xdm.S
 	if !ok {
 		return nil, fmt.Errorf("xquery: axis step applied to an atomic value")
 	}
-	nodes := axisNodes(n, step.Axis)
-	var kept xdm.Sequence
-	for _, cand := range nodes {
-		if matchNodeTest(cand, step.Test, step.Axis) {
-			kept = append(kept, xdm.NewNode(cand))
-		}
-	}
-	// axisNodes yields nodes in axis order — proximity order for
-	// reverse axes — so predicate positions are simply 1..n here (the
-	// XPath "reverse axes count backwards" rule is already encoded in
-	// the iteration order). Document order is restored by finishStep.
-	return ctx.applyPredicates(kept, step.Preds, false)
+	// stepCandidates walks the axis lazily — in axis order, which is
+	// proximity order for reverse axes, so predicate positions are
+	// simply 1..n (the XPath "reverse axes count backwards" rule is
+	// encoded in the iteration order) and positional predicates stop
+	// the walk at their bound; predicates that mention last() are
+	// materialized inside their stage. Document order is restored by
+	// finishStep.
+	return xdm.Materialize(ctx.stepCandidates(n, step))
 }
 
 // applyPredicates filters a sequence through predicates.

@@ -19,10 +19,15 @@ type Profiler struct {
 	entries map[string]*ProfileEntry
 }
 
-// ProfileEntry accumulates one expression kind's statistics.
+// ProfileEntry accumulates one expression kind's statistics. Items
+// counts items pulled through the kind's streaming iterators: when a
+// query early-exits, Items stays far below the size of the sequences
+// it ranged over, which is how a profile proves lazy evaluation paid
+// off.
 type ProfileEntry struct {
 	Kind  string
 	Count int64
+	Items int64
 	Time  time.Duration
 }
 
@@ -41,6 +46,28 @@ func (p *Profiler) record(kind string, d time.Duration) {
 	e.Count++
 	e.Time += d
 	p.mu.Unlock()
+}
+
+// recordItems adds to the items-pulled counter of an expression kind.
+func (p *Profiler) recordItems(kind string, n int64) {
+	p.mu.Lock()
+	e := p.entries[kind]
+	if e == nil {
+		e = &ProfileEntry{Kind: kind}
+		p.entries[kind] = e
+	}
+	e.Items += n
+	p.mu.Unlock()
+}
+
+// Items returns the items pulled for one expression kind.
+func (p *Profiler) ItemsFor(kind string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e := p.entries[kind]; e != nil {
+		return e.Items
+	}
+	return 0
 }
 
 // Entries returns the collected statistics sorted by total time,
@@ -70,9 +97,9 @@ func (p *Profiler) Total() int64 {
 // Format renders a report (cmd/xq -profile).
 func (p *Profiler) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-20s %10s %14s\n", "expression", "count", "time")
+	fmt.Fprintf(&b, "%-20s %10s %10s %14s\n", "expression", "count", "items", "time")
 	for _, e := range p.Entries() {
-		fmt.Fprintf(&b, "%-20s %10d %14s\n", e.Kind, e.Count, e.Time)
+		fmt.Fprintf(&b, "%-20s %10d %10d %14s\n", e.Kind, e.Count, e.Items, e.Time)
 	}
 	return b.String()
 }

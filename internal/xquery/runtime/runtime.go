@@ -59,6 +59,12 @@ type Function struct {
 	Updating   bool
 	Sequential bool
 	Invoke     func(ctx *Context, args []xdm.Sequence) (xdm.Sequence, error)
+	// Stream, when non-nil, is the lazy entry point: arguments arrive
+	// as unevaluated iterators, so a function that only needs a prefix
+	// (fn:exists, fn:head, fn:zero-or-one) decides without forcing the
+	// rest. A function with a Stream must still provide Invoke, which
+	// the evaluator uses when Context.NoStream is set.
+	Stream func(ctx *Context, args []xdm.Iter) (xdm.Iter, error)
 }
 
 // Registry maps function names to implementations.
@@ -282,6 +288,17 @@ type Context struct {
 	// Profiler, when non-nil, collects per-expression statistics (§7
 	// future-work tooling); nil costs nothing.
 	Profiler *Profiler
+
+	// Budget, when non-nil, bounds this query's evaluation (steps and
+	// wall clock). It is shared by design across context copies and
+	// behind-call goroutines: one budget per query invocation.
+	Budget *Budget
+
+	// NoStream forces the materializing evaluator everywhere: EvalIter
+	// degrades to a deferred Eval and streaming built-ins use their
+	// eager Invoke. Used as the baseline in benchmarks and as an
+	// escape hatch.
+	NoStream bool
 
 	env     *env
 	globals *env

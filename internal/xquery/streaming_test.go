@@ -1,0 +1,272 @@
+package xquery
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/markup"
+	"repro/internal/xdm"
+	"repro/internal/xquery/runtime"
+)
+
+// evalLazy runs a query through the default (streaming) evaluator with
+// pure XQuery Update semantics (no per-statement snapshots), which is
+// the mode where laziness is observable.
+func evalLazy(t *testing.T, src string, doc string) (string, error) {
+	t.Helper()
+	e := New()
+	p, err := e.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	cfg := RunConfig{}
+	if doc != "" {
+		d, err := markup.Parse(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.ContextItem = xdm.NewNode(d)
+	}
+	res, err := p.Run(cfg)
+	if err != nil {
+		return "", err
+	}
+	return FormatSequence(res.Value, markup.Serialize), nil
+}
+
+func mustLazy(t *testing.T, src, doc string) string {
+	t.Helper()
+	out, err := evalLazy(t, src, doc)
+	if err != nil {
+		t.Fatalf("query %q: %v", src, err)
+	}
+	return out
+}
+
+// TestLazyErrorBeyondEarlyExit: once the answer of an early-exiting
+// consumer is decided, errors lurking in the unpulled remainder of the
+// sequence must not surface.
+func TestLazyErrorBeyondEarlyExit(t *testing.T) {
+	cases := []struct{ query, want string }{
+		{`(1, fn:error())[1]`, "1"},
+		{`fn:exists((1, fn:error()))`, "true"},
+		{`fn:empty(("x", fn:error()))`, "false"},
+		{`fn:head((42, fn:error()))`, "42"},
+		{`fn:zero-or-one((42))`, "42"},
+		{`fn:subsequence((1, 2, fn:error()), 1, 2)`, "1 2"},
+		{`some $x in (1, 2, fn:error()) satisfies $x = 2`, "true"},
+		{`every $x in (1, fn:error()) satisfies $x > 10`, "false"},
+		{`(1, fn:error()) = 1`, "true"},
+		// EBV short-circuits only on a node-first sequence; with an
+		// atomic first item, pulling a second is spec-required (to
+		// raise the two-atomics type error), so no laziness there.
+		{`if ((<x/>, fn:error())) then "t" else "f"`, "t"},
+		{`(1 to 9000000)[3]`, "3"},
+		{`fn:boolean((<x/>, fn:error()))`, "true"},
+	}
+	for _, c := range cases {
+		if got := mustLazy(t, c.query, ""); got != c.want {
+			t.Errorf("%s = %q, want %q", c.query, got, c.want)
+		}
+	}
+}
+
+// TestLazyErrorBeforeEarlyExit: errors inside the pulled prefix still
+// surface.
+func TestLazyErrorBeforeEarlyExit(t *testing.T) {
+	for _, q := range []string{
+		`fn:exists((fn:error(), 1))`,
+		`(fn:error(), 1)[1]`,
+		`some $x in (fn:error(), 1) satisfies $x = 1`,
+	} {
+		if _, err := evalLazy(t, q, ""); err == nil {
+			t.Errorf("%s: expected an error", q)
+		}
+	}
+}
+
+// TestStreamingPositionLast: position() and last() semantics are
+// unchanged under the streaming evaluator, including the cases that
+// force materialization (last()) and the //x[1] per-parent rule.
+func TestStreamingPositionLast(t *testing.T) {
+	cases := []struct{ query, want string }{
+		{`(//book)[1]/@id/string()`, "b1"},
+		{`(//book)[last()]/@id/string()`, "b3"},
+		{`(//book)[position() < 3]/@id/string()`, "b1 b2"},
+		{`(//book)[position() = last()]/@id/string()`, "b3"},
+		// //author[1] is "authors that are the first author child of
+		// their parent", not the first author in the document.
+		{`//author[1]/string()`, "Knuth Gamma O'Sullivan"},
+		{`(//author)[1]/string()`, "Knuth"},
+		{`//book[last()]/@id/string()`, "b3"},
+		{`//book[2]/author[2]/string()`, "Helm"},
+		// Predicate stages re-count positions stage by stage.
+		{`string((10, 20, 30, 40, 50)[position() >= 2][2])`, "30"},
+		// Reverse axes count positions in proximity order.
+		{`(//author)[last()]/ancestor::*[1]/local-name()`, "book"},
+		{`count(//book[position() > 1])`, "2"},
+		// Streamed descendant rewrite keeps boolean predicates.
+		{`//book[author = "Knuth"]/@id/string()`, "b1"},
+		{`count(//*)`, "14"},
+	}
+	for _, c := range cases {
+		if got := mustLazy(t, c.query, libraryXML); got != c.want {
+			t.Errorf("%s = %q, want %q", c.query, got, c.want)
+		}
+	}
+}
+
+// TestStreamingMatchesEagerBaseline runs a mixed query battery in both
+// modes and requires identical results — the streaming pipeline is an
+// optimization, never a semantics change.
+func TestStreamingMatchesEagerBaseline(t *testing.T) {
+	queries := []string{
+		`for $b in //book order by number($b/price) return $b/@id/string()`,
+		`//book[price > 50]/title/string()`,
+		`count(//book/author)`,
+		`(//book/title)[2]/string()`,
+		`string-join(for $a in //author return $a/string(), "|")`,
+		`//book/@year/string()`,
+		`(//book, //book)[3]/@id/string()`,
+		`//book[not(author = "Knuth")][1]/@id/string()`,
+		`sum(for $i in 1 to 100 return $i)`,
+	}
+	e := New()
+	d, err := markup.Parse(libraryXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		p, err := e.Compile(q)
+		if err != nil {
+			t.Fatalf("compile %q: %v", q, err)
+		}
+		run := func(noStream bool) string {
+			res, err := p.Run(RunConfig{
+				ContextItem:      xdm.NewNode(d),
+				DisableStreaming: noStream,
+			})
+			if err != nil {
+				t.Fatalf("%q (noStream=%v): %v", q, noStream, err)
+			}
+			return FormatSequence(res.Value, markup.Serialize)
+		}
+		if lazy, eager := run(false), run(true); lazy != eager {
+			t.Errorf("%s: streaming %q != eager %q", q, lazy, eager)
+		}
+	}
+}
+
+// TestUpdateSnapshotSemanticsUnderStreaming: the pending update list
+// still applies only at the end of a (non-sequential) run — the query
+// itself observes the pre-update snapshot.
+func TestUpdateSnapshotSemanticsUnderStreaming(t *testing.T) {
+	e := New()
+	p, err := e.Compile(`(insert node <new/> into /library, count(//new))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := markup.Parse(`<library><book/></library>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(RunConfig{ContextItem: xdm.NewNode(d)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatSequence(res.Value, markup.Serialize); got != "0" {
+		t.Errorf("count(//new) during the run = %q, want 0 (snapshot)", got)
+	}
+	if res.Updates != 1 {
+		t.Errorf("applied updates = %d, want 1", res.Updates)
+	}
+	if !strings.Contains(markup.Serialize(d), "<new") {
+		t.Errorf("insert was not applied at end of run: %s", markup.Serialize(d))
+	}
+}
+
+// TestProfilerProvesEarlyExit: the items-pulled counter shows that
+// fn:exists stopped after one item even though the path ranges over
+// the whole document.
+func TestProfilerProvesEarlyExit(t *testing.T) {
+	e := New()
+	p, err := e.Compile(`fn:exists(//book)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := markup.Parse(libraryXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := runtime.NewProfiler()
+	if _, err := p.Run(RunConfig{ContextItem: xdm.NewNode(d), Profiler: prof}); err != nil {
+		t.Fatal(err)
+	}
+	if n := prof.ItemsFor("Path"); n < 1 || n > 2 {
+		t.Errorf("items pulled through Path = %d, want 1 (early exit); profile:\n%s", n, prof.Format())
+	}
+	if !strings.Contains(prof.Format(), "items") {
+		t.Errorf("profile format lacks items column:\n%s", prof.Format())
+	}
+}
+
+// TestQueryBudgetSteps: a run exceeding MaxSteps fails with
+// ErrBudgetExceeded.
+func TestQueryBudgetSteps(t *testing.T) {
+	e := New()
+	p, err := e.Compile(`count((1 to 1000000)[. mod 7 = 0])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(RunConfig{MaxSteps: 1000}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("err = %v, want ErrBudgetExceeded", err)
+	}
+	// The same query inside the budget succeeds.
+	if _, err := p.Run(RunConfig{MaxSteps: 100_000_000}); err != nil {
+		t.Errorf("within budget: %v", err)
+	}
+	// No budget configured: unlimited.
+	if _, err := p.Run(RunConfig{}); err != nil {
+		t.Errorf("no budget: %v", err)
+	}
+}
+
+// TestQueryBudgetTimeout: a run exceeding its wall-clock budget fails
+// with ErrBudgetExceeded.
+func TestQueryBudgetTimeout(t *testing.T) {
+	e := New()
+	p, err := e.Compile(`count((1 to 9000000)[. mod 3 = 0])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(RunConfig{Timeout: 2 * time.Millisecond}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestBudgetCoversPureTreeWalks: budget steps are consumed by the
+// streaming tree walk itself, not only by expression evaluations, so a
+// query that walks a large document inside a single path expression
+// still trips.
+func TestBudgetCoversPureTreeWalks(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<root>")
+	for i := 0; i < 5000; i++ {
+		b.WriteString("<item/>")
+	}
+	b.WriteString("</root>")
+	d, err := markup.Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New()
+	p, err := e.Compile(`count(//item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(RunConfig{ContextItem: xdm.NewNode(d), MaxSteps: 100}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("err = %v, want ErrBudgetExceeded", err)
+	}
+}

@@ -94,13 +94,14 @@ var LoadPage = core.LoadPage
 
 // Host options.
 var (
-	WithJSSetup         = core.WithJSSetup
-	WithPageLoader      = core.WithPageLoader
-	WithPolicy          = core.WithPolicy
-	WithNavigator       = core.WithNavigator
-	WithExtraFunctions  = core.WithExtraFunctions
-	WithBrowserSetup    = core.WithBrowserSetup
-	WithHostResolver    = core.WithModuleResolver
+	WithJSSetup        = core.WithJSSetup
+	WithPageLoader     = core.WithPageLoader
+	WithPolicy         = core.WithPolicy
+	WithNavigator      = core.WithNavigator
+	WithExtraFunctions = core.WithExtraFunctions
+	WithBrowserSetup   = core.WithBrowserSetup
+	WithHostResolver   = core.WithModuleResolver
+	WithQueryBudget    = core.WithQueryBudget
 )
 
 // Browser is the headless browser object model (windows, locations,
