@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench experiments
+.PHONY: ci fmt-check vet build test race bench bench-smoke experiments
 
-ci: fmt-check vet build race
+ci: fmt-check vet build race bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -22,8 +22,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full serving-layer benchmark: asserts the program cache wins >=5x over
+# compile-per-request and writes the BENCH_serve.json snapshot.
 bench:
-	$(GO) test -bench . -benchmem -run xxx .
+	$(GO) test -bench . -benchmem -run xxx . ./internal/serve
+	$(GO) run ./cmd/benchserve -check -out BENCH_serve.json
+
+# One iteration per scenario: a cheap CI gate that the serving scenarios
+# run and the cache/metrics accounting stays exact.
+bench-smoke:
+	$(GO) run ./cmd/benchserve -smoke -out BENCH_serve.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,0 +1,195 @@
+// Command benchserve measures the concurrent serving layer and writes
+// a machine-readable snapshot (BENCH_serve.json by default):
+//
+//	benchserve -out BENCH_serve.json          # full timed run
+//	benchserve -check                         # also assert the cache wins ≥5×
+//	benchserve -smoke                         # 1 iteration per scenario, no timing
+//
+// Scenarios:
+//
+//	query_compile_per_request  compile+eval every request (no cache)
+//	query_cached               shared engine + program cache (Pool.Eval)
+//	page_load_direct           core.LoadPage per session (no cache)
+//	page_load_pooled           session pool with shared parse cache
+//
+// -check verifies the serving-layer acceptance bar: cached repeated
+// queries at least 5× faster than compile-per-request, and the metrics
+// snapshot's program-hit count exactly matching the cached iterations.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/xquery"
+)
+
+// benchQuery has a deliberately heavy prolog (the compile-side work a
+// cache amortises) and a cheap body (the per-request work that
+// remains).
+func benchQuery() string {
+	var b strings.Builder
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, "declare function local:f%d($x) { $x + %d };\n", i, i)
+	}
+	b.WriteString("for $i in 1 to 5 return local:f0($i)")
+	return b.String()
+}
+
+const benchPage = `<html><head><script type="text/xquery">
+declare updating function local:hit($evt, $obj) {
+  replace value of node //span[@id="n"]
+  with xs:integer(string(//span[@id="n"])) + 1
+};
+on event "click" at //input[@id="b"] attach listener local:hit
+</script></head><body><input id="b"/><span id="n">0</span></body></html>`
+
+type result struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+type snapshot struct {
+	Timestamp    string            `json:"timestamp"`
+	GoVersion    string            `json:"go_version"`
+	Smoke        bool              `json:"smoke"`
+	Scenarios    []result          `json:"scenarios"`
+	QuerySpeedup float64           `json:"query_speedup"`
+	QueryMetrics serve.Metrics     `json:"query_metrics"`
+	CachedEvals  int64             `json:"cached_evals"`
+	CacheStats   xquery.CacheStats `json:"cache_stats"`
+	SessionLoads int64             `json:"session_loads"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_serve.json", "snapshot output file")
+	smoke := flag.Bool("smoke", false, "run each scenario once (CI regression gate)")
+	check := flag.Bool("check", false, "assert cached evals are >=5x faster with matching hit counts")
+	flag.Parse()
+
+	ctx := context.Background()
+	src := benchQuery()
+
+	// Dedicated pools per scenario family so the hit-count check is
+	// exact.
+	qpool := serve.NewPool(serve.Config{MaxSessions: 16})
+	ppool := serve.NewPool(serve.Config{MaxSessions: 16})
+	uncachedEngine := xquery.New()
+
+	var cachedEvals int64
+	var sessionLoads int64
+	scenarios := []struct {
+		name string
+		op   func() error
+	}{
+		{"query_compile_per_request", func() error {
+			_, err := uncachedEngine.EvalQuery(src, nil)
+			return err
+		}},
+		{"query_cached", func() error {
+			cachedEvals++
+			_, err := qpool.Eval(ctx, src, nil)
+			return err
+		}},
+		{"page_load_direct", func() error {
+			_, err := core.LoadPage(benchPage, "http://bench.example.com/")
+			return err
+		}},
+		{"page_load_pooled", func() error {
+			sessionLoads++
+			s, err := ppool.Load(ctx, benchPage, "http://bench.example.com/")
+			if err != nil {
+				return err
+			}
+			s.Close()
+			return nil
+		}},
+	}
+
+	snap := snapshot{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Smoke:     *smoke,
+	}
+	perOp := map[string]int64{}
+	for _, sc := range scenarios {
+		var r result
+		if *smoke {
+			if err := sc.op(); err != nil {
+				fatal(fmt.Errorf("%s: %w", sc.name, err))
+			}
+			r = result{Name: sc.name, Iterations: 1}
+		} else {
+			br := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := sc.op(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			r = result{
+				Name:        sc.name,
+				Iterations:  br.N,
+				NsPerOp:     br.NsPerOp(),
+				AllocsPerOp: br.AllocsPerOp(),
+			}
+			perOp[sc.name] = br.NsPerOp()
+		}
+		snap.Scenarios = append(snap.Scenarios, r)
+	}
+
+	if !*smoke && perOp["query_cached"] > 0 {
+		snap.QuerySpeedup = float64(perOp["query_compile_per_request"]) /
+			float64(perOp["query_cached"])
+	}
+	snap.QueryMetrics = qpool.Metrics()
+	snap.CacheStats = qpool.Cache().Stats()
+	snap.CachedEvals = cachedEvals
+	snap.SessionLoads = sessionLoads
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchserve: wrote %s (%d scenarios", *out, len(snap.Scenarios))
+	if !*smoke {
+		fmt.Printf(", query speedup %.1fx", snap.QuerySpeedup)
+	}
+	fmt.Println(")")
+
+	// The cache must account for every cached eval: 1 compile, rest
+	// hits. This holds in smoke mode too, so CI catches accounting
+	// regressions cheaply.
+	st := snap.CacheStats
+	if st.Compiles != 1 || st.ProgramHits != cachedEvals-1 {
+		fatal(fmt.Errorf("cache accounting mismatch: %d evals but %d compiles + %d hits",
+			cachedEvals, st.Compiles, st.ProgramHits))
+	}
+	if qm := snap.QueryMetrics.Queries.Count; qm != cachedEvals {
+		fatal(fmt.Errorf("metrics mismatch: %d evals but latency histogram saw %d", cachedEvals, qm))
+	}
+	if *check && !*smoke && snap.QuerySpeedup < 5 {
+		fatal(fmt.Errorf("cached eval speedup %.2fx, want >= 5x", snap.QuerySpeedup))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchserve:", err)
+	os.Exit(1)
+}

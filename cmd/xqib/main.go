@@ -10,9 +10,16 @@
 //	click:ID         dispatch a click at the element with that id
 //	key:ID=TEXT      set @value to TEXT and dispatch keyup
 //	set:ID@ATTR=V    set an attribute (no event)
+//
+// With -sessions N > 1 the page is served through the concurrent
+// serving layer instead: N sessions load in parallel through a shared
+// program cache, each replays the -do script on its own event loop,
+// and -stats dumps the pool's observability snapshot as JSON.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dom"
 	"repro/internal/markup"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -31,6 +39,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress the final DOM dump")
 	budget := flag.Int64("budget", 0, "max evaluation steps per query, 0 = unlimited")
 	timeout := flag.Duration("timeout", 0, "max wall-clock time per query, 0 = unlimited")
+	sessions := flag.Int("sessions", 1, "serve the page as this many concurrent sessions")
+	maxSessions := flag.Int("max-sessions", 0, "session pool bound (0 = number of sessions)")
+	stats := flag.Bool("stats", false, "print the serving metrics snapshot as JSON (pool mode)")
 	flag.Parse()
 
 	if *pageFile == "" {
@@ -39,6 +50,11 @@ func main() {
 	data, err := os.ReadFile(*pageFile)
 	if err != nil {
 		fatal(err)
+	}
+	if *sessions > 1 {
+		servePool(string(data), *href, *script, *sessions, *maxSessions,
+			*budget, *timeout, *stats)
+		return
 	}
 	var opts []core.Option
 	if *budget > 0 || *timeout > 0 {
@@ -74,6 +90,87 @@ func main() {
 	}
 	if !*quiet {
 		fmt.Println(markup.SerializeIndent(h.Page))
+	}
+}
+
+// servePool runs the pool mode: load the page as n concurrent
+// sessions, replay the interaction script on each session's event
+// loop, and report aggregate results.
+func servePool(page, href, script string, n, maxSessions int, budget int64, timeout time.Duration, stats bool) {
+	if maxSessions <= 0 {
+		maxSessions = n
+	}
+	pool := serve.NewPool(serve.Config{
+		MaxSessions: maxSessions,
+		MaxSteps:    budget,
+		Timeout:     timeout,
+	})
+	ctx := context.Background()
+
+	type result struct {
+		alerts int
+		err    error
+	}
+	results := make([]result, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			// Each session closes before the goroutine exits so its
+			// pool slot frees for loads still waiting (n may exceed
+			// the pool bound).
+			s, err := pool.Load(ctx, page, href)
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			defer s.Close()
+			run := func(h *core.Host) error {
+				for _, step := range strings.Split(script, ";") {
+					step = strings.TrimSpace(step)
+					if step == "" {
+						continue
+					}
+					if err := apply(h, step); err != nil {
+						return err
+					}
+				}
+				if errs := h.WaitIdle(5 * time.Second); len(errs) > 0 {
+					return errs[0]
+				}
+				results[i].alerts = len(h.Alerts())
+				return nil
+			}
+			results[i].err = s.Do(ctx, run)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+
+	failed := 0
+	alerts := 0
+	for i, r := range results {
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "xqib: session %d: %v\n", i, r.err)
+		}
+		alerts += r.alerts
+	}
+	fmt.Printf("SESSIONS: %d ok, %d failed, %d alerts\n", n-failed, failed, alerts)
+	if stats {
+		m := pool.Metrics()
+		out, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+	}
+	if err := pool.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -1,6 +1,7 @@
 package xqib_test
 
 import (
+	"context"
 	"fmt"
 
 	xqib "repro"
@@ -85,6 +86,47 @@ func ExampleProgram_Run() {
 	}
 	fmt.Println(xqib.Serialize(doc))
 	// Output: <library><book title="Starwars"><comment>6 movies</comment></book></library>
+}
+
+// The concurrent serving layer: a bounded session pool sharing one
+// engine and one compiled-program cache. Loading the same page twice
+// parses its script once, and repeated queries skip compilation.
+func ExamplePool() {
+	pool := xqib.NewPool(xqib.PoolConfig{MaxSessions: 8})
+	ctx := context.Background()
+
+	page := `<html><head><script type="text/xquery">
+		declare updating function local:hit($evt, $obj) {
+			replace value of node //span[@id="n"]
+			with xs:integer(string(//span[@id="n"])) + 1
+		};
+		on event "click" at //input[@id="b"] attach listener local:hit
+	</script></head><body><input id="b"/><span id="n">0</span></body></html>`
+
+	for i := 0; i < 2; i++ {
+		s, err := pool.Load(ctx, page, "http://shop.example.com/")
+		if err != nil {
+			panic(err)
+		}
+		if err := s.Click(ctx, "b"); err != nil {
+			panic(err)
+		}
+		s.Close()
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := pool.Eval(ctx, `sum(1 to 10)`, nil); err != nil {
+			panic(err)
+		}
+	}
+
+	// Two sessions + three evals, but the page script parsed once
+	// (the second session shared the module) and the query compiled
+	// once (evals two and three hit the program cache).
+	m := pool.Metrics()
+	fmt.Printf("sessions=%d parses=%d module-hits=%d program-hits=%d\n",
+		m.SessionsLoaded, m.Cache.Parses, m.Cache.ModuleHits, m.Cache.ProgramHits)
+	_ = pool.Shutdown(ctx)
+	// Output: sessions=2 parses=2 module-hits=1 program-hits=2
 }
 
 // Local library modules: factoring shared XQuery (§6.1's application

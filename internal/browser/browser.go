@@ -11,6 +11,7 @@
 package browser
 
 import (
+	"errors"
 	"fmt"
 	"net/url"
 	"strings"
@@ -20,6 +21,19 @@ import (
 	"repro/internal/dom"
 	"repro/internal/markup"
 	"repro/internal/xquery/update"
+)
+
+// Window-write policy sentinels; applications match them with
+// errors.Is (the facade re-exports them). Note that cross-origin
+// *reads* are not errors: the policy renders hidden windows with no
+// properties so accessors return the empty sequence (§4.2.1).
+var (
+	// ErrReadOnlyWindowProperty reports an update targeting a window
+	// property that scripts may not write.
+	ErrReadOnlyWindowProperty = errors.New("browser: window property is read-only")
+	// ErrWindowUpdateUnsupported reports an update primitive other than
+	// "replace value of node" aimed at window state.
+	ErrWindowUpdateUnsupported = errors.New(`browser: only "replace value of node" is supported on window properties`)
 )
 
 // Location mirrors the JavaScript location object's fields.
@@ -563,7 +577,7 @@ func (b *Browser) ApplyUpdate(pr update.Primitive) (bool, error) {
 		return false, nil
 	}
 	if pr.Kind != update.ReplaceValue {
-		return true, fmt.Errorf("browser: only \"replace value of node\" is supported on window properties")
+		return true, ErrWindowUpdateUnsupported
 	}
 	switch binding.prop {
 	case "status":
@@ -573,7 +587,7 @@ func (b *Browser) ApplyUpdate(pr update.Primitive) (bool, error) {
 	case "location.href":
 		return true, b.Navigate(binding.w, pr.Value)
 	default:
-		return true, fmt.Errorf("browser: window property %q is read-only", binding.prop)
+		return true, fmt.Errorf("%w: %q", ErrReadOnlyWindowProperty, binding.prop)
 	}
 	return true, nil
 }

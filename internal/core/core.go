@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -92,6 +93,14 @@ func WithBrowserSetup(setup func(*browser.Browser)) Option {
 	return func(h *Host) { h.browserSetups = append(h.browserSetups, setup) }
 }
 
+// WithProgramCache compiles the page's scripts through a shared
+// program cache, so sessions loading the same page skip the parse (and,
+// on the same engine, the compile). The serving layer installs the
+// pool-wide cache here.
+func WithProgramCache(c *xquery.Cache) Option {
+	return func(h *Host) { h.cache = c }
+}
+
 // WithQueryBudget bounds every query evaluation on this page — the
 // inline scripts at load time and each event-listener invocation gets
 // a fresh budget of maxSteps evaluation steps (<= 0: unlimited) and
@@ -122,6 +131,8 @@ type Host struct {
 	navigator     *browser.NavigatorInfo
 	extraFns      []func(*runtime.Registry)
 	browserSetups []func(*browser.Browser)
+	cache         *xquery.Cache
+	ctx           context.Context
 	maxQuerySteps int64
 	queryTimeout  time.Duration
 
@@ -140,7 +151,18 @@ type pageProgram struct {
 // LoadPage parses an XHTML page, boots the plug-in, runs JavaScript
 // setups and then every XQuery script, and returns the live host.
 func LoadPage(pageSrc, href string, opts ...Option) (*Host, error) {
-	h := &Host{}
+	return LoadPageContext(context.Background(), pageSrc, href, opts...)
+}
+
+// LoadPageContext is LoadPage with cooperative cancellation: ctx covers
+// the page-load scripts and every later listener invocation on this
+// host, so cancelling it aborts in-flight queries (with an error
+// matching ctx.Err()) instead of waiting out their wall-clock budgets.
+func LoadPageContext(ctx context.Context, pageSrc, href string, opts ...Option) (*Host, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	h := &Host{ctx: ctx}
 	for _, o := range opts {
 		o(h)
 	}
@@ -201,7 +223,7 @@ func LoadPage(pageSrc, href string, opts ...Option) (*Host, error) {
 	// Stage 3: compile each script's prolog + main.
 	t0 = time.Now()
 	for _, src := range scripts {
-		prog, err := h.Engine.Compile(src)
+		prog, err := h.compile(h.Engine, src)
 		if err != nil {
 			return nil, fmt.Errorf("core: compiling page script: %w", err)
 		}
@@ -260,7 +282,7 @@ func (h *Host) LoadFrame(name, pageSrc, href string) (*browser.Window, error) {
 	}
 	frameEngine := xquery.New(engineOpts...)
 	for _, src := range ExtractScripts(page) {
-		prog, err := frameEngine.Compile(src)
+		prog, err := h.compile(frameEngine, src)
 		if err != nil {
 			return nil, fmt.Errorf("core: compiling frame script: %w", err)
 		}
@@ -291,8 +313,18 @@ func ExtractScripts(page *dom.Node) []string {
 	return out
 }
 
+// compile routes a script through the shared program cache when one is
+// installed.
+func (h *Host) compile(e *xquery.Engine, src string) (*xquery.Program, error) {
+	if h.cache != nil {
+		return h.cache.Compile(e, src)
+	}
+	return e.Compile(src)
+}
+
 func (h *Host) runConfig() xquery.RunConfig {
 	return xquery.RunConfig{
+		Context:      h.ctx,
 		ContextItem:  xdm.NewNode(h.Page),
 		AmbientFocus: true,
 		Hooks:        &hostHooks{h: h},

@@ -160,8 +160,9 @@ func (h *Host) invokeListener(ctx *runtime.Context, name dom.QName, args []xdm.S
 	// A fresh budget per invocation: listeners must not inherit the
 	// partially consumed budget of the page-load script (or of an
 	// earlier event), and a budget-tripped listener must not poison
-	// the ones that follow.
-	c.Budget = runtime.NewBudget(h.maxQuerySteps, h.queryTimeout)
+	// the ones that follow. The host's context rides along so session
+	// cancellation aborts listeners too.
+	c.Budget = runtime.NewBudgetContext(h.ctx, h.maxQuerySteps, h.queryTimeout)
 	_, err := h.finish(&c, func() (xdm.Sequence, error) {
 		return c.CallFunction(name, args)
 	})

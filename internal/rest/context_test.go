@@ -1,0 +1,93 @@
+package rest
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/xquery"
+)
+
+// A service whose slow function gives cancellation something to abort.
+const slowService = `module namespace sl = "urn:slow" port:2002;
+declare option fn:webservice "true";
+declare function sl:fast($a) { $a + 1 };
+declare function sl:slow() {
+  sum(for $i in 1 to 2000 return sum(for $j in 1 to 2000 return $j mod 7))
+};`
+
+func TestCallContextCancellation(t *testing.T) {
+	srv, err := NewModuleServer(slowService, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A live context lets calls through.
+	out, err := srv.CallContext(context.Background(), "fast", `<args><arg><item type="xs:integer">41</item></arg></args>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ">42<") {
+		t.Errorf("fast(41) = %s", out)
+	}
+
+	// A cancelled request context aborts the evaluation cooperatively.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = srv.CallContext(ctx, "slow", `<args></args>`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("call ran %s before aborting", elapsed)
+	}
+}
+
+func TestCallServerBudget(t *testing.T) {
+	srv, err := NewModuleServer(slowService, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.MaxSteps = 1000
+	_, err = srv.Call("slow", `<args></args>`)
+	if !errors.Is(err, xquery.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestNewModuleServerCached(t *testing.T) {
+	e := xquery.New()
+	c := xquery.NewCache(8)
+
+	s1, err := NewModuleServerCached(e, c, slowService, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewModuleServerCached(e, c, slowService, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Compiles != 1 || st.ProgramHits != 1 {
+		t.Errorf("stats = %+v, want 1 compile / 1 hit for a redeploy", st)
+	}
+
+	// Both servers work, sharing the compiled program.
+	for _, s := range []*ModuleServer{s1, s2} {
+		out, err := s.Call("fast", `<args><arg><item type="xs:integer">1</item></arg></args>`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, ">2<") {
+			t.Errorf("fast(1) = %s", out)
+		}
+	}
+
+	// Validation still applies on the cached path.
+	if _, err := NewModuleServerCached(e, c, `1+1`, nil); err == nil {
+		t.Error("main module must be rejected")
+	}
+}

@@ -9,11 +9,13 @@
 package rest
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/dom"
 	"repro/internal/markup"
@@ -61,12 +63,19 @@ func (s *ServerStats) count(bytes int, query bool) {
 	}
 }
 
-// ModuleServer serves an XQuery library module as a web service.
+// ModuleServer serves an XQuery library module as a web service. The
+// compiled program is immutable and every call evaluates in its own
+// context, so one server handles concurrent requests safely.
 type ModuleServer struct {
 	prog  *xquery.Program
 	uri   string
 	docs  runtime.DocResolver
 	Stats ServerStats
+
+	// MaxSteps / Timeout bound every call's evaluation (<= 0:
+	// unlimited), on top of the request context's cancellation.
+	MaxSteps int64
+	Timeout  time.Duration
 }
 
 // NewModuleServer compiles a library module for serving. The module
@@ -77,6 +86,21 @@ func NewModuleServer(src string, docs runtime.DocResolver, opts ...xquery.Option
 	if err != nil {
 		return nil, err
 	}
+	return newModuleServer(prog, docs)
+}
+
+// NewModuleServerCached is NewModuleServer compiling through a shared
+// program cache on a shared engine — the serving-layer path, where many
+// services (and redeploys of the same module) skip parse/compile.
+func NewModuleServerCached(e *xquery.Engine, c *xquery.Cache, src string, docs runtime.DocResolver) (*ModuleServer, error) {
+	prog, err := c.Compile(e, src)
+	if err != nil {
+		return nil, err
+	}
+	return newModuleServer(prog, docs)
+}
+
+func newModuleServer(prog *xquery.Program, docs runtime.DocResolver) (*ModuleServer, error) {
 	m := prog.Module()
 	if !m.IsLibrary {
 		return nil, fmt.Errorf("rest: a web service must be a library module")
@@ -113,7 +137,7 @@ func (s *ModuleServer) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		out, err := s.Call(name, string(body))
+		out, err := s.CallContext(r.Context(), name, string(body))
 		if err != nil {
 			s.Stats.count(0, true)
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -143,11 +167,25 @@ func (s *ModuleServer) describe() string {
 // Call invokes a module function with an <args> payload and returns the
 // serialized <result>.
 func (s *ModuleServer) Call(name, argsXML string) (string, error) {
+	return s.CallContext(context.Background(), name, argsXML)
+}
+
+// CallContext is Call under a request context: the evaluation aborts
+// cooperatively when reqCtx is cancelled (the HTTP handler passes the
+// request's context, so a disconnected client stops burning engine
+// time) and is bounded by the server's MaxSteps/Timeout budget.
+func (s *ModuleServer) CallContext(reqCtx context.Context, name, argsXML string) (string, error) {
 	args, err := DecodeArgs(argsXML)
 	if err != nil {
 		return "", err
 	}
-	ctx := s.prog.NewContext(xquery.RunConfig{Docs: s.docs, Sequential: true})
+	ctx := s.prog.NewContext(xquery.RunConfig{
+		Context:    reqCtx,
+		Docs:       s.docs,
+		Sequential: true,
+		MaxSteps:   s.MaxSteps,
+		Timeout:    s.Timeout,
+	})
 	if err := ctx.InitGlobals(); err != nil {
 		return "", err
 	}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/xquery"
+)
+
+// Latency buckets for the observability snapshot: upper bounds of the
+// first len(bucketBounds) buckets; the last bucket is the overflow.
+var bucketBounds = []time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// BucketLabels names the latency buckets of a LatencyHist, index for
+// index.
+var BucketLabels = []string{"<100us", "<1ms", "<10ms", "<100ms", "<1s", ">=1s"}
+
+// hist is a lock-free latency histogram.
+type hist struct {
+	counts [6]atomic.Int64
+	total  atomic.Int64
+	nanos  atomic.Int64
+}
+
+func (h *hist) observe(d time.Duration) {
+	i := 0
+	for i < len(bucketBounds) && d >= bucketBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.nanos.Add(int64(d))
+}
+
+func (h *hist) snapshot() LatencyHist {
+	var s LatencyHist
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	s.Count = h.total.Load()
+	s.TotalNanos = h.nanos.Load()
+	return s
+}
+
+// LatencyHist is a snapshot of a latency histogram; Buckets[i] counts
+// observations in the bucket named BucketLabels[i].
+type LatencyHist struct {
+	Count      int64    `json:"count"`
+	TotalNanos int64    `json:"total_nanos"`
+	Buckets    [6]int64 `json:"buckets"`
+}
+
+// Mean returns the average observed latency (0 when empty).
+func (l LatencyHist) Mean() time.Duration {
+	if l.Count == 0 {
+		return 0
+	}
+	return time.Duration(l.TotalNanos / l.Count)
+}
+
+// Metrics is the pool's observability snapshot, pollable at any time
+// (Pool.Metrics) and JSON-serialisable for dashboards.
+type Metrics struct {
+	// SessionsActive is the number of sessions currently loaded.
+	SessionsActive int64 `json:"sessions_active"`
+	// SessionsPeak is the high-water mark of concurrently active
+	// sessions.
+	SessionsPeak int64 `json:"sessions_peak"`
+	// SessionsLoaded counts sessions loaded successfully since start.
+	SessionsLoaded int64 `json:"sessions_loaded"`
+	// SessionsRejected counts load attempts denied (pool shut down,
+	// wait cancelled) or failed.
+	SessionsRejected int64 `json:"sessions_rejected"`
+	// Events counts per-session event-loop turns (Do/Click/Keyup).
+	Events int64 `json:"events"`
+	// Loads is the page-load latency histogram.
+	Loads LatencyHist `json:"loads"`
+	// Queries is the shared-engine query latency histogram
+	// (Pool.Eval).
+	Queries LatencyHist `json:"queries"`
+	// Dispatches is the event-turn latency histogram.
+	Dispatches LatencyHist `json:"dispatches"`
+	// Cache is the shared program cache's counters.
+	Cache xquery.CacheStats `json:"cache"`
+}

@@ -1,0 +1,228 @@
+package xquery
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xquery/ast"
+	"repro/internal/xquery/parser"
+)
+
+// CacheStats is a point-in-time snapshot of cache activity. All
+// counters are cumulative since the cache was created.
+type CacheStats struct {
+	// Compiles counts real compilations performed (program-level misses
+	// that ran runtime.Compile).
+	Compiles int64 `json:"compiles"`
+	// Parses counts real parses performed (module-level misses).
+	Parses int64 `json:"parses"`
+	// ProgramHits counts lookups served a ready compiled program.
+	ProgramHits int64 `json:"program_hits"`
+	// ModuleHits counts compilations that skipped parsing because the
+	// parsed module was shared (a different engine compiled the same
+	// source earlier — the cross-session page-script case).
+	ModuleHits int64 `json:"module_hits"`
+	// Coalesced counts lookups that joined an in-flight compilation of
+	// the same key instead of duplicating it (singleflight).
+	Coalesced int64 `json:"coalesced"`
+	// Evictions counts LRU evictions across both levels.
+	Evictions int64 `json:"evictions"`
+}
+
+// Cache is a shared compiled-program cache: repeated queries skip
+// parse/compile entirely, and concurrent first requests for the same
+// key are deduplicated singleflight-style. It is safe for concurrent
+// use by any number of goroutines and engines.
+//
+// Keying has two levels, because compiled programs capture their
+// engine's static context (registered built-ins are closures that may
+// hold per-host state):
+//
+//   - programs are keyed on (engine fingerprint, source): a hit is only
+//     possible on the same engine, which is the shared-engine serving
+//     path (one engine, many requests);
+//   - parsed modules are keyed on source alone — parsing is independent
+//     of the static context — so per-page host engines compiling the
+//     same page script still share the parse.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	programs map[string]*list.Element // key → *cacheEntry element
+	modules  map[string]*list.Element
+	progLRU  *list.List
+	modLRU   *list.List
+	flights  map[string]*flight
+
+	compiles  atomic.Int64
+	parses    atomic.Int64
+	progHits  atomic.Int64
+	modHits   atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key  string
+	prog *Program
+	mod  *ast.Module
+}
+
+// flight is one in-progress compile shared by concurrent callers.
+type flight struct {
+	done chan struct{}
+	prog *Program
+	mod  *ast.Module
+	err  error
+}
+
+// DefaultCacheCapacity bounds each cache level when NewCache is given a
+// non-positive capacity.
+const DefaultCacheCapacity = 256
+
+// NewCache creates a cache holding up to capacity compiled programs
+// (and as many parsed modules). capacity <= 0 uses
+// DefaultCacheCapacity.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		programs: map[string]*list.Element{},
+		modules:  map[string]*list.Element{},
+		progLRU:  list.New(),
+		modLRU:   list.New(),
+		flights:  map[string]*flight{},
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Compiles:    c.compiles.Load(),
+		Parses:      c.parses.Load(),
+		ProgramHits: c.progHits.Load(),
+		ModuleHits:  c.modHits.Load(),
+		Coalesced:   c.coalesced.Load(),
+		Evictions:   c.evictions.Load(),
+	}
+}
+
+// Len returns the number of resident compiled programs.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.progLRU.Len()
+}
+
+// Compile returns the compiled program for src on engine e, consulting
+// and populating the cache. Errors are not cached: a failing source is
+// recompiled (and its error returned) on every call, though concurrent
+// callers of the same failing key share one attempt.
+func (c *Cache) Compile(e *Engine, src string) (*Program, error) {
+	key := e.Fingerprint() + "\x00" + src
+
+	c.mu.Lock()
+	if el, ok := c.programs[key]; ok {
+		c.progLRU.MoveToFront(el)
+		c.mu.Unlock()
+		c.progHits.Add(1)
+		return el.Value.(*cacheEntry).prog, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		return f.prog, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	f.prog, f.err = c.compileMiss(e, src)
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		c.insert(c.programs, c.progLRU, &cacheEntry{key: key, prog: f.prog})
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.prog, f.err
+}
+
+// compileMiss does the real work of a program-level miss: fetch or
+// parse the module, then compile it on e.
+func (c *Cache) compileMiss(e *Engine, src string) (*Program, error) {
+	m, err := c.parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c.compiles.Add(1)
+	return e.CompileModule(m)
+}
+
+// parse returns the parsed module for src, sharing parses across
+// engines (module-level singleflight + LRU).
+func (c *Cache) parse(src string) (*ast.Module, error) {
+	c.mu.Lock()
+	if el, ok := c.modules[src]; ok {
+		c.modLRU.MoveToFront(el)
+		c.mu.Unlock()
+		c.modHits.Add(1)
+		return el.Value.(*cacheEntry).mod, nil
+	}
+	mkey := "m\x00" + src
+	if f, ok := c.flights[mkey]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		<-f.done
+		return f.mod, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[mkey] = f
+	c.mu.Unlock()
+
+	c.parses.Add(1)
+	f.mod, f.err = parser.ParseModule(src)
+	c.mu.Lock()
+	delete(c.flights, mkey)
+	if f.err == nil {
+		c.insert(c.modules, c.modLRU, &cacheEntry{key: src, mod: f.mod})
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.mod, f.err
+}
+
+// insert adds an entry at the LRU front and evicts the tail past
+// capacity. Callers hold c.mu.
+func (c *Cache) insert(idx map[string]*list.Element, lru *list.List, e *cacheEntry) {
+	if el, ok := idx[e.key]; ok { // lost a benign race; refresh
+		el.Value = e
+		lru.MoveToFront(el)
+		return
+	}
+	idx[e.key] = lru.PushFront(e)
+	for lru.Len() > c.capacity {
+		el := lru.Back()
+		lru.Remove(el)
+		delete(idx, el.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// EvalQuery compiles src through the cache and runs it on engine e —
+// the cached counterpart of Engine.EvalQueryContext. cfg.ContextItem,
+// budgets, Context and the other run parameters apply per run as usual;
+// only the compiled program is shared.
+func (c *Cache) EvalQuery(e *Engine, src string, cfg RunConfig) (*Result, error) {
+	p, err := c.Compile(e, src)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(cfg)
+}

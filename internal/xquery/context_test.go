@@ -1,0 +1,76 @@
+package xquery
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// longQuery does enough work that the budget's context poll (every 256
+// steps) fires many times.
+const longQuery = `sum(for $i in 1 to 2000000 return $i mod 7)`
+
+func TestEvalQueryContextPreCancelled(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.EvalQueryContext(ctx, longQuery, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEvalQueryContextDeadline(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.EvalQueryContext(ctx, longQuery, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %s, not cooperative", elapsed)
+	}
+}
+
+func TestEvalQueryContextCancelMidRun(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	_, err := e.EvalQueryContext(ctx, longQuery, nil)
+	// Either the run finished before the cancel landed (fast machine)
+	// or it aborted with the context error; both are correct, but an
+	// unrelated error is not.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil or context.Canceled", err)
+	}
+}
+
+func TestRunConfigContextPlusBudget(t *testing.T) {
+	// A step budget still trips when the context never cancels.
+	e := New()
+	p, err := e.Compile(longQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Run(RunConfig{Context: context.Background(), MaxSteps: 1000})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestEvalQueryContextNoLimitsStillWorks(t *testing.T) {
+	e := New()
+	seq, err := e.EvalQueryContext(context.Background(), `1 + 2`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 1 || seq[0].String() != "3" {
+		t.Fatalf("result = %v", seq)
+	}
+}

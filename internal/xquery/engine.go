@@ -6,7 +6,9 @@
 package xquery
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dom"
@@ -19,14 +21,33 @@ import (
 )
 
 // Engine compiles XQuery programs against a shared static environment.
+//
+// An Engine is immutable after New returns (options apply only during
+// construction), so one engine may be shared by any number of
+// goroutines calling Compile, EvalQuery and Program.Run concurrently:
+// each compilation clones the registry and each run gets its own
+// dynamic Context. The concurrent serving layer (internal/serve) relies
+// on this to share one engine across all sessions.
 type Engine struct {
 	base     *runtime.Registry
 	resolver runtime.ModuleResolver
 	blockDoc bool
+	fp       string
 }
+
+// engineSeq numbers engines so each gets a distinct static-context
+// fingerprint.
+var engineSeq atomic.Int64
 
 // Option configures an Engine.
 type Option func(*Engine)
+
+// ModuleResolver materialises module imports into a registry (alias of
+// the runtime type, so the facade need not import the runtime).
+type ModuleResolver = runtime.ModuleResolver
+
+// Registry is the engine's function registry (alias for facade use).
+type Registry = runtime.Registry
 
 // WithModuleResolver installs the module-import resolver (the REST
 // substrate registers web-service proxies through it).
@@ -53,11 +74,25 @@ func New(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	blocked := 'o'
+	if e.blockDoc {
+		blocked = 'b'
+	}
+	e.fp = fmt.Sprintf("e%d/%c%d", engineSeq.Add(1), blocked, e.base.Names())
 	return e
 }
 
 // Registry exposes the engine's base registry for host extensions.
 func (e *Engine) Registry() *runtime.Registry { return e.base }
+
+// Fingerprint identifies this engine's static context (built-in
+// functions, resolver, browser profile) for program-cache keying. Two
+// engines never share a fingerprint: registered built-ins are closures
+// that may capture per-host state (the browser: library captures its
+// page), so compiled programs are only reusable on the engine that
+// compiled them. Cross-engine sharing happens one level down, at the
+// parsed-module layer, which is static-context independent (see Cache).
+func (e *Engine) Fingerprint() string { return e.fp }
 
 // Program is a compiled, runnable XQuery program.
 type Program struct {
@@ -71,6 +106,14 @@ func (e *Engine) Compile(src string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.CompileModule(m)
+}
+
+// CompileModule compiles an already-parsed module. The AST is read-only
+// to both compilation and evaluation, so one parsed module may be
+// compiled by many engines concurrently — the program cache uses this
+// to share parse work across per-page host engines.
+func (e *Engine) CompileModule(m *ast.Module) (*Program, error) {
 	p, err := runtime.Compile(m, runtime.CompileConfig{
 		Registry: e.base,
 		Resolver: e.resolver,
@@ -100,6 +143,12 @@ func (p *Program) Runtime() *runtime.Program { return p.prog }
 
 // RunConfig parameterises one evaluation.
 type RunConfig struct {
+	// Context, when non-nil, cancels the run cooperatively: evaluation
+	// polls it alongside the step/time budget and aborts with an error
+	// matching Context.Err() (errors.Is(err, context.Canceled) or
+	// context.DeadlineExceeded). Cancellation discards pending updates
+	// like any other failed run.
+	Context context.Context
 	// ContextItem is the initial focus (e.g. the page document in the
 	// browser: paper §4.2.3 "the document in browser:self() is the
 	// context item").
@@ -143,6 +192,14 @@ type RunConfig struct {
 // run exceeds its MaxSteps or Timeout budget.
 var ErrBudgetExceeded = runtime.ErrBudgetExceeded
 
+// ErrNoResolver matches a module import attempted with no resolver
+// installed; ErrUnknownFunction matches a call to an undeclared
+// function.
+var (
+	ErrNoResolver      = runtime.ErrNoResolver
+	ErrUnknownFunction = runtime.ErrUnknownFunction
+)
+
 // Result is the outcome of an evaluation.
 type Result struct {
 	Value xdm.Sequence
@@ -162,7 +219,7 @@ func (p *Program) NewContext(cfg RunConfig) *runtime.Context {
 		ctx.Ambient = cfg.ContextItem
 	}
 	ctx.Profiler = cfg.Profiler
-	ctx.Budget = runtime.NewBudget(cfg.MaxSteps, cfg.Timeout)
+	ctx.Budget = runtime.NewBudgetContext(cfg.Context, cfg.MaxSteps, cfg.Timeout)
 	ctx.NoStream = cfg.DisableStreaming
 	ctx.Docs = cfg.Docs
 	ctx.Collections = cfg.Collections
@@ -221,11 +278,18 @@ func finishRun(ctx *runtime.Context, cfg RunConfig, eval func() (xdm.Sequence, e
 // EvalQuery is a convenience: compile and run a query against an
 // optional context document.
 func (e *Engine) EvalQuery(src string, contextDoc *dom.Node) (xdm.Sequence, error) {
+	return e.EvalQueryContext(context.Background(), src, contextDoc)
+}
+
+// EvalQueryContext is EvalQuery with cooperative cancellation: the run
+// aborts (with an error matching ctx.Err()) when ctx is cancelled or
+// its deadline passes.
+func (e *Engine) EvalQueryContext(ctx context.Context, src string, contextDoc *dom.Node) (xdm.Sequence, error) {
 	p, err := e.Compile(src)
 	if err != nil {
 		return nil, err
 	}
-	cfg := RunConfig{Sequential: true}
+	cfg := RunConfig{Sequential: true, Context: ctx}
 	if contextDoc != nil {
 		cfg.ContextItem = xdm.NewNode(contextDoc)
 	}

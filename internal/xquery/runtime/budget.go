@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -12,9 +13,11 @@ import (
 var ErrBudgetExceeded = errors.New("xquery: execution budget exceeded")
 
 // Budget bounds one query evaluation: a step ceiling (expression
-// evaluations plus items pulled through streaming iterators) and an
-// optional wall-clock deadline. It is safe for concurrent use — a
-// context may be shared with asynchronous behind-call goroutines.
+// evaluations plus items pulled through streaming iterators), an
+// optional wall-clock deadline, and an optional context.Context whose
+// cancellation aborts the run cooperatively. It is safe for concurrent
+// use — a context may be shared with asynchronous behind-call
+// goroutines.
 //
 // The browser host attaches a fresh Budget to every listener
 // invocation, so a runaway listener query fails with ErrBudgetExceeded
@@ -24,21 +27,39 @@ type Budget struct {
 	steps    atomic.Int64
 	maxSteps int64
 	deadline time.Time
+	done     <-chan struct{}
+	ctxErr   func() error
 	tripped  atomic.Bool
 }
 
-// deadlineCheckMask throttles time.Now calls: the deadline is checked
-// once every 256 steps.
+// deadlineCheckMask throttles time.Now and context polls: the deadline
+// and the context's done channel are checked once every 256 steps.
 const deadlineCheckMask = 0xff
 
 // NewBudget builds a budget. maxSteps <= 0 means unlimited steps;
 // timeout <= 0 means no deadline. Returns nil when both are unlimited,
 // so a nil *Budget is the zero-cost "no limits" configuration.
 func NewBudget(maxSteps int64, timeout time.Duration) *Budget {
-	if maxSteps <= 0 && timeout <= 0 {
+	return NewBudgetContext(nil, maxSteps, timeout)
+}
+
+// NewBudgetContext builds a budget that additionally honors ctx:
+// cancelling the context (or its deadline passing) aborts the run at
+// the next poll with an error matching ctx.Err() via errors.Is. A nil
+// ctx — or one that can never be cancelled — adds no overhead; when no
+// limit is active at all the result is nil.
+func NewBudgetContext(ctx context.Context, maxSteps int64, timeout time.Duration) *Budget {
+	var done <-chan struct{}
+	var ctxErr func() error
+	if ctx != nil {
+		if done = ctx.Done(); done != nil {
+			ctxErr = ctx.Err
+		}
+	}
+	if maxSteps <= 0 && timeout <= 0 && done == nil {
 		return nil
 	}
-	b := &Budget{maxSteps: maxSteps}
+	b := &Budget{maxSteps: maxSteps, done: done, ctxErr: ctxErr}
 	if timeout > 0 {
 		b.deadline = time.Now().Add(timeout)
 	}
@@ -46,7 +67,8 @@ func NewBudget(maxSteps int64, timeout time.Duration) *Budget {
 }
 
 // Step consumes one unit of budget and reports whether the budget is
-// exhausted. A nil budget never trips.
+// exhausted or the run's context has been cancelled. A nil budget never
+// trips.
 func (b *Budget) Step() error {
 	if b == nil {
 		return nil
@@ -56,7 +78,18 @@ func (b *Budget) Step() error {
 		b.tripped.Store(true)
 		return fmt.Errorf("%w: %d steps (limit %d)", ErrBudgetExceeded, n, b.maxSteps)
 	}
-	if !b.deadline.IsZero() && n&deadlineCheckMask == 0 && time.Now().After(b.deadline) {
+	if n&deadlineCheckMask != 0 {
+		return nil
+	}
+	if b.done != nil {
+		select {
+		case <-b.done:
+			b.tripped.Store(true)
+			return fmt.Errorf("xquery: run aborted after %d steps: %w", n, b.ctxErr())
+		default:
+		}
+	}
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
 		b.tripped.Store(true)
 		return fmt.Errorf("%w: deadline passed after %d steps", ErrBudgetExceeded, n)
 	}

@@ -192,7 +192,7 @@ func (ctx *Context) evalString(e ast.Expr) (string, error) {
 func (ctx *Context) evalCall(x ast.FuncCall) (xdm.Sequence, error) {
 	f := ctx.Prog.Reg.Lookup(x.Name, len(x.Args))
 	if f == nil {
-		return nil, fmt.Errorf("xquery: unknown function %s/%d", x.Name, len(x.Args))
+		return nil, fmt.Errorf("%w %s/%d", ErrUnknownFunction, x.Name, len(x.Args))
 	}
 	if f.Stream != nil && !ctx.NoStream {
 		iters := make([]xdm.Iter, len(x.Args))

@@ -10,6 +10,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -17,6 +18,15 @@ import (
 	"repro/internal/xdm"
 	"repro/internal/xquery/ast"
 	"repro/internal/xquery/update"
+)
+
+// Sentinel errors for the resolver machinery; applications match them
+// with errors.Is (the facade re-exports them).
+var (
+	// ErrNoResolver reports a module import with no resolver installed.
+	ErrNoResolver = errors.New("xquery: no module resolver installed")
+	// ErrUnknownFunction reports a call to an undeclared function.
+	ErrUnknownFunction = errors.New("xquery: unknown function")
 )
 
 // maxCallDepth bounds recursion so runaway user functions produce an
@@ -148,7 +158,7 @@ func Compile(m *ast.Module, cfg CompileConfig) (*Program, error) {
 	p := &Program{Module: m, Reg: reg, BlockDoc: cfg.BlockDoc}
 	for _, imp := range m.Prolog.Imports {
 		if cfg.Resolver == nil {
-			return nil, fmt.Errorf("xquery: no module resolver for import of %q", imp.URI)
+			return nil, fmt.Errorf("%w for import of %q", ErrNoResolver, imp.URI)
 		}
 		if err := cfg.Resolver(imp, reg); err != nil {
 			return nil, fmt.Errorf("xquery: importing %q: %w", imp.URI, err)
@@ -385,7 +395,7 @@ func (ctx *Context) Run() (xdm.Sequence, error) {
 func (ctx *Context) CallFunction(name dom.QName, args []xdm.Sequence) (xdm.Sequence, error) {
 	f := ctx.Prog.Reg.Lookup(name, len(args))
 	if f == nil {
-		return nil, fmt.Errorf("xquery: unknown function %s/%d", name, len(args))
+		return nil, fmt.Errorf("%w: %s/%d", ErrUnknownFunction, name, len(args))
 	}
 	res, err := f.Invoke(ctx, args)
 	if ex, ok := err.(*exitError); ok {

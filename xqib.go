@@ -2,7 +2,8 @@
 // Browser" (WWW 2009): an XQuery 1.0 engine with the Update Facility,
 // Scripting Extension, full-text search and the paper's browser
 // extensions, plus a headless browser plug-in host (XQIB), a
-// JavaScript-style baseline, and REST/web-service substrates.
+// JavaScript-style baseline, REST/web-service substrates and a
+// concurrent serving layer.
 //
 // Quick start — run the paper's Hello World page:
 //
@@ -16,43 +17,193 @@
 //	e := xqib.NewEngine()
 //	seq, err := e.EvalQuery(`for $i in 1 to 3 return $i * $i`, nil)
 //
+// For serving many sessions and queries concurrently, use a Pool: it
+// shares one engine and one compiled-program cache across sessions,
+// bounds concurrent pages, and exposes an observability snapshot:
+//
+//	pool := xqib.NewPool(xqib.PoolConfig{MaxSessions: 128})
+//	s, err := pool.Load(ctx, pageSrc, href)
+//	err = s.Click(ctx, "buy")
+//	m := pool.Metrics() // compiles, cache hits, latency buckets, ...
+//
 // The deeper layers are exposed as aliases so applications can use the
 // engine (xqib.Engine), the DOM (xqib.Node), the browser object model
-// (xqib.Browser), the web-service substrate (rest subpackage types) and
-// the plug-in host (xqib.Host) without importing internal paths.
+// (xqib.Browser), the web-service substrate (rest subpackage types),
+// the plug-in host (xqib.Host) and the serving layer (xqib.Pool)
+// without importing internal paths.
 package xqib
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/browser"
 	"repro/internal/core"
 	"repro/internal/dom"
 	"repro/internal/jsruntime"
 	"repro/internal/markup"
 	"repro/internal/rest"
+	"repro/internal/serve"
 	"repro/internal/xdm"
 	"repro/internal/xmldb"
 	"repro/internal/xquery"
 )
 
 // Engine compiles and runs XQuery programs (the role Zorba plays in the
-// paper's plug-in).
+// paper's plug-in). An Engine is immutable after construction and safe
+// for concurrent Compile/EvalQuery from any number of goroutines.
 type Engine = xquery.Engine
 
-// Program is a compiled XQuery program.
+// Program is a compiled XQuery program; immutable, so one compiled
+// program may Run concurrently (each run has its own dynamic state).
 type Program = xquery.Program
 
-// RunConfig parameterises one evaluation.
+// RunConfig parameterises one evaluation. RunConfig.Context gives a
+// run cooperative cancellation alongside the MaxSteps/Timeout budget.
 type RunConfig = xquery.RunConfig
 
-// NewEngine builds an engine with the full fn: library.
-var NewEngine = xquery.New
+// ModuleResolver materialises module imports (local libraries or
+// remote web services).
+type ModuleResolver = xquery.ModuleResolver
 
-// Engine options.
-var (
-	WithModuleResolver = xquery.WithModuleResolver
-	WithBrowserProfile = xquery.WithBrowserProfile
-	WithFunctions      = xquery.WithFunctions
-)
+// --- unified options -----------------------------------------------------------
+
+// Option configures the facade constructors. One option vocabulary
+// serves both NewEngine and LoadPage: each option carries an engine
+// part, a host part, or both, and each constructor applies the parts
+// that concern it (the rest are inert). This replaces the former split
+// between engine options and host options — and the WithHostResolver /
+// WithModuleResolver naming collision that split caused.
+type Option struct {
+	engine []xquery.Option
+	host   []core.Option
+}
+
+func engineOpts(opts []Option) []xquery.Option {
+	var out []xquery.Option
+	for _, o := range opts {
+		out = append(out, o.engine...)
+	}
+	return out
+}
+
+func hostOpts(opts []Option) []core.Option {
+	var out []core.Option
+	for _, o := range opts {
+		out = append(out, o.host...)
+	}
+	return out
+}
+
+// WithModuleResolver installs the module-import resolver: on an
+// engine it resolves that engine's imports; on a loaded page it
+// resolves imports of every page script (the REST substrate registers
+// web-service proxies through it, §3.4).
+func WithModuleResolver(r ModuleResolver) Option {
+	return Option{
+		engine: []xquery.Option{xquery.WithModuleResolver(r)},
+		host:   []core.Option{core.WithModuleResolver(r)},
+	}
+}
+
+// WithHostResolver is the pre-unification name for installing a
+// resolver on LoadPage.
+//
+// Deprecated: use WithModuleResolver — the same option now applies to
+// engines and hosts alike.
+var WithHostResolver = WithModuleResolver
+
+// WithBrowserProfile blocks fn:doc/fn:put, per the paper's §4.2.1
+// security rule for in-browser execution (LoadPage engines always run
+// with this profile).
+func WithBrowserProfile() Option {
+	return Option{engine: []xquery.Option{xquery.WithBrowserProfile()}}
+}
+
+// WithFunctions registers extra built-in functions on the engine, or
+// on every script engine of a loaded page (e.g. rest:get).
+func WithFunctions(register func(*Registry)) Option {
+	return Option{
+		engine: []xquery.Option{xquery.WithFunctions(register)},
+		host:   []core.Option{core.WithExtraFunctions(register)},
+	}
+}
+
+// WithExtraFunctions is the pre-unification host-side name.
+//
+// Deprecated: use WithFunctions — the same option now applies to
+// engines and hosts alike.
+var WithExtraFunctions = WithFunctions
+
+// WithQueryBudget bounds every query evaluation on a loaded page:
+// maxSteps evaluation steps and timeout wall-clock time per script or
+// listener invocation (<= 0: unlimited). Exceeding either fails the
+// query with an error matching ErrBudgetExceeded. (For direct engine
+// use, set RunConfig.MaxSteps/Timeout per run instead.)
+func WithQueryBudget(maxSteps int64, timeout time.Duration) Option {
+	return Option{host: []core.Option{core.WithQueryBudget(maxSteps, timeout)}}
+}
+
+// WithProgramCache compiles a page's scripts through a shared program
+// cache so sessions loading the same page skip the parse (a Pool
+// installs its cache automatically).
+func WithProgramCache(c *Cache) Option {
+	return Option{host: []core.Option{core.WithProgramCache(c)}}
+}
+
+// WithJSSetup registers a JavaScript-style setup function that runs
+// against the page DOM before the XQuery scripts (§4.1).
+func WithJSSetup(setup func(page *Node)) Option {
+	return Option{host: []core.Option{core.WithJSSetup(setup)}}
+}
+
+// WithPageLoader sets the navigation loader (location changes and
+// history moves fetch pages through it).
+func WithPageLoader(l browser.PageLoader) Option {
+	return Option{host: []core.Option{core.WithPageLoader(l)}}
+}
+
+// WithPolicy overrides the same-origin security policy.
+func WithPolicy(p browser.SecurityPolicy) Option {
+	return Option{host: []core.Option{core.WithPolicy(p)}}
+}
+
+// WithNavigator overrides the navigator identity (§4.2.4).
+func WithNavigator(n NavigatorInfo) Option {
+	return Option{host: []core.Option{core.WithNavigator(n)}}
+}
+
+// WithBrowserSetup runs a configuration callback against the browser
+// state before any script executes.
+func WithBrowserSetup(setup func(*Browser)) Option {
+	return Option{host: []core.Option{core.WithBrowserSetup(setup)}}
+}
+
+// --- constructors ---------------------------------------------------------------
+
+// NewEngine builds an engine with the full fn: library. Host-only
+// options are inert here.
+func NewEngine(opts ...Option) *Engine {
+	return xquery.New(engineOpts(opts)...)
+}
+
+// LoadPage boots the plug-in pipeline of Figure 1 on a page.
+// Engine-flavoured options (resolver, functions) apply to every script
+// engine the page creates.
+func LoadPage(pageSrc, href string, opts ...Option) (*Host, error) {
+	return core.LoadPage(pageSrc, href, hostOpts(opts)...)
+}
+
+// LoadPageContext is LoadPage with cooperative cancellation: ctx
+// covers the page-load scripts and every later listener invocation on
+// the host.
+func LoadPageContext(ctx context.Context, pageSrc, href string, opts ...Option) (*Host, error) {
+	return core.LoadPageContext(ctx, pageSrc, href, hostOpts(opts)...)
+}
+
+// Registry is the engine's function registry (host extensions register
+// into it).
+type Registry = xquery.Registry
 
 // Module resolution: local in-memory library modules and resolver
 // composition (mix local libraries with remote web services).
@@ -60,6 +211,60 @@ var (
 	NewLocalResolver = xquery.NewLocalResolver
 	CombineResolvers = xquery.CombineResolvers
 )
+
+// --- sentinel errors ------------------------------------------------------------
+
+// Sentinel errors, re-exported so applications can errors.Is against
+// the facade without importing internal paths.
+var (
+	// ErrBudgetExceeded matches a run that exhausted its MaxSteps or
+	// Timeout budget. (Runs cancelled through a context instead match
+	// context.Canceled / context.DeadlineExceeded.)
+	ErrBudgetExceeded = xquery.ErrBudgetExceeded
+	// ErrNoResolver matches a module import attempted with no resolver
+	// installed.
+	ErrNoResolver = xquery.ErrNoResolver
+	// ErrUnknownFunction matches a call to an undeclared function.
+	ErrUnknownFunction = xquery.ErrUnknownFunction
+	// ErrReadOnlyWindowProperty matches an update targeting a window
+	// property scripts may not write (§4.2.1 policy).
+	ErrReadOnlyWindowProperty = browser.ErrReadOnlyWindowProperty
+	// ErrWindowUpdateUnsupported matches a window-state update other
+	// than "replace value of node".
+	ErrWindowUpdateUnsupported = browser.ErrWindowUpdateUnsupported
+	// ErrPoolClosed matches operations on a Pool after Shutdown.
+	ErrPoolClosed = serve.ErrPoolClosed
+	// ErrSessionClosed matches events sent to a closed Session.
+	ErrSessionClosed = serve.ErrSessionClosed
+)
+
+// --- serving layer --------------------------------------------------------------
+
+// Cache is a shared compiled-program cache with LRU eviction and
+// singleflight deduplication; CacheStats is its counter snapshot.
+type (
+	Cache      = xquery.Cache
+	CacheStats = xquery.CacheStats
+)
+
+// NewCache creates a program cache holding up to capacity compiled
+// programs (<= 0: a default capacity).
+var NewCache = xquery.NewCache
+
+// Pool is the concurrent serving layer: a bounded session pool over a
+// shared engine and program cache. Session is one live page within it;
+// PoolConfig parameterises the pool; Metrics is the observability
+// snapshot Pool.Metrics returns.
+type (
+	Pool        = serve.Pool
+	Session     = serve.Session
+	PoolConfig  = serve.Config
+	Metrics     = serve.Metrics
+	LatencyHist = serve.LatencyHist
+)
+
+// NewPool builds a serving pool.
+var NewPool = serve.NewPool
 
 // Node is a DOM node; Event is a DOM Level 3 event.
 type (
@@ -88,21 +293,6 @@ var (
 // Host is the XQIB plug-in host: a loaded page with executing XQuery
 // (and optionally JavaScript-style) scripts — the paper's contribution.
 type Host = core.Host
-
-// LoadPage boots the plug-in pipeline of Figure 1 on a page.
-var LoadPage = core.LoadPage
-
-// Host options.
-var (
-	WithJSSetup        = core.WithJSSetup
-	WithPageLoader     = core.WithPageLoader
-	WithPolicy         = core.WithPolicy
-	WithNavigator      = core.WithNavigator
-	WithExtraFunctions = core.WithExtraFunctions
-	WithBrowserSetup   = core.WithBrowserSetup
-	WithHostResolver   = core.WithModuleResolver
-	WithQueryBudget    = core.WithQueryBudget
-)
 
 // Browser is the headless browser object model (windows, locations,
 // history, security policy).
@@ -135,10 +325,13 @@ type (
 	ModuleServer = rest.ModuleServer
 )
 
-// NewRESTClient and NewModuleServer construct the REST substrate.
+// NewRESTClient and NewModuleServer construct the REST substrate;
+// NewModuleServerCached compiles the service module through a shared
+// program cache on a shared engine (the serving-layer path).
 var (
-	NewRESTClient   = rest.NewClient
-	NewModuleServer = rest.NewModuleServer
+	NewRESTClient         = rest.NewClient
+	NewModuleServer       = rest.NewModuleServer
+	NewModuleServerCached = rest.NewModuleServerCached
 )
 
 // XMLStore is the REST-accessible XML database (the paper's XMLDB).

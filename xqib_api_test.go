@@ -1,0 +1,126 @@
+package xqib_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	xqib "repro"
+)
+
+// One Option vocabulary serves both constructors: the same
+// WithModuleResolver value resolves imports on a bare engine AND on
+// every script engine of a loaded page.
+func TestUnifiedOptionBothConstructors(t *testing.T) {
+	resolver := xqib.NewLocalResolver(map[string]string{
+		"urn:math": `module namespace m = "urn:math";
+			declare function m:square($x) { $x * $x };`,
+	})
+	opt := xqib.WithModuleResolver(resolver)
+
+	e := xqib.NewEngine(opt)
+	seq, err := e.EvalQuery(`import module namespace m = "urn:math"; m:square(3)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xqib.FormatSequence(seq) != "9" {
+		t.Errorf("engine result = %s", xqib.FormatSequence(seq))
+	}
+
+	h, err := xqib.LoadPage(`<html><head><script type="text/xquery">
+		import module namespace m = "urn:math";
+		browser:alert(string(m:square(4)))
+	</script></head><body/></html>`, "http://example.com/", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := h.Alerts(); len(a) != 1 || a[0] != "16" {
+		t.Errorf("page alerts = %v", a)
+	}
+}
+
+// The deprecated pre-unification names remain as aliases.
+func TestDeprecatedOptionAliases(t *testing.T) {
+	resolver := xqib.NewLocalResolver(map[string]string{
+		"urn:one": `module namespace o = "urn:one";
+			declare function o:one() { 1 };`,
+	})
+	h, err := xqib.LoadPage(`<html><head><script type="text/xquery">
+		import module namespace o = "urn:one";
+		browser:alert(string(o:one()))
+	</script></head><body/></html>`, "http://example.com/",
+		xqib.WithHostResolver(resolver))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := h.Alerts(); len(a) != 1 || a[0] != "1" {
+		t.Errorf("alerts = %v", a)
+	}
+}
+
+// Every re-exported sentinel is reachable with errors.Is through the
+// facade, without importing internal packages.
+func TestSentinelErrorsThroughFacade(t *testing.T) {
+	e := xqib.NewEngine()
+
+	// ErrNoResolver: import with no resolver installed.
+	if _, err := e.EvalQuery(`import module namespace x = "urn:x"; 1`, nil); !errors.Is(err, xqib.ErrNoResolver) {
+		t.Errorf("import err = %v, want ErrNoResolver", err)
+	}
+
+	// ErrUnknownFunction: calling an undeclared function.
+	if _, err := e.EvalQuery(`local:nope()`, nil); !errors.Is(err, xqib.ErrUnknownFunction) {
+		t.Errorf("call err = %v, want ErrUnknownFunction", err)
+	}
+
+	// ErrBudgetExceeded: MaxSteps budget.
+	p, err := e.Compile(`sum(for $i in 1 to 1000000 return $i)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(xqib.RunConfig{MaxSteps: 100}); !errors.Is(err, xqib.ErrBudgetExceeded) {
+		t.Errorf("budget err = %v, want ErrBudgetExceeded", err)
+	}
+
+	// ErrPoolClosed / ErrSessionClosed: serving-layer lifecycle.
+	pool := xqib.NewPool(xqib.PoolConfig{MaxSessions: 1})
+	ctx := context.Background()
+	s, err := pool.Load(ctx, `<html><body><input id="b"/></body></html>`, "http://example.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Click(ctx, "b"); !errors.Is(err, xqib.ErrSessionClosed) {
+		t.Errorf("closed session err = %v, want ErrSessionClosed", err)
+	}
+	if err := pool.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Load(ctx, `<html/>`, "http://example.com/"); !errors.Is(err, xqib.ErrPoolClosed) {
+		t.Errorf("closed pool err = %v, want ErrPoolClosed", err)
+	}
+}
+
+// RunConfig.Context and EvalQueryContext thread cancellation through
+// the facade types.
+func TestFacadeContextCancellation(t *testing.T) {
+	e := xqib.NewEngine()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := e.EvalQueryContext(ctx, `sum(for $i in 1 to 2000000 return $i mod 7)`, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// WithQueryBudget + WithFunctions compose on a pool-free LoadPage.
+func TestFacadeQueryBudgetOnPage(t *testing.T) {
+	_, err := xqib.LoadPage(`<html><head><script type="text/xquery">
+		sum(for $i in 1 to 1000000 return $i)
+	</script></head><body/></html>`, "http://example.com/",
+		xqib.WithQueryBudget(1000, 0))
+	if !errors.Is(err, xqib.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
