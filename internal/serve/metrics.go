@@ -79,6 +79,10 @@ type Metrics struct {
 	SessionsRejected int64 `json:"sessions_rejected"`
 	// Events counts per-session event-loop turns (Do/Click/Keyup).
 	Events int64 `json:"events"`
+	// QueriesRejected counts Pool.Eval calls refused by the static
+	// analyzer under Config.Strict (error matching
+	// xquery.ErrAnalysisFailed).
+	QueriesRejected int64 `json:"queries_rejected"`
 	// Loads is the page-load latency histogram.
 	Loads LatencyHist `json:"loads"`
 	// Queries is the shared-engine query latency histogram

@@ -55,6 +55,11 @@ type Config struct {
 	// Engine, when non-nil, is the shared query engine for Eval;
 	// nil builds one with the full fn: library.
 	Engine *xquery.Engine
+	// Strict gates Pool.Eval behind the static analyzer: programs with
+	// error-severity diagnostics are rejected with an error matching
+	// xquery.ErrAnalysisFailed, never enter the shared program cache,
+	// and are counted in Metrics.QueriesRejected.
+	Strict bool
 	// HostOptions are applied to every session's LoadPage (policies,
 	// loaders, extra functions ...).
 	HostOptions []core.Option
@@ -74,11 +79,12 @@ type Pool struct {
 	closed   bool
 	sessions map[*Session]struct{}
 
-	active   atomic.Int64
-	peak     atomic.Int64
-	loaded   atomic.Int64
-	rejected atomic.Int64
-	events   atomic.Int64
+	active        atomic.Int64
+	peak          atomic.Int64
+	loaded        atomic.Int64
+	rejected      atomic.Int64
+	events        atomic.Int64
+	evalsRejected atomic.Int64
 
 	loads      hist
 	queries    hist
@@ -275,6 +281,7 @@ func (p *Pool) Eval(ctx context.Context, src string, contextDoc *dom.Node) (xdm.
 		Sequential: true,
 		MaxSteps:   p.cfg.MaxSteps,
 		Timeout:    p.cfg.Timeout,
+		Strict:     p.cfg.Strict,
 	}
 	if contextDoc != nil {
 		cfg.ContextItem = xdm.NewNode(contextDoc)
@@ -283,6 +290,9 @@ func (p *Pool) Eval(ctx context.Context, src string, contextDoc *dom.Node) (xdm.
 	res, err := p.cache.EvalQuery(p.engine, src, cfg)
 	p.queries.observe(time.Since(t0))
 	if err != nil {
+		if errors.Is(err, xquery.ErrAnalysisFailed) {
+			p.evalsRejected.Add(1)
+		}
 		return nil, err
 	}
 	return res.Value, nil
@@ -332,6 +342,7 @@ func (p *Pool) Metrics() Metrics {
 		SessionsLoaded:   p.loaded.Load(),
 		SessionsRejected: p.rejected.Load(),
 		Events:           p.events.Load(),
+		QueriesRejected:  p.evalsRejected.Load(),
 		Loads:            p.loads.snapshot(),
 		Queries:          p.queries.snapshot(),
 		Dispatches:       p.dispatches.snapshot(),

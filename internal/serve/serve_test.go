@@ -220,3 +220,39 @@ func TestLoadPageContextCancelledDuringLoad(t *testing.T) {
 		t.Errorf("rejected = %d, want 1", got)
 	}
 }
+
+func TestPoolEvalStrict(t *testing.T) {
+	p := NewPool(Config{MaxSessions: 2, Strict: true})
+	ctx := context.Background()
+
+	// Statically broken: unbound variable. Rejected before the cache.
+	for i := 0; i < 2; i++ {
+		_, err := p.Eval(ctx, `1 + $nowhere`, nil)
+		if !errors.Is(err, xquery.ErrAnalysisFailed) {
+			t.Fatalf("err = %v, want ErrAnalysisFailed", err)
+		}
+	}
+	if _, err := p.Eval(ctx, `sum(1 to 4)`, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	m := p.Metrics()
+	if m.QueriesRejected != 2 {
+		t.Errorf("QueriesRejected = %d, want 2", m.QueriesRejected)
+	}
+	if m.Cache.Compiles != 1 {
+		t.Errorf("cache compiles = %d, want 1 (rejected programs stay out)", m.Cache.Compiles)
+	}
+}
+
+func TestPoolEvalStrictOff(t *testing.T) {
+	p := NewPool(Config{MaxSessions: 2})
+	// Without Strict the unbound variable only fails at runtime, and the
+	// rejection counter stays untouched.
+	if _, err := p.Eval(context.Background(), `1 + $nowhere`, nil); err == nil {
+		t.Fatal("unbound variable ran successfully")
+	}
+	if m := p.Metrics(); m.QueriesRejected != 0 {
+		t.Errorf("QueriesRejected = %d, want 0", m.QueriesRejected)
+	}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"repro/internal/xquery/ast"
+	"repro/internal/xquery/parser"
+)
+
+// Pass 3: browser-policy lint. Two halves: calls the browser profile
+// rejects outright (fn:doc, fn:put — paper §4.2.1), and window-tree
+// writes that the host will refuse at apply time. The window tree that
+// browser:top()/browser:self() materialise is writable only at three
+// properties (status, name, location/href); everything else returns
+// ErrReadOnlyWindowProperty, and any update primitive other than
+// "replace value of node" returns ErrWindowUpdateUnsupported. Both are
+// knowable statically when the update target is a literal path rooted
+// at a browser: window function.
+
+// windowRootFuncs are the browser: functions whose result is (or
+// contains) the writable window tree.
+var windowRootFuncs = map[string]bool{
+	"top": true, "self": true, "windowOpen": true,
+}
+
+// writableWindowProps are the window-tree leaves ApplyUpdate accepts.
+var writableWindowProps = map[string]bool{
+	"status": true, "name": true, "href": true,
+}
+
+// readOnlyWindowProps are the remaining materialised window-tree names:
+// replacing their value is statically known to fail.
+var readOnlyWindowProps = map[string]bool{
+	"window": true, "location": true, "protocol": true, "host": true,
+	"hostname": true, "port": true, "pathname": true, "search": true,
+	"hash": true, "lastModified": true, "closed": true,
+}
+
+// checkBrowserCall flags the calls the browser profile blocks.
+func (c *checker) checkBrowserCall(fc ast.FuncCall) {
+	if fc.Name.Space != parser.FnNamespace {
+		return
+	}
+	switch fc.Name.Local {
+	case "doc":
+		c.report(CodeDocBlocked, SevError, fc.At,
+			"fn:doc is blocked in the browser profile (paper §4.2.1); use browser:document or the page's own tree")
+	case "put":
+		c.report(CodePutBlocked, SevError, fc.At,
+			"fn:put is blocked in the browser profile (paper §4.2.1)")
+	}
+}
+
+// checkWindowWrite lints an update target against the window tree.
+// replaceValue says the update is "replace value of node" (the only
+// kind ApplyUpdate supports).
+func (c *checker) checkWindowWrite(target ast.Expr, replaceValue bool, at ast.Pos) {
+	rooted, last := windowTargetPath(target)
+	if !rooted {
+		return
+	}
+	if !replaceValue {
+		c.report(CodeWindowUpdateKind, SevWarning, at,
+			"only \"replace value of node\" is supported on window properties; this update always fails with ErrWindowUpdateUnsupported")
+		return
+	}
+	switch {
+	case writableWindowProps[last]:
+	case readOnlyWindowProps[last]:
+		c.report(CodeReadOnlyWindow, SevWarning, at,
+			"window property %q is read-only; this write always fails with ErrReadOnlyWindowProperty", last)
+	case last == "":
+		c.report(CodeReadOnlyWindow, SevWarning, at,
+			"replacing the window node itself always fails; only status, name and location/href are writable")
+	}
+}
+
+// windowTargetPath reports whether e is a path rooted at a browser:
+// window function, and the local name of its final name-test step (""
+// when the target is the root call itself or the last step is not a
+// name test).
+func windowTargetPath(e ast.Expr) (rooted bool, last string) {
+	switch x := e.(type) {
+	case ast.FuncCall:
+		return isWindowRoot(x), ""
+	case ast.Path:
+		if len(x.Steps) == 0 || x.Steps[0].Primary == nil {
+			return false, ""
+		}
+		fc, ok := x.Steps[0].Primary.(ast.FuncCall)
+		if !ok || !isWindowRoot(fc) {
+			return false, ""
+		}
+		for i := len(x.Steps) - 1; i >= 1; i-- {
+			t := x.Steps[i].Test
+			if t.IsName {
+				return true, t.Name.Local
+			}
+			if t.AnyNode || t.Kind != 0 {
+				return true, ""
+			}
+		}
+		return true, ""
+	}
+	return false, ""
+}
+
+func isWindowRoot(fc ast.FuncCall) bool {
+	return fc.Name.Space == parser.BrowserNamespace && windowRootFuncs[fc.Name.Local]
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Embedded-script extraction: XQIB pages carry their programs in
+// <script type="text/xquery"> (or text/xqueryp) elements, so the linter
+// must find those blocks inside arbitrary page text and map diagnostic
+// positions back to page coordinates. The scan is textual on purpose —
+// lint targets are often not well-formed XML (templates, .go example
+// sources embedding pages as string literals), and a full markup parse
+// would lose the byte positions we need anyway.
+
+// EmbeddedScript is one inline XQuery program found in a page.
+type EmbeddedScript struct {
+	// Source is the script text between the tags, with a leading
+	// newline trimmed (positions are adjusted accordingly).
+	Source string
+	// Type is the script MIME type as written ("text/xquery" or
+	// "text/xqueryp").
+	Type string
+	// Line and Col are the 1-based page position where Source begins.
+	Line, Col int
+}
+
+// scriptTypes mirrors core.ScriptTypes (kept literal here so the
+// analyzer does not depend on the browser host packages).
+var scriptTypes = map[string]bool{
+	"text/xquery":  true,
+	"text/xqueryp": true,
+}
+
+// ExtractScripts scans page text for XQuery script blocks. Blocks with
+// other type attributes (e.g. text/javascript) are skipped; an
+// unterminated block extends to the end of the input.
+func ExtractScripts(page string) []EmbeddedScript {
+	var out []EmbeddedScript
+	lower := strings.ToLower(page)
+	pos := 0
+	for {
+		i := strings.Index(lower[pos:], "<script")
+		if i < 0 {
+			return out
+		}
+		tagStart := pos + i
+		gt := strings.IndexByte(page[tagStart:], '>')
+		if gt < 0 {
+			return out
+		}
+		openEnd := tagStart + gt + 1
+		attrs := page[tagStart+len("<script") : openEnd-1]
+		end := strings.Index(lower[openEnd:], "</script")
+		var src string
+		if end < 0 {
+			src = page[openEnd:]
+			pos = len(page)
+		} else {
+			src = page[openEnd : openEnd+end]
+			pos = openEnd + end + len("</script")
+		}
+		typ, ok := scriptType(attrs)
+		if !ok {
+			continue
+		}
+		line, col := lineColAt(page, openEnd)
+		// A script conventionally starts on the line after the open
+		// tag; trimming the first newline keeps positions natural.
+		if len(src) > 0 && src[0] == '\n' {
+			src = src[1:]
+			line, col = line+1, 1
+		} else if strings.HasPrefix(src, "\r\n") {
+			src = src[2:]
+			line, col = line+1, 1
+		}
+		out = append(out, EmbeddedScript{Source: src, Type: typ, Line: line, Col: col})
+	}
+}
+
+// scriptType pulls the type attribute out of a script tag's attribute
+// text and reports whether it is an XQuery type.
+func scriptType(attrs string) (string, bool) {
+	lower := strings.ToLower(attrs)
+	i := strings.Index(lower, "type")
+	if i < 0 {
+		return "", false
+	}
+	rest := attrs[i+len("type"):]
+	rest = strings.TrimLeft(rest, " \t\r\n")
+	if !strings.HasPrefix(rest, "=") {
+		return "", false
+	}
+	rest = strings.TrimLeft(rest[1:], " \t\r\n")
+	if rest == "" {
+		return "", false
+	}
+	var val string
+	if rest[0] == '"' || rest[0] == '\'' {
+		q := rest[0]
+		end := strings.IndexByte(rest[1:], q)
+		if end < 0 {
+			return "", false
+		}
+		val = rest[1 : 1+end]
+	} else {
+		end := strings.IndexAny(rest, " \t\r\n/>")
+		if end < 0 {
+			end = len(rest)
+		}
+		val = rest[:end]
+	}
+	val = strings.ToLower(strings.TrimSpace(val))
+	return val, scriptTypes[val]
+}
+
+// lineColAt converts a byte offset into 1-based line:col.
+func lineColAt(s string, off int) (int, int) {
+	if off > len(s) {
+		off = len(s)
+	}
+	line := 1 + strings.Count(s[:off], "\n")
+	col := off - strings.LastIndexByte(s[:off], '\n')
+	return line, col
+}
+
+// AdjustPos maps a diagnostic position inside an embedded script back
+// to page coordinates given the script's start position.
+func AdjustPos(d Diagnostic, scriptLine, scriptCol int) Diagnostic {
+	if d.Line <= 0 {
+		return d
+	}
+	if d.Line == 1 {
+		d.Col += scriptCol - 1
+	}
+	d.Line += scriptLine - 1
+	return d
+}

@@ -1,0 +1,491 @@
+package analysis
+
+import (
+	"repro/internal/xquery/ast"
+	"repro/internal/xquery/parser"
+)
+
+// Pass 4: constant folding and cost annotation. Folding is deliberately
+// small — enough to catch `if (true())` / `if (1 = 2)` dead branches
+// and to size `1 to N` ranges exactly; everything else stays unknown.
+// The step estimate is saturating and uses the same unit as the runtime
+// budget (one step per expression evaluation or streamed item), so a
+// program estimated at E steps run under MaxSteps < E is likely to trip
+// runtime.ErrBudgetExceeded.
+
+// Cardinality and iteration guesses for statically unknown shapes.
+const (
+	unknownCard  = 8    // items assumed in an unknown sequence
+	whileIters   = 64   // iterations assumed for a while loop
+	recursionEst = 1024 // cost assumed for a recursive user function
+	cardCap      = 1 << 20
+	costCap      = int64(1) << 40
+)
+
+// constKind tags the folded value.
+type constKind int
+
+const (
+	constInt constKind = iota
+	constFloat
+	constString
+	constBool
+	constEmpty
+)
+
+type constVal struct {
+	kind constKind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// ebv is the effective boolean value of a folded constant.
+func (v constVal) ebv() bool {
+	switch v.kind {
+	case constInt:
+		return v.i != 0
+	case constFloat:
+		return v.f != 0 && v.f == v.f // non-zero, non-NaN
+	case constString:
+		return v.s != ""
+	case constBool:
+		return v.b
+	default:
+		return false
+	}
+}
+
+// constBool folds e and takes its effective boolean value.
+func (c *checker) constBool(e ast.Expr) (bool, bool) {
+	v, ok := c.fold(e)
+	if !ok {
+		return false, false
+	}
+	return v.ebv(), true
+}
+
+// fold evaluates e if it is a constant expression.
+func (c *checker) fold(e ast.Expr) (constVal, bool) {
+	switch x := e.(type) {
+	case ast.IntLit:
+		return constVal{kind: constInt, i: x.Val}, true
+	case ast.DoubleLit:
+		return constVal{kind: constFloat, f: x.Val}, true
+	case ast.StringLit:
+		return constVal{kind: constString, s: x.Val}, true
+	case ast.SeqExpr:
+		if len(x.Items) == 0 {
+			return constVal{kind: constEmpty}, true
+		}
+	case ast.Unary:
+		v, ok := c.fold(x.X)
+		if !ok {
+			return constVal{}, false
+		}
+		if x.Neg {
+			switch v.kind {
+			case constInt:
+				v.i = -v.i
+			case constFloat:
+				v.f = -v.f
+			default:
+				return constVal{}, false
+			}
+		}
+		return v, true
+	case ast.FuncCall:
+		if x.Name.Space != parser.FnNamespace {
+			return constVal{}, false
+		}
+		switch {
+		case x.Name.Local == "true" && len(x.Args) == 0:
+			return constVal{kind: constBool, b: true}, true
+		case x.Name.Local == "false" && len(x.Args) == 0:
+			return constVal{kind: constBool, b: false}, true
+		case x.Name.Local == "not" && len(x.Args) == 1:
+			if b, ok := c.constBool(x.Args[0]); ok {
+				return constVal{kind: constBool, b: !b}, true
+			}
+		}
+	case ast.Binary:
+		return c.foldBinary(x)
+	case ast.Compare:
+		return c.foldCompare(x)
+	}
+	return constVal{}, false
+}
+
+func (c *checker) foldBinary(x ast.Binary) (constVal, bool) {
+	switch x.Op {
+	case "and", "or":
+		lb, lok := c.constBool(x.L)
+		rb, rok := c.constBool(x.R)
+		// Short-circuit folds: a constant dominant operand decides the
+		// result regardless of the other side.
+		if x.Op == "and" {
+			if lok && !lb || rok && !rb {
+				return constVal{kind: constBool, b: false}, true
+			}
+			if lok && rok {
+				return constVal{kind: constBool, b: lb && rb}, true
+			}
+		} else {
+			if lok && lb || rok && rb {
+				return constVal{kind: constBool, b: true}, true
+			}
+			if lok && rok {
+				return constVal{kind: constBool, b: lb || rb}, true
+			}
+		}
+		return constVal{}, false
+	case "+", "-", "*", "idiv", "mod":
+		l, lok := c.fold(x.L)
+		r, rok := c.fold(x.R)
+		if !lok || !rok || l.kind != constInt || r.kind != constInt {
+			return constVal{}, false
+		}
+		switch x.Op {
+		case "+":
+			return constVal{kind: constInt, i: l.i + r.i}, true
+		case "-":
+			return constVal{kind: constInt, i: l.i - r.i}, true
+		case "*":
+			return constVal{kind: constInt, i: l.i * r.i}, true
+		case "idiv":
+			if r.i == 0 {
+				return constVal{}, false // a runtime error, not a constant
+			}
+			return constVal{kind: constInt, i: l.i / r.i}, true
+		default: // mod
+			if r.i == 0 {
+				return constVal{}, false
+			}
+			return constVal{kind: constInt, i: l.i % r.i}, true
+		}
+	}
+	return constVal{}, false
+}
+
+func (c *checker) foldCompare(x ast.Compare) (constVal, bool) {
+	if x.Kind == ast.NodeComp {
+		return constVal{}, false
+	}
+	l, lok := c.fold(x.L)
+	r, rok := c.fold(x.R)
+	if !lok || !rok {
+		return constVal{}, false
+	}
+	op := x.Op
+	switch op { // value-comparison spellings map onto the general ones
+	case "eq":
+		op = "="
+	case "ne":
+		op = "!="
+	case "lt":
+		op = "<"
+	case "le":
+		op = "<="
+	case "gt":
+		op = ">"
+	case "ge":
+		op = ">="
+	}
+	var cmp int // -1, 0, 1
+	switch {
+	case l.kind == constInt && r.kind == constInt:
+		cmp = cmpOrder(l.i < r.i, l.i == r.i)
+	case l.kind == constString && r.kind == constString:
+		cmp = cmpOrder(l.s < r.s, l.s == r.s)
+	case (l.kind == constFloat || l.kind == constInt) && (r.kind == constFloat || r.kind == constInt):
+		lf, rf := l.asFloat(), r.asFloat()
+		if lf != lf || rf != rf { // NaN compares false for everything but !=
+			return constVal{kind: constBool, b: op == "!="}, true
+		}
+		cmp = cmpOrder(lf < rf, lf == rf)
+	default:
+		return constVal{}, false
+	}
+	var b bool
+	switch op {
+	case "=":
+		b = cmp == 0
+	case "!=":
+		b = cmp != 0
+	case "<":
+		b = cmp < 0
+	case "<=":
+		b = cmp <= 0
+	case ">":
+		b = cmp > 0
+	case ">=":
+		b = cmp >= 0
+	default:
+		return constVal{}, false
+	}
+	return constVal{kind: constBool, b: b}, true
+}
+
+func (v constVal) asFloat() float64 {
+	if v.kind == constInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+func cmpOrder(less, eq bool) int {
+	switch {
+	case less:
+		return -1
+	case eq:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// --- step estimation -------------------------------------------------------
+
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if s < a || s > costCap {
+		return costCap
+	}
+	return s
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > costCap/b {
+		return costCap
+	}
+	return a * b
+}
+
+// cardOf estimates the number of items e yields.
+func (c *checker) cardOf(e ast.Expr) int64 {
+	switch x := e.(type) {
+	case ast.Range:
+		l, lok := c.fold(x.L)
+		r, rok := c.fold(x.R)
+		if lok && rok && l.kind == constInt && r.kind == constInt {
+			n := r.i - l.i + 1
+			if n < 0 {
+				return 0
+			}
+			if n > cardCap {
+				return cardCap
+			}
+			return n
+		}
+		return unknownCard
+	case ast.SeqExpr:
+		var n int64
+		for _, it := range x.Items {
+			n = satAdd(n, c.cardOf(it))
+			if n > cardCap {
+				return cardCap
+			}
+		}
+		return n
+	case ast.IntLit, ast.DecimalLit, ast.DoubleLit, ast.StringLit,
+		ast.DirElem, ast.CompConstructor, ast.ContextItem:
+		return 1
+	default:
+		return unknownCard
+	}
+}
+
+// estimate computes the saturating step estimate for e.
+func (c *checker) estimate(e ast.Expr) int64 {
+	switch x := e.(type) {
+	case nil:
+		return 0
+	case ast.StringLit, ast.IntLit, ast.DecimalLit, ast.DoubleLit,
+		ast.VarRef, ast.ContextItem, ast.Break, ast.Continue:
+		return 1
+	case ast.SeqExpr:
+		t := int64(1)
+		for _, it := range x.Items {
+			t = satAdd(t, c.estimate(it))
+		}
+		return t
+	case ast.Ordered:
+		return c.estimate(x.X)
+	case ast.FuncCall:
+		t := int64(1)
+		for _, a := range x.Args {
+			t = satAdd(t, c.estimate(a))
+		}
+		return satAdd(t, c.callEstimate(x))
+	case ast.If:
+		t := satAdd(1, c.estimate(x.Cond))
+		thenE, elseE := c.estimate(x.Then), c.estimate(x.Else)
+		if elseE > thenE {
+			thenE = elseE
+		}
+		return satAdd(t, thenE)
+	case ast.FLWOR:
+		t := int64(1)
+		card := int64(1)
+		for _, cl := range x.Clauses {
+			t = satAdd(t, satMul(card, c.estimate(cl.In)))
+			if cl.For {
+				card = satMul(card, c.cardOf(cl.In))
+				if card > cardCap {
+					card = cardCap
+				}
+			}
+		}
+		inner := c.estimate(x.Where)
+		for _, os := range x.OrderBy {
+			inner = satAdd(inner, c.estimate(os.Key))
+		}
+		inner = satAdd(inner, c.estimate(x.Return))
+		return satAdd(t, satMul(card, inner))
+	case ast.Quantified:
+		t := int64(1)
+		card := int64(1)
+		for _, cl := range x.Vars {
+			t = satAdd(t, c.estimate(cl.In))
+			card = satMul(card, c.cardOf(cl.In))
+			if card > cardCap {
+				card = cardCap
+			}
+		}
+		return satAdd(t, satMul(card, c.estimate(x.Satisfies)))
+	case ast.Typeswitch:
+		t := satAdd(1, c.estimate(x.Operand))
+		max := c.estimate(x.Default)
+		for _, cs := range x.Cases {
+			if b := c.estimate(cs.Body); b > max {
+				max = b
+			}
+		}
+		return satAdd(t, max)
+	case ast.Binary:
+		return satAdd(1, satAdd(c.estimate(x.L), c.estimate(x.R)))
+	case ast.Compare:
+		return satAdd(1, satAdd(c.estimate(x.L), c.estimate(x.R)))
+	case ast.Unary:
+		return satAdd(1, c.estimate(x.X))
+	case ast.Range:
+		// Materialising a range costs about its cardinality.
+		return satAdd(1, c.cardOf(x))
+	case ast.InstanceOf:
+		return satAdd(1, c.estimate(x.X))
+	case ast.TreatAs:
+		return satAdd(1, c.estimate(x.X))
+	case ast.CastAs:
+		return satAdd(1, c.estimate(x.X))
+	case ast.Path:
+		t := int64(1)
+		card := int64(1)
+		for _, st := range x.Steps {
+			if st.Primary != nil {
+				t = satAdd(t, satMul(card, c.estimate(st.Primary)))
+				card = satMul(card, c.cardOf(st.Primary))
+			} else {
+				// An axis step visits the frontier and expands it.
+				t = satAdd(t, satMul(card, unknownCard))
+				card = satMul(card, unknownCard)
+			}
+			if card > cardCap {
+				card = cardCap
+			}
+			for _, pr := range st.Preds {
+				t = satAdd(t, satMul(card, c.estimate(pr)))
+			}
+		}
+		return t
+	case ast.DirElem:
+		t := int64(1)
+		for _, a := range x.Attrs {
+			for _, p := range a.Pieces {
+				t = satAdd(t, c.estimate(p))
+			}
+		}
+		for _, ch := range x.Content {
+			t = satAdd(t, c.estimate(ch))
+		}
+		return t
+	case ast.CompConstructor:
+		return satAdd(1, satAdd(c.estimate(x.NameExpr), c.estimate(x.Content)))
+	case ast.Insert:
+		return satAdd(1, satAdd(c.estimate(x.Source), c.estimate(x.Target)))
+	case ast.Delete:
+		return satAdd(1, c.estimate(x.Target))
+	case ast.Replace:
+		return satAdd(1, satAdd(c.estimate(x.Target), c.estimate(x.With)))
+	case ast.Rename:
+		return satAdd(1, satAdd(c.estimate(x.Target), c.estimate(x.NewName)))
+	case ast.Transform:
+		t := int64(1)
+		for _, b := range x.Bindings {
+			t = satAdd(t, c.estimate(b.In))
+		}
+		return satAdd(t, satAdd(c.estimate(x.Modify), c.estimate(x.Return)))
+	case ast.Block:
+		t := int64(1)
+		for _, st := range x.Stmts {
+			t = satAdd(t, c.estimate(st))
+		}
+		return t
+	case ast.BlockDecl:
+		return satAdd(1, c.estimate(x.Init))
+	case ast.Assign:
+		return satAdd(1, c.estimate(x.Val))
+	case ast.While:
+		if b, ok := c.constBool(x.Cond); ok && !b {
+			return satAdd(1, c.estimate(x.Cond))
+		}
+		body := satAdd(c.estimate(x.Cond), c.estimate(x.Body))
+		return satAdd(1, satMul(whileIters, body))
+	case ast.Exit:
+		return satAdd(1, c.estimate(x.With))
+	case ast.EventAttach:
+		return satAdd(1, satAdd(c.estimate(x.Event), c.estimate(x.Target)))
+	case ast.EventDetach:
+		return satAdd(1, satAdd(c.estimate(x.Event), c.estimate(x.Target)))
+	case ast.EventTrigger:
+		return satAdd(1, satAdd(c.estimate(x.Event), c.estimate(x.Target)))
+	case ast.SetStyle:
+		return satAdd(1, satAdd(c.estimate(x.Prop), satAdd(c.estimate(x.Target), c.estimate(x.Value))))
+	case ast.GetStyle:
+		return satAdd(1, satAdd(c.estimate(x.Prop), c.estimate(x.Target)))
+	case ast.FTContains:
+		return satAdd(unknownCard, c.estimate(x.X))
+	default:
+		return 1
+	}
+}
+
+// callEstimate prices the callee: user functions are estimated from
+// their body (memoised; recursion falls back to a flat guess), built-ins
+// count as one step.
+func (c *checker) callEstimate(fc ast.FuncCall) int64 {
+	decls, ok := c.funcs[fnKey(fc.Name)]
+	if !ok {
+		return 1
+	}
+	for _, d := range decls {
+		if len(d.Params) != len(fc.Args) || d.Body == nil {
+			continue
+		}
+		if est, done := c.estMemo[d]; done {
+			return est
+		}
+		if c.estBusy[d] {
+			return recursionEst
+		}
+		c.estBusy[d] = true
+		est := c.estimate(d.Body)
+		delete(c.estBusy, d)
+		c.estMemo[d] = est
+		return est
+	}
+	return 1
+}

@@ -1,0 +1,54 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/xquery/analysis"
+	"repro/internal/xquery/parser"
+)
+
+// FuzzAnalyze asserts the analyzer's contract with the parser: any
+// module the parser accepts must analyze without panicking, whatever
+// diagnostics come out. Seeds are the golden corpus plus shapes that
+// stress scoping, update placement and folding.
+func FuzzAnalyze(f *testing.F) {
+	if files, err := filepath.Glob(filepath.Join("testdata", "*.xq")); err == nil {
+		for _, file := range files {
+			if b, err := os.ReadFile(file); err == nil {
+				f.Add(string(b))
+			}
+		}
+	}
+	for _, seed := range []string{
+		"1 + 1",
+		"for $x at $i in 1 to 5 where $i mod 2 = 0 order by $x return $x",
+		"some $x in (1,2) satisfies $x = 2",
+		"typeswitch (1) case $i as xs:integer return $i default $d return $d",
+		"copy $c := /a modify delete node $c/b return $c",
+		"declare updating function local:u() { delete node /a }; local:u()",
+		"{ declare variable $x := 1; while ($x < 3) { $x := $x + 1 }; $x }",
+		"on event 'click' at /html attach listener local:go",
+		"<a b='{1+2}'>{for $x in //y return $x}</a>",
+		"if (1 idiv 0) then 1 else 2",
+		"browser:alert('hi')",
+		"replace value of node browser:self()/status with 'x'",
+	} {
+		f.Add(seed)
+	}
+	cfg := goldenConfig()
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := parser.ParseModule(src)
+		if err != nil {
+			return // parser rejected it; out of scope
+		}
+		res := analysis.Analyze(m, cfg)
+		if res == nil {
+			t.Fatal("Analyze returned nil for a parsed module")
+		}
+		if res.EstimatedSteps < 0 {
+			t.Fatalf("negative step estimate %d", res.EstimatedSteps)
+		}
+	})
+}

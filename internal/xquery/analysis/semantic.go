@@ -1,0 +1,364 @@
+package analysis
+
+import (
+	"strconv"
+
+	"repro/internal/dom"
+	"repro/internal/xquery/ast"
+)
+
+// updCtx says whether an updating expression may appear at the current
+// position, and if not, why — the distinction picks the diagnostic
+// code (XQ0101 vs XQ0102).
+type updCtx int
+
+const (
+	// updAllowed: statement-like positions where the Update Facility
+	// permits updating expressions (module body statements, if
+	// branches, FLWOR return, block statements, transform modify, ...).
+	updAllowed updCtx = iota
+	// updExpr: value positions — conditions, operands, arguments,
+	// predicates, binding sequences. Never updating.
+	updExpr
+	// updFunc: positions that would be allowed, except the enclosing
+	// function is not declared updating or sequential.
+	updFunc
+)
+
+// walk is the combined semantic / update-placement / browser-policy
+// traversal. sc is the lexical scope; upd the update-placement context
+// of this position. Child positions that keep statement semantics pass
+// upd through; value positions pass updExpr.
+func (c *checker) walk(e ast.Expr, sc *scope, upd updCtx) {
+	switch x := e.(type) {
+	case nil:
+		return
+
+	case ast.StringLit, ast.IntLit, ast.DecimalLit, ast.DoubleLit,
+		ast.ContextItem, ast.Break, ast.Continue:
+		return
+
+	case ast.VarRef:
+		b := sc.lookup(x.Name)
+		if b == nil {
+			if !c.imports[x.Name.Space] {
+				c.report(CodeUnboundVar, SevError, x.At, "unbound variable $%s", varDisplay(x.Name))
+			}
+			return
+		}
+		b.used = true
+
+	case ast.SeqExpr:
+		for _, it := range x.Items {
+			c.walk(it, sc, upd)
+		}
+
+	case ast.Ordered:
+		c.walk(x.X, sc, upd)
+
+	case ast.FuncCall:
+		c.checkCall(x, sc, upd)
+
+	case ast.If:
+		c.walk(x.Cond, sc, updExpr)
+		if b, ok := c.constBool(x.Cond); ok {
+			branch := "\"else\""
+			val := "true"
+			if !b {
+				branch = "\"then\""
+				val = "false"
+			}
+			c.report(CodeConstCond, SevWarning, x.At,
+				"condition is constantly %s; the %s branch is dead", val, branch)
+		}
+		c.walk(x.Then, sc, upd)
+		c.walk(x.Else, sc, upd)
+
+	case ast.FLWOR:
+		fs := &scope{parent: sc}
+		seen := map[dom.QName]bool{}
+		for _, cl := range x.Clauses {
+			c.walk(cl.In, fs, updExpr)
+			if !cl.For && seen[cl.Var] {
+				c.report(CodeDuplicateLet, SevWarning, cl.At,
+					"duplicate binding of $%s in the same FLWOR shadows the earlier one",
+					varDisplay(cl.Var))
+			}
+			seen[cl.Var] = true
+			fs.declare(cl.Var, cl.At, clauseKind(cl))
+			if cl.PosVar.Local != "" {
+				seen[cl.PosVar] = true
+				fs.declare(cl.PosVar, cl.At, kindPosVar)
+			}
+		}
+		c.walk(x.Where, fs, updExpr)
+		for _, os := range x.OrderBy {
+			c.walk(os.Key, fs, updExpr)
+		}
+		c.walk(x.Return, fs, upd)
+		c.reportUnused(fs)
+
+	case ast.Quantified:
+		qs := &scope{parent: sc}
+		for _, cl := range x.Vars {
+			c.walk(cl.In, qs, updExpr)
+			qs.declare(cl.Var, cl.At, kindFor)
+		}
+		c.walk(x.Satisfies, qs, updExpr)
+		c.reportUnused(qs)
+
+	case ast.Typeswitch:
+		c.walk(x.Operand, sc, updExpr)
+		for _, cs := range x.Cases {
+			ts := &scope{parent: sc}
+			if cs.Var.Local != "" {
+				ts.declare(cs.Var, cs.At, kindCase)
+			}
+			c.walk(cs.Body, ts, upd)
+			c.reportUnused(ts)
+		}
+		ds := &scope{parent: sc}
+		if x.DefaultVar.Local != "" {
+			ds.declare(x.DefaultVar, x.At, kindCase)
+		}
+		c.walk(x.Default, ds, upd)
+		c.reportUnused(ds)
+
+	case ast.Binary:
+		c.walk(x.L, sc, updExpr)
+		c.walk(x.R, sc, updExpr)
+	case ast.Compare:
+		c.walk(x.L, sc, updExpr)
+		c.walk(x.R, sc, updExpr)
+	case ast.Unary:
+		c.walk(x.X, sc, updExpr)
+	case ast.Range:
+		c.walk(x.L, sc, updExpr)
+		c.walk(x.R, sc, updExpr)
+	case ast.InstanceOf:
+		c.walk(x.X, sc, updExpr)
+	case ast.TreatAs:
+		c.walk(x.X, sc, updExpr)
+	case ast.CastAs:
+		c.walk(x.X, sc, updExpr)
+
+	case ast.Path:
+		for _, st := range x.Steps {
+			if st.Primary != nil {
+				c.walk(st.Primary, sc, updExpr)
+			}
+			for _, pr := range st.Preds {
+				c.walk(pr, sc, updExpr)
+			}
+		}
+
+	case ast.DirElem:
+		for _, a := range x.Attrs {
+			for _, p := range a.Pieces {
+				c.walk(p, sc, updExpr)
+			}
+		}
+		for _, ch := range x.Content {
+			c.walk(ch, sc, updExpr)
+		}
+	case ast.CompConstructor:
+		c.walk(x.NameExpr, sc, updExpr)
+		c.walk(x.Content, sc, updExpr)
+
+	case ast.Insert:
+		c.updatingExpr(x.At, "insert", upd)
+		c.walk(x.Source, sc, updExpr)
+		c.walk(x.Target, sc, updExpr)
+		c.checkWindowWrite(x.Target, false, x.At)
+	case ast.Delete:
+		c.updatingExpr(x.At, "delete", upd)
+		c.walk(x.Target, sc, updExpr)
+		c.checkWindowWrite(x.Target, false, x.At)
+	case ast.Replace:
+		c.updatingExpr(x.At, "replace", upd)
+		c.walk(x.Target, sc, updExpr)
+		c.walk(x.With, sc, updExpr)
+		c.checkWindowWrite(x.Target, x.ValueOf, x.At)
+	case ast.Rename:
+		c.updatingExpr(x.At, "rename", upd)
+		c.walk(x.Target, sc, updExpr)
+		c.walk(x.NewName, sc, updExpr)
+		c.checkWindowWrite(x.Target, false, x.At)
+
+	case ast.Transform:
+		ts := &scope{parent: sc}
+		for _, b := range x.Bindings {
+			c.walk(b.In, ts, updExpr)
+			ts.declare(b.Var, b.At, kindCopy)
+		}
+		// The modify clause is its own updating context: transform is a
+		// plain (non-updating) expression that updates only its copies.
+		c.walk(x.Modify, ts, updAllowed)
+		c.walk(x.Return, ts, updExpr)
+		c.reportUnused(ts)
+
+	case ast.Block:
+		bs := &scope{parent: sc}
+		for _, st := range x.Stmts {
+			c.walk(st, bs, upd)
+		}
+		c.reportUnused(bs)
+	case ast.BlockDecl:
+		c.walk(x.Init, sc, updExpr)
+		sc.declare(x.Var, x.At, kindBlockDecl)
+	case ast.Assign:
+		b := sc.lookup(x.Var)
+		if b == nil {
+			c.report(CodeAssignUndeclared, SevError, x.At,
+				"assignment to undeclared variable $%s", varDisplay(x.Var))
+		} else {
+			b.used = true
+		}
+		c.walk(x.Val, sc, updExpr)
+	case ast.While:
+		c.walk(x.Cond, sc, updExpr)
+		c.walk(x.Body, sc, upd)
+	case ast.Exit:
+		c.walk(x.With, sc, updExpr)
+
+	case ast.EventAttach:
+		c.walk(x.Event, sc, updExpr)
+		c.walk(x.Target, sc, updExpr)
+		c.checkListener(x.Listener, x.At)
+	case ast.EventDetach:
+		c.walk(x.Event, sc, updExpr)
+		c.walk(x.Target, sc, updExpr)
+		c.checkListener(x.Listener, x.At)
+	case ast.EventTrigger:
+		c.walk(x.Event, sc, updExpr)
+		c.walk(x.Target, sc, updExpr)
+
+	case ast.SetStyle:
+		c.walk(x.Prop, sc, updExpr)
+		c.walk(x.Target, sc, updExpr)
+		c.walk(x.Value, sc, updExpr)
+	case ast.GetStyle:
+		c.walk(x.Prop, sc, updExpr)
+		c.walk(x.Target, sc, updExpr)
+
+	case ast.FTContains:
+		c.walk(x.X, sc, updExpr)
+		c.walkFT(x.Sel, sc)
+	}
+}
+
+func (c *checker) walkFT(sel ast.FTSelection, sc *scope) {
+	switch s := sel.(type) {
+	case ast.FTWords:
+		c.walk(s.Source, sc, updExpr)
+	case ast.FTAnd:
+		c.walkFT(s.L, sc)
+		c.walkFT(s.R, sc)
+	case ast.FTOr:
+		c.walkFT(s.L, sc)
+		c.walkFT(s.R, sc)
+	case ast.FTNot:
+		c.walkFT(s.X, sc)
+	}
+}
+
+func clauseKind(cl ast.Clause) bindKind {
+	if cl.For {
+		return kindFor
+	}
+	return kindLet
+}
+
+// updatingExpr reports a misplaced updating expression. what names the
+// construct for the message.
+func (c *checker) updatingExpr(at ast.Pos, what string, upd updCtx) {
+	switch upd {
+	case updAllowed:
+	case updFunc:
+		c.report(CodeUpdateInPure, SevError, at,
+			"updating expression (%s) in a function not declared updating", what)
+	default:
+		c.report(CodeMisplacedUpdate, SevError, at,
+			"updating expression (%s) in a non-updating context", what)
+	}
+}
+
+// checkCall resolves a static function call: user declarations first,
+// then the registry signature table, then imported namespaces (opaque
+// at analysis time). Calls to updating functions are themselves
+// updating expressions and go through the placement check.
+func (c *checker) checkCall(fc ast.FuncCall, sc *scope, upd updCtx) {
+	arity := len(fc.Args)
+	defer func() {
+		for _, a := range fc.Args {
+			c.walk(a, sc, updExpr)
+		}
+	}()
+
+	if decls, ok := c.funcs[fnKey(fc.Name)]; ok {
+		for _, d := range decls {
+			if len(d.Params) == arity {
+				if d.Updating {
+					c.updatingExpr(fc.At, "call to updating function "+fnDisplay(fc.Name), upd)
+				}
+				return
+			}
+		}
+		c.report(CodeArity, SevError, fc.At,
+			"%s expects %s, got %d", fnDisplay(fc.Name), expectedArity(decls), arity)
+		return
+	}
+
+	if f := c.reg.Lookup(fc.Name, arity); f != nil {
+		if c.browser {
+			c.checkBrowserCall(fc)
+		}
+		if f.Updating {
+			c.updatingExpr(fc.At, "call to updating function "+fnDisplay(fc.Name), upd)
+		}
+		return
+	}
+	if ovs := c.reg.Overloads(fc.Name); len(ovs) > 0 {
+		c.report(CodeArity, SevError, fc.At,
+			"%s does not accept %d argument(s)", fnDisplay(fc.Name), arity)
+		return
+	}
+	if c.imports[fc.Name.Space] {
+		return // provided by an imported module; unknowable statically
+	}
+	c.report(CodeUnknownFunc, SevError, fc.At,
+		"unknown function %s#%d", fnDisplay(fc.Name), arity)
+}
+
+// checkListener verifies that an attached/detached listener names a
+// known function (any arity — dispatch decides the argument shape).
+func (c *checker) checkListener(name dom.QName, at ast.Pos) {
+	if _, ok := c.funcs[fnKey(name)]; ok {
+		return
+	}
+	if len(c.reg.Overloads(name)) > 0 || c.imports[name.Space] {
+		return
+	}
+	c.report(CodeUnknownFunc, SevError, at,
+		"unknown listener function %s", fnDisplay(name))
+}
+
+func expectedArity(decls []*ast.FuncDecl) string {
+	if len(decls) == 1 {
+		n := len(decls[0].Params)
+		if n == 1 {
+			return "1 argument"
+		}
+		return itoa(n) + " arguments"
+	}
+	out := ""
+	for i, d := range decls {
+		if i > 0 {
+			out += " or "
+		}
+		out += itoa(len(d.Params))
+	}
+	return out + " arguments"
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,2 @@
+let $x := 1
+return $x + $y

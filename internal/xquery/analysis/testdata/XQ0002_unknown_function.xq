@@ -1,0 +1,1 @@
+local:frobnicate(1, 2)

@@ -1,0 +1,3 @@
+declare function local:double($n) { $n * 2 };
+fn:substring("abc"),
+local:double(1, 2)

@@ -1,0 +1,4 @@
+for $i in 1 to 3
+let $y := $i
+let $y := $i * 2
+return $y

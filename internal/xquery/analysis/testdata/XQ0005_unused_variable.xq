@@ -1,0 +1,2 @@
+let $unused := 5
+return 42

@@ -1,0 +1,2 @@
+if (1 = 1) then "always" else "never",
+if (false()) then "never" else "always"

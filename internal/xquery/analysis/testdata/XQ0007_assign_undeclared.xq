@@ -1,0 +1,6 @@
+{
+  declare variable $x := 1;
+  $x := 2;
+  $y := 3;
+  $x
+}

@@ -1,0 +1,2 @@
+let $n := delete node /log/entry[1]
+return fn:count(delete node /log/entry)

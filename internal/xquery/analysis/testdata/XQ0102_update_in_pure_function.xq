@@ -1,0 +1,4 @@
+declare function local:clear() {
+  delete node /log/entry
+};
+local:clear()

@@ -1,0 +1,1 @@
+fn:doc("http://example.com/feed.xml")/rss

@@ -1,0 +1,1 @@
+fn:put(<backup/>, "backup.xml")

@@ -1,0 +1,3 @@
+replace value of node browser:self()/status with "ok",
+replace value of node browser:self()/closed with "true",
+replace value of node browser:top()/location/hostname with "evil.example"

@@ -1,0 +1,2 @@
+delete node browser:self()/status,
+insert node <w/> into browser:top()

@@ -1,0 +1,2 @@
+for $i in 1 to 100000
+return $i * $i

@@ -1,0 +1,4 @@
+declare variable $greeting := "hello";
+declare function local:shout($s) { fn:upper-case($s) };
+let $msg := local:shout($greeting)
+return <p>{$msg}</p>

@@ -15,6 +15,77 @@ import (
 // Expr is any expression node.
 type Expr interface{ exprNode() }
 
+// Pos is a source position: 1-based line and byte column. The zero Pos
+// means "unknown" (a synthesised node). Nodes that the static analyzer
+// reports on carry their position in an At field; PosOf retrieves it
+// generically.
+type Pos struct{ Line, Col int }
+
+// Known reports whether the position was recorded.
+func (p Pos) Known() bool { return p.Line > 0 }
+
+// PosOf returns the source position of an expression, or the zero Pos
+// for node kinds that do not record one.
+func PosOf(e Expr) Pos {
+	switch x := e.(type) {
+	case VarRef:
+		return x.At
+	case FuncCall:
+		return x.At
+	case If:
+		return x.At
+	case FLWOR:
+		if len(x.Clauses) > 0 {
+			return x.Clauses[0].At
+		}
+	case Quantified:
+		if len(x.Vars) > 0 {
+			return x.Vars[0].At
+		}
+	case Typeswitch:
+		return x.At
+	case Insert:
+		return x.At
+	case Delete:
+		return x.At
+	case Replace:
+		return x.At
+	case Rename:
+		return x.At
+	case Transform:
+		return x.At
+	case Block:
+		if len(x.Stmts) > 0 {
+			return PosOf(x.Stmts[0])
+		}
+	case BlockDecl:
+		return x.At
+	case Assign:
+		return x.At
+	case While:
+		return x.At
+	case Exit:
+		return x.At
+	case EventAttach:
+		return x.At
+	case EventDetach:
+		return x.At
+	case EventTrigger:
+		return x.At
+	case SetStyle:
+		return x.At
+	case GetStyle:
+		return x.At
+	case Ordered:
+		return PosOf(x.X)
+	case SeqExpr:
+		if len(x.Items) > 0 {
+			return PosOf(x.Items[0])
+		}
+	}
+	return Pos{}
+}
+
 // --- Literals and primaries ----------------------------------------------
 
 // StringLit is a string literal.
@@ -30,7 +101,10 @@ type DecimalLit struct{ Val string }
 type DoubleLit struct{ Val float64 }
 
 // VarRef is a variable reference $name.
-type VarRef struct{ Name dom.QName }
+type VarRef struct {
+	Name dom.QName
+	At   Pos
+}
 
 // ContextItem is the "." expression.
 type ContextItem struct{}
@@ -43,6 +117,7 @@ type SeqExpr struct{ Items []Expr }
 type FuncCall struct {
 	Name dom.QName
 	Args []Expr
+	At   Pos
 }
 
 // Ordered is ordered{...} / unordered{...}; we always evaluate in order,
@@ -52,7 +127,10 @@ type Ordered struct{ X Expr }
 // --- Control expressions --------------------------------------------------
 
 // If is the conditional expression.
-type If struct{ Cond, Then, Else Expr }
+type If struct {
+	Cond, Then, Else Expr
+	At               Pos
+}
 
 // FLWOR is the for/let/where/order by/return expression.
 type FLWOR struct {
@@ -69,6 +147,7 @@ type Clause struct {
 	PosVar dom.QName // "at $i", zero if absent (for only)
 	Type   *xdm.SeqType
 	In     Expr // binding sequence (for) or value (let)
+	At     Pos  // position of the bound variable
 }
 
 // OrderSpec is one key of an order by clause.
@@ -92,6 +171,7 @@ type Typeswitch struct {
 	Cases      []TypeswitchCase
 	DefaultVar dom.QName // zero if unnamed
 	Default    Expr
+	At         Pos
 }
 
 // TypeswitchCase is one case of a typeswitch.
@@ -99,6 +179,7 @@ type TypeswitchCase struct {
 	Var  dom.QName // zero if unnamed
 	Type xdm.SeqType
 	Body Expr
+	At   Pos
 }
 
 // --- Operators --------------------------------------------------------------
@@ -281,22 +362,28 @@ type Insert struct {
 	Source Expr
 	Target Expr
 	Pos    InsertPos
+	At     Pos
 }
 
 // Delete is "delete node(s) Target".
-type Delete struct{ Target Expr }
+type Delete struct {
+	Target Expr
+	At     Pos
+}
 
 // Replace is "replace (value of)? node Target with With".
 type Replace struct {
 	ValueOf bool
 	Target  Expr
 	With    Expr
+	At      Pos
 }
 
 // Rename is "rename node Target as NewName".
 type Rename struct {
 	Target  Expr
 	NewName Expr
+	At      Pos
 }
 
 // Transform is "copy $x := e modify m return r".
@@ -304,6 +391,7 @@ type Transform struct {
 	Bindings []Clause // Var + In
 	Modify   Expr
 	Return   Expr
+	At       Pos
 }
 
 // --- Scripting extension -------------------------------------------------------
@@ -319,22 +407,28 @@ type BlockDecl struct {
 	Var  dom.QName
 	Type *xdm.SeqType
 	Init Expr // nil means empty sequence
+	At   Pos
 }
 
 // Assign is "set $x := e" or "$x := e".
 type Assign struct {
 	Var dom.QName
 	Val Expr
+	At  Pos
 }
 
 // While is the scripting while loop.
 type While struct {
 	Cond Expr
 	Body Expr
+	At   Pos
 }
 
 // Exit is "exit with e" / "exit returning e".
-type Exit struct{ With Expr }
+type Exit struct {
+	With Expr
+	At   Pos
+}
 
 // Break is the scripting "break" statement (§3.3).
 type Break struct{}
@@ -350,6 +444,7 @@ type EventAttach struct {
 	Target   Expr
 	Behind   bool // asynchronous-call binding (§4.4)
 	Listener dom.QName
+	At       Pos
 }
 
 // EventDetach is "on event E at T detach listener F".
@@ -357,19 +452,27 @@ type EventDetach struct {
 	Event    Expr
 	Target   Expr
 	Listener dom.QName
+	At       Pos
 }
 
 // EventTrigger is "trigger event E at T".
 type EventTrigger struct {
 	Event  Expr
 	Target Expr
+	At     Pos
 }
 
 // SetStyle is "set style P of T to V".
-type SetStyle struct{ Prop, Target, Value Expr }
+type SetStyle struct {
+	Prop, Target, Value Expr
+	At                  Pos
+}
 
 // GetStyle is "get style P of T".
-type GetStyle struct{ Prop, Target Expr }
+type GetStyle struct {
+	Prop, Target Expr
+	At           Pos
+}
 
 // --- Full text ------------------------------------------------------------------
 
@@ -428,6 +531,7 @@ type FuncDecl struct {
 	Updating   bool
 	Sequential bool
 	External   bool
+	At         Pos
 }
 
 // VarDecl is a global variable declaration from the prolog.
@@ -436,6 +540,7 @@ type VarDecl struct {
 	Type     *xdm.SeqType
 	Init     Expr // nil for external
 	External bool
+	At       Pos
 }
 
 // ModuleImport records "import module namespace p = uri (at hints)?;".

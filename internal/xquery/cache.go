@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/xquery/analysis"
 	"repro/internal/xquery/ast"
 	"repro/internal/xquery/parser"
 )
@@ -66,6 +67,15 @@ type cacheEntry struct {
 	key  string
 	prog *Program
 	mod  *ast.Module
+
+	// Static-analysis results, filled lazily on the first Strict access
+	// to this entry: the analysis is a pure function of (engine,
+	// module), so it is computed at most once per cached program. The
+	// stored diagnostics exclude budget warnings (those depend on the
+	// per-run MaxSteps and derive from est).
+	analyzed bool
+	diags    []analysis.Diagnostic
+	est      int64
 }
 
 // flight is one in-progress compile shared by concurrent callers.
@@ -215,11 +225,97 @@ func (c *Cache) insert(idx map[string]*list.Element, lru *list.List, e *cacheEnt
 	}
 }
 
+// CompileStrict is Compile gated by the static analyzer: programs with
+// error-severity diagnostics are rejected with an *AnalysisError and —
+// on the miss path — never admitted to the program cache (the parsed
+// module is still shared, so repeated strict attempts reparse nothing).
+// On success the analysis result (warnings + step estimate) is returned
+// alongside the program and memoised with the cache entry.
+func (c *Cache) CompileStrict(e *Engine, src string) (*Program, *analysis.Result, error) {
+	key := e.Fingerprint() + "\x00" + src
+
+	c.mu.Lock()
+	if el, ok := c.programs[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.progLRU.MoveToFront(el)
+		if ent.analyzed {
+			prog, res := ent.prog, &analysis.Result{Diagnostics: ent.diags, EstimatedSteps: ent.est}
+			c.mu.Unlock()
+			c.progHits.Add(1)
+			if res.HasErrors() {
+				return nil, res, &AnalysisError{Diagnostics: res.Diagnostics}
+			}
+			return prog, res, nil
+		}
+		prog := ent.prog
+		c.mu.Unlock()
+		c.progHits.Add(1)
+		// Analyze outside the lock; concurrent first strict accesses may
+		// duplicate the work but converge on the same result.
+		res := e.AnalyzeModule(prog.Module())
+		c.mu.Lock()
+		if el, ok := c.programs[key]; ok {
+			ent := el.Value.(*cacheEntry)
+			ent.analyzed, ent.diags, ent.est = true, res.Diagnostics, res.EstimatedSteps
+		}
+		c.mu.Unlock()
+		if res.HasErrors() {
+			// The program entered the cache through the non-strict path;
+			// strict callers still refuse to run it.
+			return nil, res, &AnalysisError{Diagnostics: res.Diagnostics}
+		}
+		return prog, res, nil
+	}
+	c.mu.Unlock()
+
+	m, err := c.parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := e.AnalyzeModule(m)
+	if res.HasErrors() {
+		return nil, res, &AnalysisError{Diagnostics: res.Diagnostics}
+	}
+	prog, err := c.Compile(e, src)
+	if err != nil {
+		return nil, res, err
+	}
+	c.mu.Lock()
+	if el, ok := c.programs[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		if !ent.analyzed {
+			ent.analyzed, ent.diags, ent.est = true, res.Diagnostics, res.EstimatedSteps
+		}
+	}
+	c.mu.Unlock()
+	return prog, res, nil
+}
+
 // EvalQuery compiles src through the cache and runs it on engine e —
 // the cached counterpart of Engine.EvalQueryContext. cfg.ContextItem,
 // budgets, Context and the other run parameters apply per run as usual;
-// only the compiled program is shared.
+// only the compiled program is shared. With cfg.Strict set the compile
+// goes through CompileStrict: statically rejected programs fail with an
+// *AnalysisError (and stay out of the program cache), and the memoised
+// analysis supplies Result.Diagnostics without re-analyzing per run.
 func (c *Cache) EvalQuery(e *Engine, src string, cfg RunConfig) (*Result, error) {
+	if cfg.Strict {
+		p, ares, err := c.CompileStrict(e, src)
+		if err != nil {
+			return nil, err
+		}
+		runCfg := cfg
+		runCfg.Strict = false // analysis already done; don't redo it per run
+		res, err := p.Run(runCfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Diagnostics = ares.Diagnostics
+		if d, ok := analysis.BudgetDiagnostic(ares.EstimatedSteps, cfg.MaxSteps); ok {
+			res.Diagnostics = append(append([]Diagnostic(nil), ares.Diagnostics...), d)
+		}
+		return res, nil
+	}
 	p, err := c.Compile(e, src)
 	if err != nil {
 		return nil, err

@@ -7,12 +7,14 @@ package xquery
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/dom"
 	"repro/internal/xdm"
+	"repro/internal/xquery/analysis"
 	"repro/internal/xquery/ast"
 	"repro/internal/xquery/funclib"
 	"repro/internal/xquery/parser"
@@ -125,6 +127,68 @@ func (e *Engine) CompileModule(m *ast.Module) (*Program, error) {
 	return &Program{engine: e, prog: p}, nil
 }
 
+// Diagnostic and Severity are the static analyzer's finding types,
+// re-exported so facade users need not import the analysis package.
+type (
+	Diagnostic = analysis.Diagnostic
+	Severity   = analysis.Severity
+)
+
+// ErrAnalysisFailed matches (via errors.Is) every *AnalysisError: a
+// program rejected by the static analyzer under Strict mode.
+var ErrAnalysisFailed = errors.New("xquery: static analysis failed")
+
+// AnalysisError reports a program rejected by the static analyzer. It
+// carries the full diagnostic list (warnings included) so callers can
+// render everything, and wraps ErrAnalysisFailed for errors.Is.
+type AnalysisError struct {
+	Diagnostics []Diagnostic
+}
+
+func (e *AnalysisError) Error() string {
+	nerr := 0
+	first := ""
+	for _, d := range e.Diagnostics {
+		if d.Severity == analysis.SevError {
+			if nerr == 0 {
+				first = d.String()
+			}
+			nerr++
+		}
+	}
+	if nerr == 1 {
+		return fmt.Sprintf("xquery: static analysis failed: %s", first)
+	}
+	return fmt.Sprintf("xquery: static analysis failed: %d errors, first: %s", nerr, first)
+}
+
+// Unwrap makes errors.Is(err, ErrAnalysisFailed) true.
+func (e *AnalysisError) Unwrap() error { return ErrAnalysisFailed }
+
+// analysisConfig derives the analyzer configuration matching this
+// engine's static context: its registry (so host extensions like
+// browser: resolve) and its browser profile.
+func (e *Engine) analysisConfig(maxSteps int64) analysis.Config {
+	return analysis.Config{Registry: e.base, BrowserProfile: e.blockDoc, MaxSteps: maxSteps}
+}
+
+// Analyze parses src and runs the static analyzer without compiling or
+// evaluating it. Parse failures return the parser error; an analyzed
+// module always returns a result, whatever its diagnostics say.
+func (e *Engine) Analyze(src string) (*analysis.Result, error) {
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.AnalyzeModule(m), nil
+}
+
+// AnalyzeModule runs the static analyzer over an already-parsed module
+// against this engine's static context.
+func (e *Engine) AnalyzeModule(m *ast.Module) *analysis.Result {
+	return analysis.Analyze(m, e.analysisConfig(0))
+}
+
 // MustCompile compiles or panics; for tests and fixed queries.
 func (e *Engine) MustCompile(src string) *Program {
 	p, err := e.Compile(src)
@@ -186,6 +250,13 @@ type RunConfig struct {
 	// everywhere (the pre-iterator behaviour); used as a benchmark
 	// baseline and as an escape hatch.
 	DisableStreaming bool
+	// Strict runs the static analyzer before evaluation: error-severity
+	// diagnostics abort the run with an *AnalysisError (matching
+	// ErrAnalysisFailed) before any expression evaluates, and the
+	// remaining warnings are attached to Result.Diagnostics. Under
+	// Cache.EvalQuery, Strict additionally keeps rejected programs out
+	// of the program cache.
+	Strict bool
 }
 
 // ErrBudgetExceeded matches (via errors.Is) the error returned when a
@@ -205,6 +276,9 @@ type Result struct {
 	Value xdm.Sequence
 	// Updates counts the update primitives applied during the run.
 	Updates int
+	// Diagnostics holds the analyzer's warnings when the run was
+	// Strict (errors never reach a Result — they abort the run).
+	Diagnostics []Diagnostic
 }
 
 // NewContext prepares a reusable evaluation context (the browser host
@@ -241,8 +315,21 @@ func (p *Program) NewContext(cfg RunConfig) *runtime.Context {
 // Run evaluates the module body (after initialising globals) and applies
 // any pending updates.
 func (p *Program) Run(cfg RunConfig) (*Result, error) {
+	var diags []Diagnostic
+	if cfg.Strict {
+		ares := analysis.Analyze(p.prog.Module, p.engine.analysisConfig(cfg.MaxSteps))
+		if ares.HasErrors() {
+			return nil, &AnalysisError{Diagnostics: ares.Diagnostics}
+		}
+		diags = ares.Diagnostics
+	}
 	ctx := p.NewContext(cfg)
-	return finishRun(ctx, cfg, func() (xdm.Sequence, error) { return ctx.Run() })
+	res, err := finishRun(ctx, cfg, func() (xdm.Sequence, error) { return ctx.Run() })
+	if err != nil {
+		return nil, err
+	}
+	res.Diagnostics = diags
+	return res, nil
 }
 
 // RunWith evaluates using a prepared context (listener dispatch path).

@@ -43,6 +43,7 @@ type Token struct {
 	Start  int // byte offset of the first character
 	End    int // byte offset just past the token
 	Line   int
+	Col    int // 1-based column of the first character
 }
 
 // IsName reports whether the token is a Name with the given (unprefixed)
@@ -77,10 +78,13 @@ func (t Token) String() string {
 type Error struct {
 	Offset int
 	Line   int
+	Col    int
 	Msg    string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("xquery: line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	return fmt.Sprintf("xquery: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
 
 // Lexer is a pull tokenizer with arbitrary lookahead and rewind.
 type Lexer struct {
@@ -111,6 +115,14 @@ func (l *Lexer) Line(off int) int {
 		off = len(l.src)
 	}
 	return 1 + strings.Count(l.src[:off], "\n")
+}
+
+// Col returns the 1-based column (in bytes) of a byte offset.
+func (l *Lexer) Col(off int) int {
+	if off > len(l.src) {
+		off = len(l.src)
+	}
+	return off - strings.LastIndexByte(l.src[:off], '\n')
 }
 
 // Reset rewinds the lexer to an absolute byte offset, dropping buffered
@@ -157,10 +169,11 @@ func (l *Lexer) PeekAt(k int) Token {
 
 func (l *Lexer) fail(format string, args ...any) Token {
 	if l.err == nil {
-		l.err = &Error{Offset: l.pos, Line: l.Line(l.pos), Msg: fmt.Sprintf(format, args...)}
+		l.err = &Error{Offset: l.pos, Line: l.Line(l.pos), Col: l.Col(l.pos),
+			Msg: fmt.Sprintf(format, args...)}
 	}
 	l.pos = len(l.src)
-	return Token{Kind: EOF, Start: l.pos, End: l.pos, Line: l.Line(l.pos)}
+	return Token{Kind: EOF, Start: l.pos, End: l.pos, Line: l.Line(l.pos), Col: l.Col(l.pos)}
 }
 
 func (l *Lexer) skipSpace() {
@@ -204,39 +217,39 @@ func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 func (l *Lexer) scan() Token {
 	l.skipSpace()
 	start := l.pos
-	line := l.Line(start)
+	line, col := l.Line(start), l.Col(start)
 	if l.pos >= len(l.src) {
-		return Token{Kind: EOF, Start: start, End: start, Line: line}
+		return Token{Kind: EOF, Start: start, End: start, Line: line, Col: col}
 	}
 	c := l.src[l.pos]
 
 	switch {
 	case isNCNameStart(c):
-		return l.scanName(start, line)
+		return l.scanName(start, line, col)
 	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
-		return l.scanNumber(start, line)
+		return l.scanNumber(start, line, col)
 	case c == '"' || c == '\'':
-		return l.scanString(start, line)
+		return l.scanString(start, line, col)
 	}
 
 	// Multi-char symbols, longest first.
 	for _, s := range []string{"!=", "<=", ">=", "<<", ">>", "//", "::", ":=", ".."} {
 		if strings.HasPrefix(l.src[l.pos:], s) {
 			l.pos += len(s)
-			return Token{Kind: Sym, Text: s, Start: start, End: l.pos, Line: line}
+			return Token{Kind: Sym, Text: s, Start: start, End: l.pos, Line: line, Col: col}
 		}
 	}
 	// "*:name" wildcard.
 	if c == '*' && l.pos+2 < len(l.src) && l.src[l.pos+1] == ':' && isNCNameStart(l.src[l.pos+2]) {
 		l.pos += 2
 		local := l.ncname()
-		return Token{Kind: Name, Prefix: "*", Local: local, Start: start, End: l.pos, Line: line}
+		return Token{Kind: Name, Prefix: "*", Local: local, Start: start, End: l.pos, Line: line, Col: col}
 	}
 	switch c {
 	case '(', ')', '[', ']', '{', '}', ',', ';', '$', '@', '.', '/', ':',
 		'=', '<', '>', '+', '-', '*', '|', '?':
 		l.pos++
-		return Token{Kind: Sym, Text: string(c), Start: start, End: l.pos, Line: line}
+		return Token{Kind: Sym, Text: string(c), Start: start, End: l.pos, Line: line, Col: col}
 	}
 	return l.fail("unexpected character %q", string(c))
 }
@@ -249,7 +262,7 @@ func (l *Lexer) ncname() string {
 	return l.src[s:l.pos]
 }
 
-func (l *Lexer) scanName(start, line int) Token {
+func (l *Lexer) scanName(start, line, col int) Token {
 	first := l.ncname()
 	prefix, local := "", first
 	// QName: colon immediately followed by an NCName or "*", with no
@@ -266,10 +279,10 @@ func (l *Lexer) scanName(start, line int) Token {
 			prefix, local = first, "*"
 		}
 	}
-	return Token{Kind: Name, Prefix: prefix, Local: local, Start: start, End: l.pos, Line: line}
+	return Token{Kind: Name, Prefix: prefix, Local: local, Start: start, End: l.pos, Line: line, Col: col}
 }
 
-func (l *Lexer) scanNumber(start, line int) Token {
+func (l *Lexer) scanNumber(start, line, col int) Token {
 	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
 		l.pos++
 	}
@@ -311,19 +324,19 @@ func (l *Lexer) scanNumber(start, line int) Token {
 		if err != nil {
 			return l.fail("invalid double literal %q", text)
 		}
-		return Token{Kind: Dbl, Text: text, FltVal: f, Start: start, End: l.pos, Line: line}
+		return Token{Kind: Dbl, Text: text, FltVal: f, Start: start, End: l.pos, Line: line, Col: col}
 	case isDec:
-		return Token{Kind: Dec, Text: text, Start: start, End: l.pos, Line: line}
+		return Token{Kind: Dec, Text: text, Start: start, End: l.pos, Line: line, Col: col}
 	default:
 		n, err := strconv.ParseInt(text, 10, 64)
 		if err != nil {
 			return l.fail("integer literal %q out of range", text)
 		}
-		return Token{Kind: Int, Text: text, IntVal: n, Start: start, End: l.pos, Line: line}
+		return Token{Kind: Int, Text: text, IntVal: n, Start: start, End: l.pos, Line: line, Col: col}
 	}
 }
 
-func (l *Lexer) scanString(start, line int) Token {
+func (l *Lexer) scanString(start, line, col int) Token {
 	quote := l.src[l.pos]
 	l.pos++
 	var b strings.Builder
@@ -340,7 +353,7 @@ func (l *Lexer) scanString(start, line int) Token {
 				continue
 			}
 			l.pos++
-			return Token{Kind: Str, Text: b.String(), Start: start, End: l.pos, Line: line}
+			return Token{Kind: Str, Text: b.String(), Start: start, End: l.pos, Line: line, Col: col}
 		}
 		if c == '&' {
 			s, n, ok := DecodeEntity(l.src[l.pos:])

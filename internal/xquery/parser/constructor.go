@@ -38,7 +38,7 @@ func (p *Parser) parseDirectConstructor() ast.Expr {
 }
 
 func (r *rawScanner) fail(format string, args ...any) {
-	r.p.failAt(r.p.lx.Line(r.pos), format, args...)
+	r.p.failAt(r.p.lx.Line(r.pos), r.p.lx.Col(r.pos), format, args...)
 }
 
 func (r *rawScanner) eof() bool { return r.pos >= len(r.src) }
@@ -100,7 +100,7 @@ func (r *rawScanner) enclosed() ast.Expr {
 	e := r.p.parseExpr()
 	tok := r.p.next()
 	if !tok.IsSym("}") {
-		r.p.failAt(tok.Line, "expected \"}\" to close enclosed expression, found %s", tok)
+		r.p.failTok(tok, "expected \"}\" to close enclosed expression, found %s", tok)
 	}
 	r.pos = tok.End
 	return e

@@ -23,14 +23,16 @@ const (
 	XMLNamespace     = "http://www.w3.org/XML/1998/namespace"
 )
 
-// Error is a syntax error with line information.
+// Error is a syntax error with line/column information (both 1-based;
+// Col may be 0 when unknown).
 type Error struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
 func (e *Error) Error() string {
-	return fmt.Sprintf("xquery: syntax error at line %d: %s", e.Line, e.Msg)
+	return fmt.Sprintf("xquery: syntax error at line %d:%d: %s", e.Line, e.Col, e.Msg)
 }
 
 // Parser holds the parsing state.
@@ -92,13 +94,21 @@ func (p *Parser) recoverTo(err *error) {
 	}
 }
 
-func (p *Parser) failAt(line int, format string, args ...any) {
-	panic(&Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+func (p *Parser) failAt(line, col int, format string, args ...any) {
+	panic(&Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)})
+}
+
+// failTok fails at a token's position.
+func (p *Parser) failTok(t lexer.Token, format string, args ...any) {
+	p.failAt(t.Line, t.Col, format, args...)
 }
 
 func (p *Parser) fail(format string, args ...any) {
-	p.failAt(p.lx.Peek().Line, format, args...)
+	p.failTok(p.lx.Peek(), format, args...)
 }
+
+// tokPos converts a token's position into an AST source position.
+func tokPos(t lexer.Token) ast.Pos { return ast.Pos{Line: t.Line, Col: t.Col} }
 
 // --- token helpers --------------------------------------------------------
 
@@ -106,7 +116,7 @@ func (p *Parser) next() lexer.Token {
 	t := p.lx.Next()
 	if err := p.lx.Err(); err != nil {
 		le := err.(*lexer.Error)
-		p.failAt(le.Line, "%s", le.Msg)
+		p.failAt(le.Line, le.Col, "%s", le.Msg)
 	}
 	return t
 }
@@ -117,7 +127,7 @@ func (p *Parser) peekAt(k int) lexer.Token { return p.lx.PeekAt(k) }
 func (p *Parser) expectSym(s string) lexer.Token {
 	t := p.next()
 	if !t.IsSym(s) {
-		p.failAt(t.Line, "expected %q, found %s", s, t)
+		p.failTok(t, "expected %q, found %s", s, t)
 	}
 	return t
 }
@@ -125,13 +135,13 @@ func (p *Parser) expectSym(s string) lexer.Token {
 func (p *Parser) expectName(word string) {
 	t := p.next()
 	if !t.IsName(word) {
-		p.failAt(t.Line, "expected %q, found %s", word, t)
+		p.failTok(t, "expected %q, found %s", word, t)
 	}
 }
 
 func (p *Parser) expectEOF() {
 	if t := p.peek(); t.Kind != lexer.EOF {
-		p.failAt(t.Line, "unexpected %s after end of expression", t)
+		p.failTok(t, "unexpected %s after end of expression", t)
 	}
 }
 
@@ -157,7 +167,7 @@ func (p *Parser) eatName(w string) bool {
 
 func (p *Parser) resolve(t lexer.Token, kind string) dom.QName {
 	if t.Kind != lexer.Name {
-		p.failAt(t.Line, "expected a name, found %s", t)
+		p.failTok(t, "expected a name, found %s", t)
 	}
 	if t.Prefix == "" {
 		switch kind {
@@ -171,7 +181,7 @@ func (p *Parser) resolve(t lexer.Token, kind string) dom.QName {
 	}
 	uri, ok := p.ns[t.Prefix]
 	if !ok {
-		p.failAt(t.Line, "undeclared namespace prefix %q", t.Prefix)
+		p.failTok(t, "undeclared namespace prefix %q", t.Prefix)
 	}
 	return dom.QName{Space: uri, Prefix: t.Prefix, Local: t.Local}
 }
@@ -236,7 +246,7 @@ func (p *Parser) parseExprSingle() ast.Expr {
 			if n1.IsName("node") || n1.IsName("nodes") {
 				p.next()
 				p.next()
-				return ast.Delete{Target: p.parseExprSingle()}
+				return ast.Delete{Target: p.parseExprSingle(), At: tokPos(t)}
 			}
 		case "replace":
 			if n1.IsName("node") || n1.IsName("value") {
@@ -248,7 +258,7 @@ func (p *Parser) parseExprSingle() ast.Expr {
 				p.next()
 				target := p.parseExprSingle()
 				p.expectName("as")
-				return ast.Rename{Target: target, NewName: p.parseExprSingle()}
+				return ast.Rename{Target: target, NewName: p.parseExprSingle(), At: tokPos(t)}
 			}
 		case "copy":
 			if n1.IsSym("$") {
@@ -280,13 +290,13 @@ func (p *Parser) parseExprSingle() ast.Expr {
 				p.expectName("of")
 				target := p.parseExprSingleNoRange()
 				p.expectName("to")
-				return ast.SetStyle{Prop: prop, Target: target, Value: p.parseExprSingle()}
+				return ast.SetStyle{Prop: prop, Target: target, Value: p.parseExprSingle(), At: tokPos(t)}
 			}
 			if n1.IsSym("$") {
 				p.next()
 				v := p.varName()
 				p.expectSym(":=")
-				return ast.Assign{Var: v, Val: p.parseExprSingle()}
+				return ast.Assign{Var: v, Val: p.parseExprSingle(), At: tokPos(t)}
 			}
 		case "get":
 			if n1.IsName("style") {
@@ -294,7 +304,7 @@ func (p *Parser) parseExprSingle() ast.Expr {
 				p.next()
 				prop := p.parseExprSingle()
 				p.expectName("of")
-				return ast.GetStyle{Prop: prop, Target: p.parseExprSingle()}
+				return ast.GetStyle{Prop: prop, Target: p.parseExprSingle(), At: tokPos(t)}
 			}
 		case "while":
 			if n1.IsSym("(") {
@@ -302,13 +312,13 @@ func (p *Parser) parseExprSingle() ast.Expr {
 				p.expectSym("(")
 				cond := p.parseExpr()
 				p.expectSym(")")
-				return ast.While{Cond: cond, Body: p.parseExprSingle()}
+				return ast.While{Cond: cond, Body: p.parseExprSingle(), At: tokPos(t)}
 			}
 		case "exit":
 			if n1.IsName("with") || n1.IsName("returning") {
 				p.next()
 				p.next()
-				return ast.Exit{With: p.parseExprSingle()}
+				return ast.Exit{With: p.parseExprSingle(), At: tokPos(t)}
 			}
 		case "break", "continue":
 			// Bare loop-control statements (§3.3). Only when a
@@ -333,7 +343,7 @@ func (p *Parser) parseExprSingle() ast.Expr {
 				p.next()
 				ev := p.parseExprSingle()
 				p.expectName("at")
-				return ast.EventTrigger{Event: ev, Target: p.parseExprSingle()}
+				return ast.EventTrigger{Event: ev, Target: p.parseExprSingle(), At: tokPos(t)}
 			}
 		}
 	}
@@ -341,7 +351,7 @@ func (p *Parser) parseExprSingle() ast.Expr {
 	if t.IsSym("$") && p.peekAt(1).Kind == lexer.Name && p.peekAt(2).IsSym(":=") {
 		v := p.varName()
 		p.next() // :=
-		return ast.Assign{Var: v, Val: p.parseExprSingle()}
+		return ast.Assign{Var: v, Val: p.parseExprSingle(), At: tokPos(t)}
 	}
 	// Bare block "{ ... }" (paper §3.3 writes blocks without a keyword).
 	if t.IsSym("{") {
@@ -358,7 +368,7 @@ func (p *Parser) parseFLWOR() ast.Expr {
 		if t.IsName("for") && p.peekAt(1).IsSym("$") {
 			p.next()
 			for {
-				cl := ast.Clause{For: true}
+				cl := ast.Clause{For: true, At: tokPos(p.peek())}
 				cl.Var = p.varName()
 				if p.peek().IsName("as") {
 					p.next()
@@ -380,7 +390,7 @@ func (p *Parser) parseFLWOR() ast.Expr {
 		if t.IsName("let") && p.peekAt(1).IsSym("$") {
 			p.next()
 			for {
-				cl := ast.Clause{}
+				cl := ast.Clause{At: tokPos(p.peek())}
 				cl.Var = p.varName()
 				if p.peek().IsName("as") {
 					p.next()
@@ -437,7 +447,7 @@ func (p *Parser) parseFLWOR() ast.Expr {
 func (p *Parser) parseQuantified() ast.Expr {
 	q := ast.Quantified{Every: p.next().Local == "every"}
 	for {
-		cl := ast.Clause{For: true}
+		cl := ast.Clause{For: true, At: tokPos(p.peek())}
 		cl.Var = p.varName()
 		if p.peek().IsName("as") {
 			p.next()
@@ -457,13 +467,14 @@ func (p *Parser) parseQuantified() ast.Expr {
 }
 
 func (p *Parser) parseTypeswitch() ast.Expr {
-	p.next() // typeswitch
+	tt := p.next() // typeswitch
 	p.expectSym("(")
-	ts := ast.Typeswitch{Operand: p.parseExpr()}
+	ts := ast.Typeswitch{Operand: p.parseExpr(), At: tokPos(tt)}
 	p.expectSym(")")
 	for p.peek().IsName("case") {
-		p.next()
+		ct := p.next()
 		var c ast.TypeswitchCase
+		c.At = tokPos(ct)
 		if p.peek().IsSym("$") {
 			c.Var = p.varName()
 			p.expectName("as")
@@ -486,19 +497,19 @@ func (p *Parser) parseTypeswitch() ast.Expr {
 }
 
 func (p *Parser) parseIf() ast.Expr {
-	p.next() // if
+	it := p.next() // if
 	p.expectSym("(")
 	cond := p.parseExpr()
 	p.expectSym(")")
 	p.expectName("then")
 	then := p.parseExprSingle()
 	p.expectName("else")
-	return ast.If{Cond: cond, Then: then, Else: p.parseExprSingle()}
+	return ast.If{Cond: cond, Then: then, Else: p.parseExprSingle(), At: tokPos(it)}
 }
 
 func (p *Parser) parseInsert() ast.Expr {
-	p.next() // insert
-	p.next() // node(s)
+	it := p.next() // insert
+	p.next()       // node(s)
 	src := p.parseExprSingle()
 	var pos ast.InsertPos
 	switch {
@@ -533,12 +544,12 @@ func (p *Parser) parseInsert() ast.Expr {
 			pos = ast.IntoLast
 		}
 	}
-	return ast.Insert{Source: src, Target: target, Pos: pos}
+	return ast.Insert{Source: src, Target: target, Pos: pos, At: tokPos(it)}
 }
 
 func (p *Parser) parseReplace() ast.Expr {
-	p.next() // replace
-	r := ast.Replace{}
+	rt := p.next() // replace
+	r := ast.Replace{At: tokPos(rt)}
 	if p.eatName("value") {
 		p.expectName("of")
 		r.ValueOf = true
@@ -551,10 +562,11 @@ func (p *Parser) parseReplace() ast.Expr {
 }
 
 func (p *Parser) parseTransform() ast.Expr {
-	p.next() // copy
-	var tr ast.Transform
+	cpt := p.next() // copy
+	tr := ast.Transform{At: tokPos(cpt)}
 	for {
-		cl := ast.Clause{Var: p.varName()}
+		cl := ast.Clause{At: tokPos(p.peek())}
+		cl.Var = p.varName()
 		p.expectSym(":=")
 		cl.In = p.parseExprSingle()
 		tr.Bindings = append(tr.Bindings, cl)
@@ -590,9 +602,9 @@ func (p *Parser) parseBlock() ast.Expr {
 }
 
 func (p *Parser) parseBlockDecl() ast.Expr {
-	p.next() // declare
-	p.next() // variable
-	d := ast.BlockDecl{Var: p.varName()}
+	dt := p.next() // declare
+	p.next()       // variable
+	d := ast.BlockDecl{Var: p.varName(), At: tokPos(dt)}
 	if p.peek().IsName("as") {
 		p.next()
 		st := p.parseSequenceType()
@@ -606,8 +618,8 @@ func (p *Parser) parseBlockDecl() ast.Expr {
 }
 
 func (p *Parser) parseEventExpr() ast.Expr {
-	p.next() // on
-	p.next() // event
+	ot := p.next() // on
+	p.next()       // event
 	ev := p.parseExprSingle()
 	behind := false
 	switch {
@@ -622,13 +634,13 @@ func (p *Parser) parseEventExpr() ast.Expr {
 	case p.eatName("attach"):
 		p.expectName("listener")
 		return ast.EventAttach{Event: ev, Target: target, Behind: behind,
-			Listener: p.qname("function")}
+			Listener: p.qname("function"), At: tokPos(ot)}
 	case p.eatName("detach"):
 		if behind {
 			p.fail(`"behind" cannot be used with detach`)
 		}
 		p.expectName("listener")
-		return ast.EventDetach{Event: ev, Target: target, Listener: p.qname("function")}
+		return ast.EventDetach{Event: ev, Target: target, Listener: p.qname("function"), At: tokPos(ot)}
 	default:
 		p.fail(`expected "attach listener" or "detach listener"`)
 		return nil

@@ -137,7 +137,7 @@ func (p *Parser) parseStep() ast.Step {
 	if t.Kind == lexer.Name && t.Prefix == "" && p.peekAt(1).IsSym("::") {
 		axis, ok := axisByName(t.Local)
 		if !ok {
-			p.failAt(t.Line, "unknown axis %q", t.Local)
+			p.failTok(t, "unknown axis %q", t.Local)
 		}
 		p.next()
 		p.next()
@@ -217,7 +217,7 @@ func (p *Parser) parseNodeTest(axis ast.Axis) ast.NodeTest {
 		return ast.NodeTest{IsName: true, AnySpace: true, Name: dom.Name("*")}
 	}
 	if t.Kind != lexer.Name {
-		p.failAt(t.Line, "expected a node test, found %s", t)
+		p.failTok(t, "expected a node test, found %s", t)
 	}
 	p.next()
 	switch {
@@ -226,7 +226,7 @@ func (p *Parser) parseNodeTest(axis ast.Axis) ast.NodeTest {
 	case t.Local == "*": // prefix:*
 		uri, ok := p.ns[t.Prefix]
 		if !ok {
-			p.failAt(t.Line, "undeclared namespace prefix %q", t.Prefix)
+			p.failTok(t, "undeclared namespace prefix %q", t.Prefix)
 		}
 		return ast.NodeTest{IsName: true, Name: dom.QName{Space: uri, Prefix: t.Prefix, Local: "*"}}
 	default:
@@ -293,11 +293,11 @@ func (p *Parser) parseKindTest() ast.NodeTest {
 			case lexer.Str:
 				test.PITarget = nt.Text
 			default:
-				p.failAt(nt.Line, "expected a PI target, found %s", nt)
+				p.failTok(nt, "expected a PI target, found %s", nt)
 			}
 		}
 	default:
-		p.failAt(t.Line, "%q is not a kind test", t.Local)
+		p.failTok(t, "%q is not a kind test", t.Local)
 	}
 	p.expectSym(")")
 	return test
@@ -323,7 +323,7 @@ func (p *Parser) parsePrimary() ast.Expr {
 	}
 	switch {
 	case t.IsSym("$"):
-		return ast.VarRef{Name: p.varName()}
+		return ast.VarRef{Name: p.varName(), At: tokPos(t)}
 	case t.IsSym("("):
 		p.next()
 		if p.eatSym(")") {
@@ -374,10 +374,10 @@ func (p *Parser) parsePrimary() ast.Expr {
 				}
 			}
 			p.expectSym(")")
-			return ast.FuncCall{Name: name, Args: args}
+			return ast.FuncCall{Name: name, Args: args, At: tokPos(t)}
 		}
 	}
-	p.failAt(t.Line, "unexpected %s", t)
+	p.failTok(t, "unexpected %s", t)
 	return nil
 }
 
@@ -501,11 +501,11 @@ func (p *Parser) parseItemType() xdm.ItemTest {
 	// Atomic type QName.
 	tok := p.next()
 	if tok.Kind != lexer.Name {
-		p.failAt(tok.Line, "expected an item type, found %s", tok)
+		p.failTok(tok, "expected an item type, found %s", tok)
 	}
 	at, ok := p.atomicType(tok)
 	if !ok {
-		p.failAt(tok.Line, "unknown atomic type %s", tok)
+		p.failTok(tok, "unknown atomic type %s", tok)
 	}
 	return xdm.ItemTest{Atomic: at}
 }
@@ -528,7 +528,7 @@ func (p *Parser) parseSingleType() (xdm.Type, bool) {
 	tok := p.next()
 	at, ok := p.atomicType(tok)
 	if !ok {
-		p.failAt(tok.Line, "unknown atomic type %s", tok)
+		p.failTok(tok, "unknown atomic type %s", tok)
 	}
 	optional := p.eatSym("?")
 	return at, optional
@@ -582,9 +582,9 @@ func (p *Parser) parseFTPrimary() ast.FTSelection {
 		src = p.parseExpr()
 		p.expectSym("}")
 	case t.IsSym("$"):
-		src = ast.VarRef{Name: p.varName()}
+		src = ast.VarRef{Name: p.varName(), At: tokPos(t)}
 	default:
-		p.failAt(t.Line, "expected a full-text word selection, found %s", t)
+		p.failTok(t, "expected a full-text word selection, found %s", t)
 	}
 	w := ast.FTWords{Source: src, AnyAll: "any"}
 	// Optional any/all/phrase option.
@@ -663,6 +663,6 @@ func (p *Parser) parseNumericLiteralValue() int {
 			return int(f)
 		}
 	}
-	p.failAt(t.Line, "expected an integer, found %s", t)
+	p.failTok(t, "expected an integer, found %s", t)
 	return 0
 }

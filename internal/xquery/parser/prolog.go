@@ -130,7 +130,7 @@ func (p *Parser) parseProlog(pr *ast.Prolog) {
 				case which.IsName("collation"), which.IsName("order"):
 					p.skipToSemicolon()
 				default:
-					p.failAt(which.Line, "unknown default declaration %s", which)
+					p.failTok(which, "unknown default declaration %s", which)
 				}
 				p.expectSym(";")
 			case n1.IsName("variable"):
@@ -139,7 +139,8 @@ func (p *Parser) parseProlog(pr *ast.Prolog) {
 				// prolog level they are the same construct).
 				p.next()
 				p.next()
-				v := ast.VarDecl{Name: p.varName()}
+				v := ast.VarDecl{At: tokPos(t)}
+				v.Name = p.varName()
 				if p.peek().IsName("as") {
 					p.next()
 					st := p.parseSequenceType()
@@ -185,7 +186,7 @@ func (p *Parser) parseProlog(pr *ast.Prolog) {
 		case t.IsName("import"):
 			n1 := p.peekAt(1)
 			if !n1.IsName("module") {
-				p.failAt(t.Line, "only module imports are supported")
+				p.failTok(t, "only module imports are supported")
 			}
 			p.next()
 			p.next()
@@ -240,8 +241,9 @@ func (p *Parser) skipToSemicolon() {
 }
 
 func (p *Parser) parseFunctionDecl() ast.FuncDecl {
-	p.next() // declare
+	dt := p.next() // declare
 	var f ast.FuncDecl
+	f.At = tokPos(dt)
 	for {
 		t := p.peek()
 		switch {

@@ -114,6 +114,23 @@ func (r *Registry) Lookup(name dom.QName, arity int) *Function {
 // Names returns the number of distinct registered function names.
 func (r *Registry) Names() int { return len(r.funcs) }
 
+// Overloads returns every function registered under name, regardless of
+// arity (the static analyzer uses this to distinguish "unknown
+// function" from "wrong number of arguments").
+func (r *Registry) Overloads(name dom.QName) []*Function {
+	return r.funcs[fkey(name)]
+}
+
+// All returns every registered function in unspecified order (the
+// funclib signature table is derived from this).
+func (r *Registry) All() []*Function {
+	var out []*Function
+	for _, list := range r.funcs {
+		out = append(out, list...)
+	}
+	return out
+}
+
 // Clone copies the registry so a program's own declarations do not leak
 // into the shared built-in table.
 func (r *Registry) Clone() *Registry {

@@ -1,0 +1,283 @@
+// Command analyzers runs the repository's custom Go invariant passes.
+// They encode the serving-layer contracts the concurrency PR
+// established:
+//
+//	progmutate  compiled programs (xquery.Program / xquery.Engine /
+//	            runtime.Program) are immutable after construction: once
+//	            a program is in the shared cache it is read concurrently
+//	            without locks, so field writes are only legal inside
+//	            constructor-shaped functions (New*/Compile*/With*/init).
+//
+//	ctxstruct   context.Context is never stored in a struct field in the
+//	            serve/rest layers; contexts flow through call parameters
+//	            so cancellation scopes stay explicit per request.
+//
+// The passes would normally be go/analysis analyzers run through
+// `go vet -vettool`, but go/analysis lives in golang.org/x/tools, which
+// this repository deliberately does not depend on (builds must work
+// with no module downloads). The same checks are implemented here on
+// the stdlib go/parser + go/ast surface and run via `go run`:
+//
+//	go run ./tools/analyzers -check progmutate internal/xquery internal/xquery/runtime
+//	go run ./tools/analyzers -check ctxstruct  internal/serve internal/rest
+//
+// Exit status: 0 clean, 1 if any finding was reported, 2 on bad usage
+// or unparsable input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// finding is one invariant violation.
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func main() {
+	check := flag.String("check", "", "pass to run: progmutate or ctxstruct")
+	flag.Parse()
+	if *check == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: analyzers -check {progmutate|ctxstruct} dir...")
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	var findings []finding
+	for _, dir := range flag.Args() {
+		files, err := loadDir(fset, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "analyzers: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range files {
+			switch *check {
+			case "progmutate":
+				findings = append(findings, progMutate(fset, f)...)
+			case "ctxstruct":
+				findings = append(findings, ctxStruct(fset, f)...)
+			default:
+				fmt.Fprintf(os.Stderr, "analyzers: unknown check %q\n", *check)
+				os.Exit(2)
+			}
+		}
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s\n", f.pos, f.msg)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadDir parses every non-test Go file directly in dir.
+func loadDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// --- progmutate -----------------------------------------------------------------
+
+// guardedTypes are the compiled-program types whose fields are frozen
+// after construction.
+var guardedTypes = map[string]bool{
+	"Program": true,
+	"Engine":  true,
+}
+
+// constructorName matches functions allowed to write guarded fields:
+// constructors, compilers, option builders (whose closures configure a
+// not-yet-published Engine) and package init.
+var constructorName = regexp.MustCompile(`^(New|Compile|With|init$|MustCompile)`)
+
+// progMutate reports assignments to fields of guarded types outside
+// constructor-shaped functions. Detection is syntactic: an identifier
+// counts as guarded when it is declared in the enclosing top-level
+// function as a receiver, parameter or local of type Program/Engine
+// (optionally pointer), including inside function literals.
+func progMutate(fset *token.FileSet, file *ast.File) []finding {
+	var out []finding
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if constructorName.MatchString(fd.Name.Name) {
+			continue
+		}
+		guarded := map[string]string{} // ident name -> type name
+		bind := func(names []*ast.Ident, typ ast.Expr) {
+			if tn, ok := guardedTypeName(typ); ok {
+				for _, n := range names {
+					guarded[n.Name] = tn
+				}
+			}
+		}
+		if fd.Recv != nil {
+			for _, f := range fd.Recv.List {
+				bind(f.Names, f.Type)
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				for _, f := range x.Type.Params.List {
+					bind(f.Names, f.Type)
+				}
+			case *ast.DeclStmt:
+				if gd, ok := x.Decl.(*ast.GenDecl); ok {
+					for _, sp := range gd.Specs {
+						if vs, ok := sp.(*ast.ValueSpec); ok && vs.Type != nil {
+							bind(vs.Names, vs.Type)
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if x.Tok == token.DEFINE {
+					for i, lhs := range x.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok || i >= len(x.Rhs) {
+							continue
+						}
+						if tn, ok := literalTypeName(x.Rhs[i]); ok {
+							guarded[id.Name] = tn
+						}
+					}
+				}
+			}
+			return true
+		})
+		for _, f := range fd.Type.Params.List {
+			bind(f.Names, f.Type)
+		}
+		if len(guarded) == 0 {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if x.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range x.Lhs {
+					out = append(out, flagWrite(fset, lhs, guarded, fd.Name.Name)...)
+				}
+			case *ast.IncDecStmt:
+				out = append(out, flagWrite(fset, x.X, guarded, fd.Name.Name)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardedTypeName unwraps *T / T and reports T when guarded.
+func guardedTypeName(t ast.Expr) (string, bool) {
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	switch x := t.(type) {
+	case *ast.Ident:
+		return x.Name, guardedTypes[x.Name]
+	case *ast.SelectorExpr:
+		// e.g. runtime.Program from a sibling package.
+		return x.Sel.Name, guardedTypes[x.Sel.Name]
+	}
+	return "", false
+}
+
+// literalTypeName recognises x := Program{...} / &Program{...} forms.
+func literalTypeName(rhs ast.Expr) (string, bool) {
+	if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		rhs = u.X
+	}
+	if cl, ok := rhs.(*ast.CompositeLit); ok && cl.Type != nil {
+		return guardedTypeName(cl.Type)
+	}
+	return "", false
+}
+
+// flagWrite reports lhs when it is a field selector on a guarded
+// identifier.
+func flagWrite(fset *token.FileSet, lhs ast.Expr, guarded map[string]string, fn string) []finding {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	tn, ok := guarded[id.Name]
+	if !ok {
+		return nil
+	}
+	return []finding{{
+		pos: fset.Position(lhs.Pos()),
+		msg: fmt.Sprintf("progmutate: %s.%s written in %s; %s fields are immutable after construction",
+			id.Name, sel.Sel.Name, fn, tn),
+	}}
+}
+
+// --- ctxstruct ------------------------------------------------------------------
+
+// ctxStruct reports struct fields of type context.Context (including
+// embedded ones). context.CancelFunc and parameters are fine — the
+// invariant is about storing a request's context beyond its call.
+func ctxStruct(fset *token.FileSet, file *ast.File) []finding {
+	var out []finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, f := range st.Fields.List {
+			if isContextContext(f.Type) {
+				out = append(out, finding{
+					pos: fset.Position(f.Pos()),
+					msg: fmt.Sprintf("ctxstruct: struct %s stores a context.Context; pass contexts as parameters instead",
+						ts.Name.Name),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isContextContext(t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context" && sel.Sel.Name == "Context"
+}

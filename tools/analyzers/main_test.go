@@ -1,0 +1,77 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func analyze(t *testing.T, src string, pass func(*token.FileSet, *ast.File) []finding) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pass(fset, f)
+}
+
+func TestProgMutateFlagsLateWrite(t *testing.T) {
+	src := `package p
+type Engine struct{ fp string }
+func (e *Engine) Rename(s string) { e.fp = s }
+`
+	got := analyze(t, src, progMutate)
+	if len(got) != 1 {
+		t.Fatalf("findings = %v, want 1", got)
+	}
+}
+
+func TestProgMutateAllowsConstructors(t *testing.T) {
+	src := `package p
+type Engine struct{ fp string }
+type Program struct{ engine *Engine }
+func New() *Engine { e := &Engine{}; e.fp = "x"; return e }
+func WithThing() func(*Engine) { return func(e *Engine) { e.fp = "y" } }
+func (e *Engine) CompileModule() *Program { p := &Program{}; p.engine = e; return p }
+`
+	if got := analyze(t, src, progMutate); len(got) != 0 {
+		t.Fatalf("findings = %v, want none", got)
+	}
+}
+
+func TestProgMutateLocalLiteral(t *testing.T) {
+	src := `package p
+type Program struct{ n int }
+func use() { p := &Program{}; p.n = 2 }
+`
+	if got := analyze(t, src, progMutate); len(got) != 1 {
+		t.Fatalf("findings = %v, want 1", got)
+	}
+}
+
+func TestProgMutateIgnoresOtherTypes(t *testing.T) {
+	src := `package p
+type Session struct{ n int }
+func (s *Session) Bump() { s.n++ }
+`
+	if got := analyze(t, src, progMutate); len(got) != 0 {
+		t.Fatalf("findings = %v, want none", got)
+	}
+}
+
+func TestCtxStructFlagsStoredContext(t *testing.T) {
+	src := `package p
+import "context"
+type Session struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+func ok(ctx context.Context) {}
+`
+	got := analyze(t, src, ctxStruct)
+	if len(got) != 1 {
+		t.Fatalf("findings = %v, want exactly the ctx field", got)
+	}
+}

@@ -205,6 +205,22 @@ func LoadPageContext(ctx context.Context, pageSrc, href string, opts ...Option) 
 // into it).
 type Registry = xquery.Registry
 
+// --- static analysis ------------------------------------------------------------
+
+// Diagnostic is one static-analyzer finding (code, severity, position,
+// message); Severity is its error/warning classification. Programs run
+// with RunConfig.Strict surface warnings through Result.Diagnostics,
+// and error-level findings reject the program with an *AnalysisError.
+type (
+	Diagnostic = xquery.Diagnostic
+	Severity   = xquery.Severity
+)
+
+// AnalysisError is the error returned when Strict analysis rejects a
+// program; it carries the full diagnostic list and matches
+// ErrAnalysisFailed under errors.Is.
+type AnalysisError = xquery.AnalysisError
+
 // Module resolution: local in-memory library modules and resolver
 // composition (mix local libraries with remote web services).
 var (
@@ -226,6 +242,10 @@ var (
 	ErrNoResolver = xquery.ErrNoResolver
 	// ErrUnknownFunction matches a call to an undeclared function.
 	ErrUnknownFunction = xquery.ErrUnknownFunction
+	// ErrAnalysisFailed matches a program rejected by the static
+	// analyzer under Strict mode (the concrete error is an
+	// *AnalysisError carrying the diagnostics).
+	ErrAnalysisFailed = xquery.ErrAnalysisFailed
 	// ErrReadOnlyWindowProperty matches an update targeting a window
 	// property scripts may not write (§4.2.1 policy).
 	ErrReadOnlyWindowProperty = browser.ErrReadOnlyWindowProperty
