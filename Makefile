@@ -15,12 +15,15 @@ GOVULNCHECK = golang.org/x/vuln/cmd/govulncheck@v1.1.3
 ci: fmt-check vet vet-invariants build race lint bench-smoke staticcheck govulncheck
 
 # Custom invariant passes (tools/analyzers): compiled programs are
-# immutable after construction, and serve/rest never store a
-# context.Context in a struct. Stdlib-only stand-ins for the
-# `go vet -vettool` analyzers, which would need golang.org/x/tools.
+# immutable after construction, serve/rest never store a
+# context.Context in a struct, and only internal/dom/index reads the
+# per-document index maps / raw cache slots, always behind the version
+# stamp. Stdlib-only stand-ins for the `go vet -vettool` analyzers,
+# which would need golang.org/x/tools.
 vet-invariants:
 	$(GO) run ./tools/analyzers -check progmutate internal/xquery internal/xquery/runtime
 	$(GO) run ./tools/analyzers -check ctxstruct internal/serve internal/rest
+	$(GO) run ./tools/analyzers -check idxversion internal/dom/index internal/dom internal/xquery/runtime internal/xquery/funclib internal/serve
 
 # Static analysis of the shipped example programs: every embedded
 # XQuery script block must lint clean, warnings included.
@@ -58,11 +61,14 @@ race:
 bench:
 	$(GO) test -bench . -benchmem -run xxx . ./internal/serve
 	$(GO) run ./cmd/benchserve -check -out BENCH_serve.json
+	$(GO) run ./cmd/benchpath -check -out BENCH_pathindex.json
 
-# One iteration per scenario: a cheap CI gate that the serving scenarios
-# run and the cache/metrics accounting stays exact.
+# Cheap CI gates: one iteration per serving scenario (cache/metrics
+# accounting stays exact) and a short fixed-iteration path-index run
+# (indexed //x at least 5x faster than the scan, identical results).
 bench-smoke:
 	$(GO) run ./cmd/benchserve -smoke -out BENCH_serve.json
+	$(GO) run ./cmd/benchpath -smoke -out BENCH_pathindex.json
 
 experiments:
 	$(GO) run ./cmd/experiments

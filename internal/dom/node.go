@@ -10,6 +10,7 @@ package dom
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // NodeType enumerates the node kinds of the XDM/DOM intersection.
@@ -98,6 +99,10 @@ type Node struct {
 	stamp        uint64
 	stampVersion uint64
 	version      uint64 // on document nodes: bumped on every mutation
+
+	// indexCache holds the version-stamped index of the tree rooted at
+	// this node (see internal/dom/index); meaningful on roots only.
+	indexCache atomic.Value
 }
 
 // NewDocument creates an empty document node.

@@ -1,0 +1,19 @@
+package dom
+
+// Version returns the mutation counter of the tree containing n. Every
+// mutator in tree.go bumps the counter on the tree's root, so a cached
+// derivation of the tree (the document-order stamps here, the
+// per-document indexes in internal/dom/index) is valid exactly while
+// the version it was built at still matches.
+func (n *Node) Version() uint64 { return n.Root().version }
+
+// LoadIndexCache returns the opaque per-document index slot stored on
+// this node, or nil. The slot belongs to internal/dom/index: only that
+// package may interpret the value, and only on root nodes. It is a
+// plain field on the node (not a global registry) so an index dies
+// with its document and never outlives it.
+func (n *Node) LoadIndexCache() any { return n.indexCache.Load() }
+
+// StoreIndexCache publishes a freshly built index for the tree rooted
+// at n. See LoadIndexCache for the ownership contract.
+func (n *Node) StoreIndexCache(v any) { n.indexCache.Store(v) }

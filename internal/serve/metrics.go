@@ -92,4 +92,17 @@ type Metrics struct {
 	Dispatches LatencyHist `json:"dispatches"`
 	// Cache is the shared program cache's counters.
 	Cache xquery.CacheStats `json:"cache"`
+	// Index is the per-document path-index layer's counters. They are
+	// process-wide (internal/dom/index keeps global atomics), not
+	// per-pool: two pools in one process report the same numbers.
+	Index IndexStats `json:"index"`
+}
+
+// IndexStats mirrors index.Stats with JSON tags: Builds counts index
+// (re)builds — one per document version that was actually probed —
+// and Hits counts path steps or fn:id lookups answered from an index
+// instead of a tree walk.
+type IndexStats struct {
+	Builds int64 `json:"builds"`
+	Hits   int64 `json:"hits"`
 }

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dom"
+	"repro/internal/dom/index"
 	"repro/internal/xdm"
 	"repro/internal/xquery"
 )
@@ -347,5 +348,12 @@ func (p *Pool) Metrics() Metrics {
 		Queries:          p.queries.snapshot(),
 		Dispatches:       p.dispatches.snapshot(),
 		Cache:            p.cache.Stats(),
+		Index:            indexStats(),
 	}
+}
+
+// indexStats snapshots the process-wide document-index counters.
+func indexStats() IndexStats {
+	s := index.Snapshot()
+	return IndexStats{Builds: s.Builds, Hits: s.Hits}
 }

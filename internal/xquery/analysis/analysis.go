@@ -28,6 +28,7 @@ import (
 	"repro/internal/xquery/ast"
 	"repro/internal/xquery/funclib"
 	"repro/internal/xquery/parser"
+	"repro/internal/xquery/plan"
 	"repro/internal/xquery/runtime"
 )
 
@@ -109,9 +110,13 @@ func defaultReg() *runtime.Registry {
 }
 
 // Analyze runs all passes over a parsed module and returns the
-// diagnostics plus the cost estimate. It never mutates the module, so
-// one parsed AST may be analyzed and evaluated concurrently.
+// diagnostics plus the cost estimate. Its only mutation of the module
+// is the Once-guarded path-planning pass (plan.Annotate via
+// Module.EnsurePlanned) — the same pass runtime.Compile applies — so
+// the cost estimator sees the access methods the evaluator will use,
+// and one parsed AST may still be analyzed and evaluated concurrently.
 func Analyze(m *ast.Module, cfg Config) *Result {
+	m.EnsurePlanned(func() { plan.Annotate(m) })
 	reg := cfg.Registry
 	if reg == nil {
 		reg = defaultReg()

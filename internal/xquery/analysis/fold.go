@@ -3,6 +3,7 @@ package analysis
 import (
 	"repro/internal/xquery/ast"
 	"repro/internal/xquery/parser"
+	"repro/internal/xquery/plan"
 )
 
 // Pass 4: constant folding and cost annotation. Folding is deliberately
@@ -16,6 +17,7 @@ import (
 // Cardinality and iteration guesses for statically unknown shapes.
 const (
 	unknownCard  = 8    // items assumed in an unknown sequence
+	descScanCard = 64   // subtree nodes assumed for an unindexed descendant scan
 	whileIters   = 64   // iterations assumed for a while loop
 	recursionEst = 1024 // cost assumed for a recursive user function
 	cardCap      = 1 << 20
@@ -384,10 +386,23 @@ func (c *checker) estimate(e ast.Expr) int64 {
 	case ast.Path:
 		t := int64(1)
 		card := int64(1)
-		for _, st := range x.Steps {
+		// Cost the steps the evaluator will actually run: the `//`
+		// rewrite merges descendant-or-self::node()/child::X pairs,
+		// and the planner's access annotation decides whether a
+		// descendant step is an index probe (O(matches), costed at
+		// unknownCard like any other step) or a subtree scan
+		// (O(tree), costed at the larger descScanCard) — so XQ0301
+		// charges indexed descendant steps for their matches, not
+		// the tree.
+		for _, st := range plan.RewriteDescendantSteps(x.Steps) {
 			if st.Primary != nil {
 				t = satAdd(t, satMul(card, c.estimate(st.Primary)))
 				card = satMul(card, c.cardOf(st.Primary))
+			} else if (st.Axis == ast.AxisDescendant || st.Axis == ast.AxisDescendantOrSelf) &&
+				st.Access == ast.AccessScan {
+				// An unindexed descendant step walks whole subtrees.
+				t = satAdd(t, satMul(card, descScanCard))
+				card = satMul(card, unknownCard)
 			} else {
 				// An axis step visits the frontier and expands it.
 				t = satAdd(t, satMul(card, unknownCard))

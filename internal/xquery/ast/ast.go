@@ -8,6 +8,8 @@
 package ast
 
 import (
+	"sync"
+
 	"repro/internal/dom"
 	"repro/internal/xdm"
 )
@@ -297,6 +299,37 @@ type NodeTest struct {
 	PITarget string
 }
 
+// AccessMethod is the path planner's choice of access path for an axis
+// step (see internal/xquery/plan). The zero value is AccessScan, so an
+// unplanned AST evaluates exactly as before planning existed.
+type AccessMethod uint8
+
+// Access methods.
+const (
+	// AccessScan walks the axis node by node (the default).
+	AccessScan AccessMethod = iota
+	// AccessIndexName probes the per-document element-name index:
+	// candidates are the subtree slice of the name's document-order
+	// list instead of a full subtree walk.
+	AccessIndexName
+	// AccessIndexID probes the per-document "id" attribute index: the
+	// step's first predicate pins @id to the string literal recorded
+	// in AccessID.
+	AccessIndexID
+)
+
+// String returns the access-method name (profiler/debug output).
+func (a AccessMethod) String() string {
+	switch a {
+	case AccessIndexName:
+		return "index-name"
+	case AccessIndexID:
+		return "index-id"
+	default:
+		return "scan"
+	}
+}
+
 // Step is one step of a relative path: either an axis step or a primary
 // ("filter") expression, each with trailing predicates.
 type Step struct {
@@ -308,6 +341,13 @@ type Step struct {
 	Primary Expr
 
 	Preds []Expr
+
+	// Access is the planner's access-path annotation for this step,
+	// written exactly once per module by Module.EnsurePlanned before
+	// the module is shared; evaluation only reads it. AccessID holds
+	// the literal id value for AccessIndexID.
+	Access   AccessMethod
+	AccessID string
 }
 
 // Path is a path expression. Absolute paths start at the root of the
@@ -571,7 +611,17 @@ type Module struct {
 
 	Prolog Prolog
 	Body   Expr // nil for library modules
+
+	planOnce sync.Once
 }
+
+// EnsurePlanned runs f exactly once over the module's lifetime — the
+// hook the path planner uses to annotate Step.Access in place. Parsed
+// modules are shared across engines by the program cache and compiled
+// concurrently, so the annotation pass needs a happens-before edge to
+// every reader; sync.Once provides it. Apart from this single guarded
+// pass the AST stays read-only after parse.
+func (m *Module) EnsurePlanned(f func()) { m.planOnce.Do(f) }
 
 func (StringLit) exprNode()       {}
 func (IntLit) exprNode()          {}

@@ -250,6 +250,12 @@ type RunConfig struct {
 	// everywhere (the pre-iterator behaviour); used as a benchmark
 	// baseline and as an escape hatch.
 	DisableStreaming bool
+	// DisableIndexes turns off the per-document indexes for this run:
+	// planned path steps scan the axis, fn:id walks the tree and
+	// document-order sorts use the comparison path. It is the scan
+	// baseline in benchmarks and the oracle side of the index
+	// differential tests.
+	DisableIndexes bool
 	// Strict runs the static analyzer before evaluation: error-severity
 	// diagnostics abort the run with an *AnalysisError (matching
 	// ErrAnalysisFailed) before any expression evaluates, and the
@@ -295,6 +301,7 @@ func (p *Program) NewContext(cfg RunConfig) *runtime.Context {
 	ctx.Profiler = cfg.Profiler
 	ctx.Budget = runtime.NewBudgetContext(cfg.Context, cfg.MaxSteps, cfg.Timeout)
 	ctx.NoStream = cfg.DisableStreaming
+	ctx.NoIndex = cfg.DisableIndexes
 	ctx.Docs = cfg.Docs
 	ctx.Collections = cfg.Collections
 	ctx.Hooks = cfg.Hooks

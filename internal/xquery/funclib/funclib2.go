@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dom"
+	"repro/internal/dom/index"
 	"repro/internal/xdm"
 	"repro/internal/xquery/runtime"
 )
@@ -372,6 +373,31 @@ func registerNodes(reg *runtime.Registry) {
 		for _, it := range xdm.AtomizeSequence(args[0]) {
 			for _, id := range strings.Fields(it.String()) {
 				want[id] = true
+			}
+		}
+		// The id index answers each value in O(matches); the per-value
+		// lists merge back to document order through the runtime's
+		// index-aware sort. NoIndex, a declined Probe (the amortised
+		// rebuild heuristic) and a stale index all fall back to the
+		// full walk.
+		if !ctx.NoIndex {
+			if idx := index.Probe(root); idx != nil {
+				var nodes []*dom.Node
+				usable := true
+				for id := range want {
+					if id == "" {
+						continue
+					}
+					list, ok := idx.ByID(id)
+					if !ok {
+						usable = false
+						break
+					}
+					nodes = append(nodes, list...)
+				}
+				if usable {
+					return ctx.SortedNodeSequence(nodes), nil
+				}
 			}
 		}
 		var out xdm.Sequence

@@ -1,0 +1,289 @@
+// Package plan is the compile-time path planner: the pass between
+// parsing and evaluation that decides, per axis step, how the runtime
+// should produce the step's candidates. It annotates ast.Step.Access
+// in place:
+//
+//   - descendant::x / descendant-or-self::x with a concrete element
+//     name → AccessIndexName (probe the per-document element-name
+//     index, see internal/dom/index);
+//   - the same axes whose first predicate pins @id to a non-empty
+//     string literal → AccessIndexID (probe the id index);
+//   - everything else → AccessScan (walk the axis as before).
+//
+// The annotation is advisory: the evaluator re-applies the node test
+// and every predicate to the probed candidates, and falls back to
+// scanning whenever an index cannot answer, so a wrong plan can cost
+// time but never correctness. Both evaluators consult it — the eager
+// per-step machinery and the streaming iterators — and the static
+// analyzer's cost model reads it to price indexed steps at O(matches)
+// instead of O(tree).
+//
+// Planning mutates the shared AST, which the program cache hands to
+// many engines concurrently; Module.EnsurePlanned guards the pass with
+// a sync.Once so it runs exactly once, before any reader.
+//
+// The package also owns the //-rewrite and the conservative static
+// predicates (ExprMentions, BooleanValuedPred) the rewrite and the
+// streaming runtime share; it sits below runtime and analysis and
+// imports only the AST.
+package plan
+
+import (
+	"repro/internal/xdm"
+	"repro/internal/xquery/ast"
+)
+
+// fnSpace is the XPath functions namespace (unprefixed calls resolve
+// to it).
+const fnSpace = "http://www.w3.org/2005/xpath-functions"
+
+// Annotate plans every path step in the module: the prolog's global
+// initialisers, every function body, and the module body. Call it
+// through Module.EnsurePlanned.
+func Annotate(m *ast.Module) {
+	for i := range m.Prolog.Vars {
+		annotateExpr(m.Prolog.Vars[i].Init)
+	}
+	for i := range m.Prolog.Functions {
+		annotateExpr(m.Prolog.Functions[i].Body)
+	}
+	annotateExpr(m.Body)
+}
+
+// PlanStep chooses the access method for one step and writes the
+// annotation. Exported so the //-rewrite can plan the merged steps it
+// synthesises at evaluation time (they never pass through Annotate).
+func PlanStep(s *ast.Step) {
+	s.Access, s.AccessID = ast.AccessScan, ""
+	if s.Primary != nil {
+		return
+	}
+	if s.Axis != ast.AxisDescendant && s.Axis != ast.AxisDescendantOrSelf {
+		return
+	}
+	if len(s.Preds) > 0 {
+		if id, ok := idPredLiteral(s.Preds[0]); ok {
+			s.Access, s.AccessID = ast.AccessIndexID, id
+			return
+		}
+	}
+	if _, _, ok := ProbeName(s.Test); ok {
+		s.Access = ast.AccessIndexName
+	}
+}
+
+// ProbeName extracts the concrete expanded element name an index probe
+// would look up: a non-wildcard name test, or an element(N) kind test.
+// ok is false for wildcards, node() and non-element kind tests.
+func ProbeName(t ast.NodeTest) (space, local string, ok bool) {
+	switch {
+	case t.AnyNode:
+		return "", "", false
+	case t.IsName:
+		if t.AnySpace || t.Name.Local == "*" {
+			return "", "", false
+		}
+		return t.Name.Space, t.Name.Local, true
+	default:
+		// Kind tests: only element(N) with a concrete name is a
+		// name-index probe; element(), element(*) and the other kinds
+		// scan (the name index holds elements only, so probing it for
+		// another kind would wrongly answer empty).
+		if t.Kind != xdm.TElementNode || !t.HasName || t.KindName.Local == "*" {
+			return "", "", false
+		}
+		return t.KindName.Space, t.KindName.Local, true
+	}
+}
+
+// idPredLiteral recognises the id-pinning predicate shapes
+// [@id = "v"] and [@id eq "v"] (either operand order) with a non-empty
+// string literal. Only these are safe to turn into an id probe: the
+// comparison is string-vs-untypedAtomic in both comparison families,
+// the predicate can never be positional, and the id index does not
+// record empty id attributes.
+func idPredLiteral(p ast.Expr) (string, bool) {
+	c, ok := p.(ast.Compare)
+	if !ok {
+		return "", false
+	}
+	switch {
+	case c.Kind == ast.GeneralComp && c.Op == "=":
+	case c.Kind == ast.ValueComp && c.Op == "eq":
+	default:
+		return "", false
+	}
+	if lit, ok := c.R.(ast.StringLit); ok && isIDAttrPath(c.L) && lit.Val != "" {
+		return lit.Val, true
+	}
+	if lit, ok := c.L.(ast.StringLit); ok && isIDAttrPath(c.R) && lit.Val != "" {
+		return lit.Val, true
+	}
+	return "", false
+}
+
+// isIDAttrPath matches the expression @id: a relative single-step path
+// on the attribute axis naming the no-namespace "id" attribute, with
+// no predicates.
+func isIDAttrPath(e ast.Expr) bool {
+	p, ok := e.(ast.Path)
+	if !ok || p.Absolute || len(p.Steps) != 1 {
+		return false
+	}
+	s := p.Steps[0]
+	return s.Primary == nil && s.Axis == ast.AxisAttribute &&
+		s.Test.IsName && !s.Test.AnySpace && len(s.Preds) == 0 &&
+		s.Test.Name.Space == "" && s.Test.Name.Local == "id"
+}
+
+// annotatePath plans a path's steps in place. Path values are copied
+// freely through Expr interfaces, but Steps is a slice, so writing
+// through the element pointer reaches the one shared backing array.
+func annotatePath(p ast.Path) {
+	for i := range p.Steps {
+		PlanStep(&p.Steps[i])
+		annotateExpr(p.Steps[i].Primary)
+		for _, pr := range p.Steps[i].Preds {
+			annotateExpr(pr)
+		}
+	}
+}
+
+// annotateExpr walks an expression tree planning every path it
+// contains. Unknown node kinds are simply not descended into — their
+// paths stay AccessScan, which is always correct.
+func annotateExpr(e ast.Expr) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case ast.Path:
+		annotatePath(x)
+	case ast.SeqExpr:
+		for _, it := range x.Items {
+			annotateExpr(it)
+		}
+	case ast.FuncCall:
+		for _, a := range x.Args {
+			annotateExpr(a)
+		}
+	case ast.Ordered:
+		annotateExpr(x.X)
+	case ast.If:
+		annotateExpr(x.Cond)
+		annotateExpr(x.Then)
+		annotateExpr(x.Else)
+	case ast.FLWOR:
+		for _, c := range x.Clauses {
+			annotateExpr(c.In)
+		}
+		annotateExpr(x.Where)
+		for _, o := range x.OrderBy {
+			annotateExpr(o.Key)
+		}
+		annotateExpr(x.Return)
+	case ast.Quantified:
+		for _, c := range x.Vars {
+			annotateExpr(c.In)
+		}
+		annotateExpr(x.Satisfies)
+	case ast.Typeswitch:
+		annotateExpr(x.Operand)
+		for _, c := range x.Cases {
+			annotateExpr(c.Body)
+		}
+		annotateExpr(x.Default)
+	case ast.Binary:
+		annotateExpr(x.L)
+		annotateExpr(x.R)
+	case ast.Compare:
+		annotateExpr(x.L)
+		annotateExpr(x.R)
+	case ast.Unary:
+		annotateExpr(x.X)
+	case ast.Range:
+		annotateExpr(x.L)
+		annotateExpr(x.R)
+	case ast.InstanceOf:
+		annotateExpr(x.X)
+	case ast.TreatAs:
+		annotateExpr(x.X)
+	case ast.CastAs:
+		annotateExpr(x.X)
+	case ast.DirElem:
+		for _, a := range x.Attrs {
+			for _, p := range a.Pieces {
+				annotateExpr(p)
+			}
+		}
+		for _, c := range x.Content {
+			annotateExpr(c)
+		}
+	case ast.CompConstructor:
+		annotateExpr(x.NameExpr)
+		annotateExpr(x.Content)
+	case ast.Insert:
+		annotateExpr(x.Source)
+		annotateExpr(x.Target)
+	case ast.Delete:
+		annotateExpr(x.Target)
+	case ast.Replace:
+		annotateExpr(x.Target)
+		annotateExpr(x.With)
+	case ast.Rename:
+		annotateExpr(x.Target)
+		annotateExpr(x.NewName)
+	case ast.Transform:
+		for _, b := range x.Bindings {
+			annotateExpr(b.In)
+		}
+		annotateExpr(x.Modify)
+		annotateExpr(x.Return)
+	case ast.Block:
+		for _, s := range x.Stmts {
+			annotateExpr(s)
+		}
+	case ast.BlockDecl:
+		annotateExpr(x.Init)
+	case ast.Assign:
+		annotateExpr(x.Val)
+	case ast.While:
+		annotateExpr(x.Cond)
+		annotateExpr(x.Body)
+	case ast.Exit:
+		annotateExpr(x.With)
+	case ast.EventAttach:
+		annotateExpr(x.Event)
+		annotateExpr(x.Target)
+	case ast.EventDetach:
+		annotateExpr(x.Event)
+		annotateExpr(x.Target)
+	case ast.EventTrigger:
+		annotateExpr(x.Event)
+		annotateExpr(x.Target)
+	case ast.SetStyle:
+		annotateExpr(x.Prop)
+		annotateExpr(x.Target)
+		annotateExpr(x.Value)
+	case ast.GetStyle:
+		annotateExpr(x.Prop)
+		annotateExpr(x.Target)
+	case ast.FTContains:
+		annotateExpr(x.X)
+		annotateFT(x.Sel)
+	}
+}
+
+func annotateFT(sel ast.FTSelection) {
+	switch s := sel.(type) {
+	case ast.FTWords:
+		annotateExpr(s.Source)
+	case ast.FTAnd:
+		annotateFT(s.L)
+		annotateFT(s.R)
+	case ast.FTOr:
+		annotateFT(s.L)
+		annotateFT(s.R)
+	case ast.FTNot:
+		annotateFT(s.X)
+	}
+}

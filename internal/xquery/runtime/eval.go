@@ -527,7 +527,7 @@ func (ctx *Context) evalNodeSetOp(x ast.Binary) (xdm.Sequence, error) {
 			}
 		}
 	}
-	return sortedNodeSequence(nodes), nil
+	return ctx.sortedNodeSequence(nodes), nil
 }
 
 func (ctx *Context) evalNodeSeq(e ast.Expr, op string) ([]*dom.Node, error) {
@@ -546,8 +546,11 @@ func (ctx *Context) evalNodeSeq(e ast.Expr, op string) ([]*dom.Node, error) {
 	return nodes, nil
 }
 
-// sortedNodeSequence deduplicates and document-orders a node list.
-func sortedNodeSequence(nodes []*dom.Node) xdm.Sequence {
+// stampSortedNodeSequence deduplicates and document-orders a node list
+// by comparison sort over the lazily re-stamped tree — the fallback
+// when no fresh index is available (see Context.sortedNodeSequence in
+// index.go, which is the entry point everything routes through).
+func stampSortedNodeSequence(nodes []*dom.Node) xdm.Sequence {
 	seen := make(map[*dom.Node]bool, len(nodes))
 	uniq := nodes[:0]
 	for _, n := range nodes {

@@ -1,0 +1,89 @@
+package runtime
+
+import (
+	"repro/internal/dom"
+	"repro/internal/dom/index"
+	"repro/internal/xdm"
+	"repro/internal/xquery/ast"
+	"repro/internal/xquery/plan"
+)
+
+// This file is the runtime's side of the index/plan split: it turns
+// the planner's Step.Access annotations into probes of the
+// version-stamped per-document indexes (internal/dom/index), and uses
+// a fresh index's pre numbering for merge-based document-order
+// sorting. Context.NoIndex turns all of it off, which is both the
+// benchmark baseline and the differential-test oracle.
+
+// probeIndex answers an indexed step's candidate list from the
+// per-document index: the name-list slice of the focus node's subtree
+// for AccessIndexName, the id-pinned elements inside the subtree for
+// AccessIndexID. ok is false when the step is unplanned, indexes are
+// disabled, index.Probe's amortised-rebuild heuristic declines to
+// build, or the index cannot answer (the caller then scans). The
+// candidates are in document order — the same set and order the scan's
+// walk-plus-node-test would produce for a name probe, and a subset the
+// re-applied node test and predicates reduce to the same result for an
+// id probe.
+func (ctx *Context) probeIndex(n *dom.Node, step *ast.Step) ([]*dom.Node, bool) {
+	if ctx.NoIndex || step.Primary != nil || step.Access == ast.AccessScan {
+		return nil, false
+	}
+	orSelf := step.Axis == ast.AxisDescendantOrSelf
+	idx := index.Probe(n)
+	if idx == nil {
+		return nil, false
+	}
+	var cand []*dom.Node
+	var ok bool
+	switch step.Access {
+	case ast.AccessIndexName:
+		space, local, okName := plan.ProbeName(step.Test)
+		if !okName {
+			return nil, false
+		}
+		cand, ok = idx.DescendantsByName(n, space, local, orSelf)
+	case ast.AccessIndexID:
+		cand, ok = idx.DescendantsByID(n, step.AccessID, orSelf)
+	default:
+		return nil, false
+	}
+	if !ok {
+		return nil, false
+	}
+	if ctx.Profiler != nil {
+		ctx.Profiler.recordIndexHits("Path", 1)
+	}
+	return cand, true
+}
+
+// sortedNodeSequence deduplicates and document-orders a node list.
+// When the nodes' tree already carries a fresh index, the sort is
+// merge-based over the index's pre numbers: O(k) verification for
+// already-ordered input (the common case for step results, which
+// arrive ordered per focus node) and an integer sort otherwise —
+// never the O(tree) re-stamp of the comparison path. It deliberately
+// never builds an index (index.Fresh, not index.For): workloads that
+// never probe one — mutation-heavy event dispatch, constructed
+// content — keep the cheap stamp-and-sort.
+func (ctx *Context) sortedNodeSequence(nodes []*dom.Node) xdm.Sequence {
+	if !ctx.NoIndex && len(nodes) > 1 {
+		if idx := index.Fresh(nodes[0]); idx != nil {
+			if uniq, ok := idx.SortDedup(nodes); ok {
+				out := make(xdm.Sequence, len(uniq))
+				for i, n := range uniq {
+					out[i] = xdm.NewNode(n)
+				}
+				return out
+			}
+		}
+	}
+	return stampSortedNodeSequence(nodes)
+}
+
+// SortedNodeSequence exposes the index-aware document-order sort to
+// the function library: fn:id collects per-value id lists and merges
+// them back to document order through it.
+func (ctx *Context) SortedNodeSequence(nodes []*dom.Node) xdm.Sequence {
+	return ctx.sortedNodeSequence(nodes)
+}

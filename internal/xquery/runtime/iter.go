@@ -6,6 +6,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/xdm"
 	"repro/internal/xquery/ast"
+	"repro/internal/xquery/plan"
 )
 
 // This file is the lazy half of the evaluator: EvalIter produces a
@@ -242,7 +243,7 @@ func (ctx *Context) rangeIter(x ast.Range) xdm.Iter {
 // The second return value reports whether the result is statically
 // known to be an ordered node stream.
 func (ctx *Context) pathIter(p ast.Path) (xdm.Iter, bool) {
-	steps := rewriteDescendantSteps(p.Steps)
+	steps := plan.RewriteDescendantSteps(p.Steps)
 	var cur xdm.Iter
 	ord, disjoint := true, true
 	start := 0
@@ -333,7 +334,7 @@ func axisOutDisjoint(a ast.Axis, inDisjoint bool) bool {
 // mention last() need the primary's size and take the eager route.
 func (ctx *Context) filterStepIter(step ast.Step, last bool) (xdm.Iter, bool) {
 	prim := ctx.EvalIter(step.Primary)
-	if !anyExprMentions(step.Preds, "last") {
+	if !plan.AnyExprMentions(step.Preds, "last") {
 		cur := xdm.Iter(prim)
 		for _, pred := range step.Preds {
 			cur = ctx.predStage(cur, pred)
@@ -346,7 +347,7 @@ func (ctx *Context) filterStepIter(step ast.Step, last bool) (xdm.Iter, bool) {
 			if err != nil {
 				return nil, err
 			}
-			out, err := finishStep(res, last)
+			out, err := ctx.finishStep(res, last)
 			if err != nil {
 				return nil, err
 			}
@@ -358,7 +359,7 @@ func (ctx *Context) filterStepIter(step ast.Step, last bool) (xdm.Iter, bool) {
 		if err != nil {
 			return nil, err
 		}
-		out, err := finishStep(res, last)
+		out, err := ctx.finishStep(res, last)
 		if err != nil {
 			return nil, err
 		}
@@ -405,23 +406,46 @@ func (s *stepStream) Next() (xdm.Item, bool, error) {
 // stepCandidates returns one focus node's lazily filtered candidates:
 // axis walk → node test → predicate stages. Every candidate pulled
 // consumes one budget step, which is what bounds pure tree walks that
-// never re-enter Eval.
+// never re-enter Eval. Both evaluators route every axis step through
+// here, which makes it the single place the planner's access-method
+// annotation is consulted: an indexed step replaces the axis walk with
+// the (much smaller) probed candidate list, and the node test plus all
+// predicates still re-apply, so a probe can never change a result —
+// only skip the nodes a scan would have visited and rejected.
 func (ctx *Context) stepCandidates(n *dom.Node, step ast.Step) xdm.Iter {
-	walk := newAxisWalker(n, step.Axis)
-	var it xdm.Iter = xdm.IterFunc(func() (xdm.Item, bool, error) {
-		for {
-			c, ok := walk.next()
-			if !ok {
-				return nil, false, nil
+	var it xdm.Iter
+	if cand, ok := ctx.probeIndex(n, &step); ok {
+		i := 0
+		it = xdm.IterFunc(func() (xdm.Item, bool, error) {
+			for i < len(cand) {
+				c := cand[i]
+				i++
+				if err := ctx.Budget.Step(); err != nil {
+					return nil, false, err
+				}
+				if matchNodeTest(c, step.Test, step.Axis) {
+					return xdm.NewNode(c), true, nil
+				}
 			}
-			if err := ctx.Budget.Step(); err != nil {
-				return nil, false, err
+			return nil, false, nil
+		})
+	} else {
+		walk := newAxisWalker(n, step.Axis)
+		it = xdm.IterFunc(func() (xdm.Item, bool, error) {
+			for {
+				c, ok := walk.next()
+				if !ok {
+					return nil, false, nil
+				}
+				if err := ctx.Budget.Step(); err != nil {
+					return nil, false, err
+				}
+				if matchNodeTest(c, step.Test, step.Axis) {
+					return xdm.NewNode(c), true, nil
+				}
 			}
-			if matchNodeTest(c, step.Test, step.Axis) {
-				return xdm.NewNode(c), true, nil
-			}
-		}
-	})
+		})
+	}
 	for _, pred := range step.Preds {
 		it = ctx.predStage(it, pred)
 	}
@@ -433,7 +457,7 @@ func (ctx *Context) stepCandidates(n *dom.Node, step ast.Step) xdm.Iter {
 // input; everything else streams, and statically bounded positional
 // predicates ([1], [position() le 3]) stop pulling input at the bound.
 func (ctx *Context) predStage(in xdm.Iter, pred ast.Expr) xdm.Iter {
-	if exprMentions(pred, "last") {
+	if plan.ExprMentions(pred, "last") {
 		return deferredIter(func() (xdm.Iter, error) {
 			items, err := xdm.Materialize(in)
 			if err != nil {
@@ -499,9 +523,9 @@ func (p *predIter) Next() (xdm.Item, bool, error) {
 type axisWalker interface{ next() (*dom.Node, bool) }
 
 // newAxisWalker walks an axis lazily where the axis allows it (child,
-// attribute, self, descendant, descendant-or-self) and falls back to
-// the materialized axisNodes list — which is still in axis order —
-// everywhere else.
+// attribute, self, descendant, descendant-or-self, following) and
+// falls back to the materialized axisNodes list — which is still in
+// axis order — everywhere else.
 func newAxisWalker(n *dom.Node, axis ast.Axis) axisWalker {
 	switch axis {
 	case ast.AxisChild:
@@ -516,6 +540,8 @@ func newAxisWalker(n *dom.Node, axis ast.Axis) axisWalker {
 		return w
 	case ast.AxisDescendantOrSelf:
 		return &treeWalker{stack: []*dom.Node{n}}
+	case ast.AxisFollowing:
+		return newFollowingWalker(n)
 	default:
 		return &sliceWalker{nodes: axisNodes(n, axis)}
 	}
@@ -559,74 +585,51 @@ func (w *treeWalker) next() (*dom.Node, bool) {
 	return n, true
 }
 
-// --- static analysis ---------------------------------------------------------
+// followingWalker streams the following axis lazily: for every
+// ancestor-or-self of the origin (inner to outer), the subtrees of its
+// following siblings, left to right — which is exactly document order
+// past the origin's subtree. Emitting through the walker replaced the
+// old collectDescendants materialization, which allocated the full
+// descendant list per sibling even when the step's node test was about
+// to reject almost all of it.
+type followingWalker struct {
+	anc *dom.Node // ancestor-or-self chain cursor
+	sib *dom.Node // next following sibling of anc to expand
+	tw  treeWalker
+}
 
-// rewriteDescendantSteps merges the parser's expansion of "//" —
-// descendant-or-self::node()/child::X — into a single descendant::X
-// step. The rewrite regroups candidates from per-parent child lists
-// into one global walk, which changes predicate positions, so it only
-// applies when X's predicates are statically position-free
-// (//div[1] keeps the two-step form; //div[@id] streams as one).
-func rewriteDescendantSteps(steps []ast.Step) []ast.Step {
-	rewritten := false
-	for i := 0; i+1 < len(steps); i++ {
-		if isAnyDescOrSelf(steps[i]) && isPositionFreeChildStep(steps[i+1]) {
-			rewritten = true
-			break
+func newFollowingWalker(n *dom.Node) *followingWalker {
+	return &followingWalker{anc: n, sib: n.NextSibling()}
+}
+
+func (w *followingWalker) next() (*dom.Node, bool) {
+	for {
+		if x, ok := w.tw.next(); ok {
+			return x, true
 		}
-	}
-	if !rewritten {
-		return steps
-	}
-	out := make([]ast.Step, 0, len(steps))
-	for i := 0; i < len(steps); i++ {
-		if i+1 < len(steps) && isAnyDescOrSelf(steps[i]) && isPositionFreeChildStep(steps[i+1]) {
-			next := steps[i+1]
-			out = append(out, ast.Step{Axis: ast.AxisDescendant, Test: next.Test, Preds: next.Preds})
-			i++
+		if w.sib == nil {
+			if w.anc == nil {
+				return nil, false
+			}
+			w.anc = w.anc.Parent()
+			if w.anc == nil {
+				return nil, false
+			}
+			w.sib = w.anc.NextSibling()
 			continue
 		}
-		out = append(out, steps[i])
+		w.tw.stack = append(w.tw.stack, w.sib)
+		w.sib = w.sib.NextSibling()
 	}
-	return out
 }
 
-func isAnyDescOrSelf(s ast.Step) bool {
-	return s.Primary == nil && s.Axis == ast.AxisDescendantOrSelf &&
-		s.Test.AnyNode && len(s.Preds) == 0
-}
-
-func isPositionFreeChildStep(s ast.Step) bool {
-	if s.Primary != nil || s.Axis != ast.AxisChild {
-		return false
-	}
-	for _, p := range s.Preds {
-		if !booleanValuedPred(p) || exprMentions(p, "position") || exprMentions(p, "last") {
-			return false
-		}
-	}
-	return true
-}
-
-// booleanValuedPred reports whether a predicate can statically never
-// produce a numeric singleton (which would make it a positional test).
-// Conservative: unknown shapes answer false.
-func booleanValuedPred(e ast.Expr) bool {
-	switch x := e.(type) {
-	case ast.Compare, ast.Quantified, ast.InstanceOf, ast.FTContains, ast.StringLit:
-		return true
-	case ast.CastAs:
-		return x.Castable
-	case ast.Binary:
-		return x.Op == "and" || x.Op == "or"
-	case ast.Path:
-		// A path ending in an axis step yields nodes: EBV-by-existence.
-		n := len(x.Steps)
-		return n > 0 && x.Steps[n-1].Primary == nil
-	default:
-		return false
-	}
-}
+// --- static analysis ---------------------------------------------------------
+//
+// The //-rewrite and the conservative expression predicates
+// (ExprMentions, BooleanValuedPred) moved to internal/xquery/plan,
+// where the path planner and the analyzer's cost model share them.
+// What remains here is streaming-specific: the positional-bound
+// detection that lets predicate stages stop pulling input.
 
 // positionalBound statically bounds the input positions a predicate can
 // accept: [N] and [position() < N] shapes never accept an item past the
@@ -675,117 +678,4 @@ func isPositionCall(e ast.Expr) bool {
 func intLitVal(e ast.Expr) (int64, bool) {
 	l, ok := e.(ast.IntLit)
 	return l.Val, ok
-}
-
-func anyExprMentions(es []ast.Expr, local string) bool {
-	for _, e := range es {
-		if exprMentions(e, local) {
-			return true
-		}
-	}
-	return false
-}
-
-// exprMentions reports whether an expression tree contains a function
-// call with the given local name. It is deliberately conservative:
-// unknown expression kinds answer true, so a caller relying on a false
-// answer (to stream, to rewrite) can never be wrong.
-func exprMentions(e ast.Expr, local string) bool {
-	switch x := e.(type) {
-	case nil:
-		return false
-	case ast.StringLit, ast.IntLit, ast.DecimalLit, ast.DoubleLit,
-		ast.VarRef, ast.ContextItem:
-		return false
-	case ast.SeqExpr:
-		return anyExprMentions(x.Items, local)
-	case ast.Ordered:
-		return exprMentions(x.X, local)
-	case ast.FuncCall:
-		if x.Name.Local == local {
-			return true
-		}
-		return anyExprMentions(x.Args, local)
-	case ast.If:
-		return exprMentions(x.Cond, local) || exprMentions(x.Then, local) ||
-			exprMentions(x.Else, local)
-	case ast.FLWOR:
-		for _, c := range x.Clauses {
-			if exprMentions(c.In, local) {
-				return true
-			}
-		}
-		for _, o := range x.OrderBy {
-			if exprMentions(o.Key, local) {
-				return true
-			}
-		}
-		return exprMentions(x.Where, local) || exprMentions(x.Return, local)
-	case ast.Quantified:
-		for _, c := range x.Vars {
-			if exprMentions(c.In, local) {
-				return true
-			}
-		}
-		return exprMentions(x.Satisfies, local)
-	case ast.Typeswitch:
-		if exprMentions(x.Operand, local) || exprMentions(x.Default, local) {
-			return true
-		}
-		for _, c := range x.Cases {
-			if exprMentions(c.Body, local) {
-				return true
-			}
-		}
-		return false
-	case ast.Binary:
-		return exprMentions(x.L, local) || exprMentions(x.R, local)
-	case ast.Compare:
-		return exprMentions(x.L, local) || exprMentions(x.R, local)
-	case ast.Range:
-		return exprMentions(x.L, local) || exprMentions(x.R, local)
-	case ast.Unary:
-		return exprMentions(x.X, local)
-	case ast.InstanceOf:
-		return exprMentions(x.X, local)
-	case ast.TreatAs:
-		return exprMentions(x.X, local)
-	case ast.CastAs:
-		return exprMentions(x.X, local)
-	case ast.Path:
-		for _, s := range x.Steps {
-			if exprMentions(s.Primary, local) || anyExprMentions(s.Preds, local) {
-				return true
-			}
-		}
-		return false
-	case ast.DirElem:
-		for _, a := range x.Attrs {
-			if anyExprMentions(a.Pieces, local) {
-				return true
-			}
-		}
-		return anyExprMentions(x.Content, local)
-	case ast.CompConstructor:
-		return exprMentions(x.NameExpr, local) || exprMentions(x.Content, local)
-	case ast.FTContains:
-		return exprMentions(x.X, local) || ftMentions(x.Sel, local)
-	default:
-		return true
-	}
-}
-
-func ftMentions(sel ast.FTSelection, local string) bool {
-	switch s := sel.(type) {
-	case ast.FTWords:
-		return exprMentions(s.Source, local)
-	case ast.FTAnd:
-		return ftMentions(s.L, local) || ftMentions(s.R, local)
-	case ast.FTOr:
-		return ftMentions(s.L, local) || ftMentions(s.R, local)
-	case ast.FTNot:
-		return ftMentions(s.X, local)
-	default:
-		return true
-	}
 }

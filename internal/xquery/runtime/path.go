@@ -6,6 +6,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/xdm"
 	"repro/internal/xquery/ast"
+	"repro/internal/xquery/plan"
 )
 
 // evalPath evaluates a path expression. Each step maps every item of the
@@ -25,6 +26,11 @@ func (ctx *Context) evalPath(p ast.Path) (xdm.Sequence, error) {
 }
 
 func (ctx *Context) evalPathEager(p ast.Path) (xdm.Sequence, error) {
+	// The //-rewrite applies here too: the merged descendant::X step is
+	// position-safe by construction and is the shape the planner's
+	// name/id indexes serve, so //x is an index probe in both
+	// evaluators (and one step instead of two even when scanning).
+	steps := plan.RewriteDescendantSteps(p.Steps)
 	var current xdm.Sequence
 	if p.Absolute {
 		n, ok := xdm.IsNode(ctx.Item)
@@ -32,25 +38,25 @@ func (ctx *Context) evalPathEager(p ast.Path) (xdm.Sequence, error) {
 			return nil, fmt.Errorf("xquery: absolute path requires a node context item")
 		}
 		current = xdm.Singleton(xdm.NewNode(n.Root()))
-		if len(p.Steps) == 0 {
+		if len(steps) == 0 {
 			return current, nil
 		}
 	} else {
-		if len(p.Steps) == 0 {
+		if len(steps) == 0 {
 			return nil, fmt.Errorf("xquery: empty path")
 		}
 		// The first step evaluates against the current focus directly.
-		first, err := ctx.evalStep(p.Steps[0], ctx.Item, ctx.Pos, ctx.Size)
+		first, err := ctx.evalStep(steps[0], ctx.Item, ctx.Pos, ctx.Size)
 		if err != nil {
 			return nil, err
 		}
-		res, err := finishStep(first, len(p.Steps) == 1)
+		res, err := ctx.finishStep(first, len(steps) == 1)
 		if err != nil {
 			return nil, err
 		}
-		return ctx.continueSteps(res, p.Steps[1:])
+		return ctx.continueSteps(res, steps[1:])
 	}
-	return ctx.continueSteps(current, p.Steps)
+	return ctx.continueSteps(current, steps)
 }
 
 func (ctx *Context) continueSteps(current xdm.Sequence, steps []ast.Step) (xdm.Sequence, error) {
@@ -64,7 +70,7 @@ func (ctx *Context) continueSteps(current xdm.Sequence, steps []ast.Step) (xdm.S
 			}
 			results = append(results, r...)
 		}
-		res, err := finishStep(results, si == len(steps)-1)
+		res, err := ctx.finishStep(results, si == len(steps)-1)
 		if err != nil {
 			return nil, err
 		}
@@ -74,8 +80,9 @@ func (ctx *Context) continueSteps(current xdm.Sequence, steps []ast.Step) (xdm.S
 }
 
 // finishStep enforces the node/atomic mixing rules and orders node
-// results.
-func finishStep(results xdm.Sequence, last bool) (xdm.Sequence, error) {
+// results. It is a Context method so the document-order sort can use
+// the index's pre numbers (and honour NoIndex).
+func (ctx *Context) finishStep(results xdm.Sequence, last bool) (xdm.Sequence, error) {
 	nodes := make([]*dom.Node, 0, len(results))
 	atomics := 0
 	for _, it := range results {
@@ -87,7 +94,7 @@ func finishStep(results xdm.Sequence, last bool) (xdm.Sequence, error) {
 	}
 	switch {
 	case atomics == 0:
-		return sortedNodeSequence(nodes), nil
+		return ctx.sortedNodeSequence(nodes), nil
 	case len(nodes) > 0:
 		return nil, fmt.Errorf("xquery: path step mixes nodes and atomic values")
 	case !last:
@@ -167,7 +174,11 @@ func predicateTruth(res xdm.Sequence, pos int) (bool, error) {
 
 // axisNodes returns the nodes on the axis from n, in axis order
 // (document order for forward axes, reverse document order for reverse
-// axes).
+// axes). The descendant, descendant-or-self and following axes are
+// absent: newAxisWalker streams them through treeWalker and
+// followingWalker instead of materializing descendant lists (the old
+// collectDescendants allocated the full list per call even when the
+// node test was about to discard it).
 func axisNodes(n *dom.Node, axis ast.Axis) []*dom.Node {
 	switch axis {
 	case ast.AxisChild:
@@ -181,14 +192,6 @@ func axisNodes(n *dom.Node, axis ast.Axis) []*dom.Node {
 			return []*dom.Node{p}
 		}
 		return nil
-	case ast.AxisDescendant:
-		var out []*dom.Node
-		collectDescendants(n, &out)
-		return out
-	case ast.AxisDescendantOrSelf:
-		out := []*dom.Node{n}
-		collectDescendants(n, &out)
-		return out
 	case ast.AxisAncestor:
 		var out []*dom.Node
 		for a := n.Parent(); a != nil; a = a.Parent() {
@@ -211,18 +214,6 @@ func axisNodes(n *dom.Node, axis ast.Axis) []*dom.Node {
 		var out []*dom.Node
 		for s := n.PrevSibling(); s != nil; s = s.PrevSibling() {
 			out = append(out, s)
-		}
-		return out
-	case ast.AxisFollowing:
-		// Nodes after n in document order, excluding descendants and
-		// attributes: for each ancestor-or-self, the subtrees of its
-		// following siblings.
-		var out []*dom.Node
-		for a := n; a != nil; a = a.Parent() {
-			for s := a.NextSibling(); s != nil; s = s.NextSibling() {
-				out = append(out, s)
-				collectDescendants(s, &out)
-			}
 		}
 		return out
 	case ast.AxisPreceding:
@@ -260,13 +251,6 @@ func axisNodes(n *dom.Node, axis ast.Axis) []*dom.Node {
 		return out
 	default:
 		return nil
-	}
-}
-
-func collectDescendants(n *dom.Node, out *[]*dom.Node) {
-	for _, c := range n.Children() {
-		*out = append(*out, c)
-		collectDescendants(c, out)
 	}
 }
 

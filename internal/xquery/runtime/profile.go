@@ -23,12 +23,16 @@ type Profiler struct {
 // counts items pulled through the kind's streaming iterators: when a
 // query early-exits, Items stays far below the size of the sequences
 // it ranged over, which is how a profile proves lazy evaluation paid
-// off.
+// off. IndexHits counts path steps answered from a per-document index
+// instead of an axis walk (see internal/dom/index): a descendant-heavy
+// query that planned well shows hits here and correspondingly few
+// items pulled.
 type ProfileEntry struct {
-	Kind  string
-	Count int64
-	Items int64
-	Time  time.Duration
+	Kind      string
+	Count     int64
+	Items     int64
+	IndexHits int64
+	Time      time.Duration
 }
 
 // NewProfiler creates an empty profiler.
@@ -58,6 +62,29 @@ func (p *Profiler) recordItems(kind string, n int64) {
 	}
 	e.Items += n
 	p.mu.Unlock()
+}
+
+// recordIndexHits adds to the index-hit counter of an expression kind.
+func (p *Profiler) recordIndexHits(kind string, n int64) {
+	p.mu.Lock()
+	e := p.entries[kind]
+	if e == nil {
+		e = &ProfileEntry{Kind: kind}
+		p.entries[kind] = e
+	}
+	e.IndexHits += n
+	p.mu.Unlock()
+}
+
+// IndexHitsFor returns the index hits recorded for one expression
+// kind.
+func (p *Profiler) IndexHitsFor(kind string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e := p.entries[kind]; e != nil {
+		return e.IndexHits
+	}
+	return 0
 }
 
 // Items returns the items pulled for one expression kind.
@@ -94,12 +121,15 @@ func (p *Profiler) Total() int64 {
 	return n
 }
 
-// Format renders a report (cmd/xq -profile).
+// Format renders a report (cmd/xq -profile). Column legend: count is
+// eager evaluations, items is items pulled through streaming
+// iterators, idxhits is path steps answered from a per-document index
+// instead of an axis walk.
 func (p *Profiler) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-20s %10s %10s %14s\n", "expression", "count", "items", "time")
+	fmt.Fprintf(&b, "%-20s %10s %10s %10s %14s\n", "expression", "count", "items", "idxhits", "time")
 	for _, e := range p.Entries() {
-		fmt.Fprintf(&b, "%-20s %10d %10d %14s\n", e.Kind, e.Count, e.Items, e.Time)
+		fmt.Fprintf(&b, "%-20s %10d %10d %10d %14s\n", e.Kind, e.Count, e.Items, e.IndexHits, e.Time)
 	}
 	return b.String()
 }

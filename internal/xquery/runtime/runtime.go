@@ -17,6 +17,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/xdm"
 	"repro/internal/xquery/ast"
+	"repro/internal/xquery/plan"
 	"repro/internal/xquery/update"
 )
 
@@ -165,8 +166,12 @@ type Program struct {
 }
 
 // Compile resolves imports and user function declarations of a parsed
-// module against the given configuration.
+// module against the given configuration. It also runs the path
+// planner (once per module, however many engines compile it): step
+// access-method annotations must be in place before any evaluation
+// reads them.
 func Compile(m *ast.Module, cfg CompileConfig) (*Program, error) {
+	m.EnsurePlanned(func() { plan.Annotate(m) })
 	reg := cfg.Registry
 	if reg == nil {
 		reg = NewRegistry()
@@ -326,6 +331,12 @@ type Context struct {
 	// eager Invoke. Used as the baseline in benchmarks and as an
 	// escape hatch.
 	NoStream bool
+
+	// NoIndex disables every use of the per-document indexes: planned
+	// steps scan, fn:id walks, and document-order sorts take the
+	// stamp-and-sort path. It is the scan baseline in benchmarks and
+	// the oracle side of the index differential tests.
+	NoIndex bool
 
 	env     *env
 	globals *env

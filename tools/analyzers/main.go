@@ -12,6 +12,16 @@
 //	            serve/rest layers; contexts flow through call parameters
 //	            so cancellation scopes stay explicit per request.
 //
+//	idxversion  the version-stamp discipline of the per-document index
+//	            layer (internal/dom/index): inside package index, any
+//	            function reading the index maps (names/ids/order) must
+//	            consult the version stamp (call fresh() or compare
+//	            version) unless it is the builder itself; outside the
+//	            package, nobody calls the raw cache accessors
+//	            Node.LoadIndexCache/StoreIndexCache — all access goes
+//	            through index.For/index.Fresh, which are the only
+//	            places allowed to compare the stamp.
+//
 // The passes would normally be go/analysis analyzers run through
 // `go vet -vettool`, but go/analysis lives in golang.org/x/tools, which
 // this repository deliberately does not depend on (builds must work
@@ -44,10 +54,10 @@ type finding struct {
 }
 
 func main() {
-	check := flag.String("check", "", "pass to run: progmutate or ctxstruct")
+	check := flag.String("check", "", "pass to run: progmutate, ctxstruct or idxversion")
 	flag.Parse()
 	if *check == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: analyzers -check {progmutate|ctxstruct} dir...")
+		fmt.Fprintln(os.Stderr, "usage: analyzers -check {progmutate|ctxstruct|idxversion} dir...")
 		os.Exit(2)
 	}
 
@@ -65,6 +75,8 @@ func main() {
 				findings = append(findings, progMutate(fset, f)...)
 			case "ctxstruct":
 				findings = append(findings, ctxStruct(fset, f)...)
+			case "idxversion":
+				findings = append(findings, idxVersion(fset, f)...)
 			default:
 				fmt.Fprintf(os.Stderr, "analyzers: unknown check %q\n", *check)
 				os.Exit(2)
@@ -267,6 +279,96 @@ func ctxStruct(fset *token.FileSet, file *ast.File) []finding {
 						ts.Name.Name),
 				})
 			}
+		}
+		return true
+	})
+	return out
+}
+
+// --- idxversion -----------------------------------------------------------------
+
+// indexMaps are the Doc fields whose contents are only meaningful for
+// the document version the index was built at.
+var indexMaps = map[string]bool{
+	"names": true,
+	"ids":   true,
+	"order": true,
+}
+
+// idxBuilderName matches the functions allowed to touch the maps
+// without a freshness check: the builder fills maps that are not yet
+// published, and constructors shape empty ones.
+var idxBuilderName = regexp.MustCompile(`^(build|new|New|init$)`)
+
+// idxVersion enforces the index layer's version-stamp discipline. For
+// files in package index, every non-builder function whose body reads a
+// selector named names/ids/order must also mention the freshness guard
+// (a fresh() call or a version comparison) somewhere in that body. For
+// files in any other package, any call to LoadIndexCache or
+// StoreIndexCache is flagged: those raw slots bypass the stamp check
+// that index.For/index.Fresh perform, so only package index may touch
+// them.
+func idxVersion(fset *token.FileSet, file *ast.File) []finding {
+	if file.Name.Name == "index" {
+		return idxVersionInside(fset, file)
+	}
+	return idxVersionOutside(fset, file)
+}
+
+func idxVersionInside(fset *token.FileSet, file *ast.File) []finding {
+	var out []finding
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || idxBuilderName.MatchString(fd.Name.Name) {
+			continue
+		}
+		var readsMap, checksVersion bool
+		var firstRead token.Pos
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if indexMaps[x.Sel.Name] && !readsMap {
+					readsMap = true
+					firstRead = x.Pos()
+				}
+				if x.Sel.Name == "fresh" || x.Sel.Name == "version" {
+					checksVersion = true
+				}
+			case *ast.Ident:
+				if x.Name == "fresh" || x.Name == "version" {
+					checksVersion = true
+				}
+			}
+			return true
+		})
+		if readsMap && !checksVersion {
+			out = append(out, finding{
+				pos: fset.Position(firstRead),
+				msg: fmt.Sprintf("idxversion: %s reads an index map without checking the version stamp (call fresh() first)",
+					fd.Name.Name),
+			})
+		}
+	}
+	return out
+}
+
+func idxVersionOutside(fset *token.FileSet, file *ast.File) []finding {
+	var out []finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "LoadIndexCache" || sel.Sel.Name == "StoreIndexCache" {
+			out = append(out, finding{
+				pos: fset.Position(call.Pos()),
+				msg: fmt.Sprintf("idxversion: %s called outside internal/dom/index; use index.For/index.Fresh, which check the version stamp",
+					sel.Sel.Name),
+			})
 		}
 		return true
 	})

@@ -61,6 +61,48 @@ func (s *Session) Bump() { s.n++ }
 	}
 }
 
+func TestIdxVersionFlagsUncheckedMapRead(t *testing.T) {
+	src := `package index
+type Doc struct{ names map[string][]int }
+func (d *Doc) ByName(k string) []int { return d.names[k] }
+`
+	got := analyze(t, src, idxVersion)
+	if len(got) != 1 {
+		t.Fatalf("findings = %v, want 1", got)
+	}
+}
+
+func TestIdxVersionAllowsGuardedReadAndBuilder(t *testing.T) {
+	src := `package index
+type Doc struct{ names map[string][]int; version uint64 }
+func (d *Doc) fresh() bool { return d.version == 0 }
+func (d *Doc) ByName(k string) []int {
+	if !d.fresh() {
+		return nil
+	}
+	return d.names[k]
+}
+func build() *Doc { d := &Doc{names: map[string][]int{}}; d.names["x"] = nil; return d }
+`
+	if got := analyze(t, src, idxVersion); len(got) != 0 {
+		t.Fatalf("findings = %v, want none", got)
+	}
+}
+
+func TestIdxVersionFlagsRawCacheAccessOutsidePackage(t *testing.T) {
+	src := `package runtime
+func peek(n *Node) any { return n.LoadIndexCache() }
+func poke(n *Node)     { n.StoreIndexCache(nil) }
+type Node struct{}
+func (n *Node) LoadIndexCache() any { return nil }
+func (n *Node) StoreIndexCache(v any) {}
+`
+	got := analyze(t, src, idxVersion)
+	if len(got) != 2 {
+		t.Fatalf("findings = %v, want 2", got)
+	}
+}
+
 func TestCtxStructFlagsStoredContext(t *testing.T) {
 	src := `package p
 import "context"
