@@ -10,9 +10,9 @@ STATICCHECK = honnef.co/go/tools/cmd/staticcheck@2024.1.1
 GOVULNCHECK = golang.org/x/vuln/cmd/govulncheck@v1.1.3
 
 .PHONY: ci fmt-check vet vet-invariants lint staticcheck govulncheck \
-	build test race bench bench-smoke experiments
+	build test race bench bench-smoke chaos experiments
 
-ci: fmt-check vet vet-invariants build race lint bench-smoke staticcheck govulncheck
+ci: fmt-check vet vet-invariants build race chaos lint bench-smoke staticcheck govulncheck
 
 # Custom invariant passes (tools/analyzers): compiled programs are
 # immutable after construction, serve/rest never store a
@@ -24,6 +24,7 @@ vet-invariants:
 	$(GO) run ./tools/analyzers -check progmutate internal/xquery internal/xquery/runtime
 	$(GO) run ./tools/analyzers -check ctxstruct internal/serve internal/rest
 	$(GO) run ./tools/analyzers -check idxversion internal/dom/index internal/dom internal/xquery/runtime internal/xquery/funclib internal/serve
+	$(GO) run ./tools/analyzers -check recovercheck $(shell $(GO) list -f '{{.Dir}}' ./...)
 
 # Static analysis of the shipped example programs: every embedded
 # XQuery script block must lint clean, warnings included.
@@ -55,6 +56,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection suite: drives the faultpoint matrix (dispatch panics,
+# mid-apply update faults, resolver failures, index-build faults, load
+# shedding) race-enabled and checks the pool stays serviceable with
+# atomic documents and advancing failure counters.
+chaos:
+	$(GO) test -race -count=1 ./internal/faultpoint
+	$(GO) test -race -count=1 -run 'Chaos|Rollback|Fault|Restore' \
+		./internal/serve ./internal/xquery/update ./internal/dom/index
 
 # Full serving-layer benchmark: asserts the program cache wins >=5x over
 # compile-per-request and writes the BENCH_serve.json snapshot.

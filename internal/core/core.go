@@ -28,6 +28,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/markup"
 	"repro/internal/xdm"
+	"repro/internal/xqerr"
 	"repro/internal/xquery"
 	"repro/internal/xquery/runtime"
 	"repro/internal/xquery/update"
@@ -158,7 +159,15 @@ func LoadPage(pageSrc, href string, opts ...Option) (*Host, error) {
 // the page-load scripts and every later listener invocation on this
 // host, so cancelling it aborts in-flight queries (with an error
 // matching ctx.Err()) instead of waiting out their wall-clock budgets.
-func LoadPageContext(ctx context.Context, pageSrc, href string, opts ...Option) (*Host, error) {
+// It is a panic-isolation boundary: a panic anywhere in parsing,
+// compilation or the page-load scripts comes back as an error matching
+// xqerr.ErrInternal with no partially built host.
+func LoadPageContext(ctx context.Context, pageSrc, href string, opts ...Option) (h *Host, err error) {
+	defer xqerr.RecoverInto(&err, "core.LoadPage")
+	return loadPage(ctx, pageSrc, href, opts...)
+}
+
+func loadPage(ctx context.Context, pageSrc, href string, opts ...Option) (*Host, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -361,10 +370,15 @@ func (h *Host) runMain(pp *pageProgram) error {
 }
 
 // finish evaluates with scripting snapshots and applies any remaining
-// pending updates, routing window-tree write-backs to the browser.
-func (h *Host) finish(ctx *runtime.Context, eval func() (xdm.Sequence, error)) (xdm.Sequence, error) {
+// pending updates, routing window-tree write-backs to the browser. It
+// is the host's evaluation boundary: a panicking query or listener
+// recovers into an error matching xqerr.ErrInternal, and a mid-apply
+// update failure rolls the page back (PUL.Apply is atomic), so the
+// host survives both with a consistent DOM.
+func (h *Host) finish(ctx *runtime.Context, eval func() (xdm.Sequence, error)) (val xdm.Sequence, err error) {
+	defer xqerr.RecoverInto(&err, "core.Host.finish")
 	ctx.SnapshotApply = func(pul *update.PUL) error { return pul.Apply(h.onUpdate) }
-	val, err := eval()
+	val, err = eval()
 	if err != nil {
 		return nil, err
 	}

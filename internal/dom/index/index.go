@@ -32,7 +32,22 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dom"
+	"repro/internal/faultpoint"
 )
+
+func init() {
+	// A rolled-back update rewinds its tree's version counter, which
+	// would let an index built during the rolled-back window read as
+	// fresh once the counter climbs back to the build version (ABA).
+	// Overwrite the slot with a permanently stale marker — atomic.Value
+	// cannot store nil, and version ^0 never matches a live counter, so
+	// every accessor sees "stale" and the next probe rebuilds.
+	dom.OnVersionRestore(func(root *dom.Node) {
+		if _, ok := root.LoadIndexCache().(*Doc); ok {
+			root.StoreIndexCache(&Doc{root: root, version: ^uint64(0)})
+		}
+	})
+}
 
 // span is a node's position in the pre-order numbering: the node's own
 // number and the largest number in its subtree (attributes included).
@@ -119,6 +134,9 @@ func Probe(n *dom.Node) *Doc {
 	root := n.Root()
 	d, ok := root.LoadIndexCache().(*Doc)
 	if !ok {
+		if faultpoint.Hit(faultpoint.PointIndexBuild) != nil {
+			return nil // degrade: caller scans instead of building
+		}
 		return For(n)
 	}
 	v := root.Version()
@@ -131,6 +149,9 @@ func Probe(n *dom.Node) *Doc {
 	}
 	if d.probeN.Add(1) < rebuildProbes {
 		return nil
+	}
+	if faultpoint.Hit(faultpoint.PointIndexBuild) != nil {
+		return nil // degrade: keep scanning until builds succeed again
 	}
 	return For(n)
 }

@@ -1,0 +1,92 @@
+package index_test
+
+import (
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/dom/index"
+	"repro/internal/faultpoint"
+)
+
+// TestRestoreVersionInvalidatesIndex pins the ABA hazard the
+// version-restore hook exists for: an index built at version v+k must
+// not read as fresh when a rollback rewinds the counter and later
+// mutations climb it back to v+k with a different tree shape.
+func TestRestoreVersionInvalidatesIndex(t *testing.T) {
+	doc := testDoc(t)
+	root := elem(t, doc, "r")
+	v0 := doc.Version()
+
+	// Mutation #1 (simulating a primitive mid-apply), then an index
+	// built at the bumped version.
+	child := dom.NewElement(dom.Name("mid"))
+	if err := root.AppendChild(child); err != nil {
+		t.Fatal(err)
+	}
+	v1 := doc.Version()
+	d := index.For(doc)
+	if got, ok := d.DescendantsByName(doc, "", "mid", false); !ok || len(got) != 1 {
+		t.Fatalf("mid-apply index broken: ok=%v n=%d", ok, len(got))
+	}
+
+	// Rollback: undo the mutation, rewind the counter.
+	child.Detach()
+	doc.RestoreVersion(v0)
+	if doc.Version() != v0 {
+		t.Fatalf("version = %d, want %d", doc.Version(), v0)
+	}
+	if index.Fresh(doc) != nil {
+		t.Fatal("index survived a version restore")
+	}
+
+	// Climb the counter back to exactly the mid-apply build version
+	// with a different mutation. Without the restore hook the stale
+	// index (which still lists <mid>) would now read as fresh.
+	for doc.Version() < v1 {
+		if err := root.AppendChild(dom.NewElement(dom.Name("other"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if doc.Version() != v1 {
+		t.Fatalf("could not reproduce version %d", v1)
+	}
+	if got := index.Fresh(doc); got != nil {
+		if nodes, ok := got.DescendantsByName(doc, "", "mid", false); ok && len(nodes) != 0 {
+			t.Fatal("ABA: rolled-back index answered with a deleted node")
+		}
+		t.Fatal("ABA: index built in a rolled-back window reads as fresh")
+	}
+	// A rebuild at the reproduced version must see the real tree.
+	d2 := index.For(doc)
+	if nodes, ok := d2.DescendantsByName(doc, "", "mid", false); !ok || len(nodes) != 0 {
+		t.Fatalf("rebuilt index wrong: ok=%v mid=%d", ok, len(nodes))
+	}
+}
+
+// TestProbeFaultFallsBackToScan asserts the degraded mode: a fault at
+// the index.build point makes Probe report "no index" (the caller
+// scans) instead of failing, and builds resume once the fault clears.
+func TestProbeFaultFallsBackToScan(t *testing.T) {
+	defer faultpoint.Reset()
+	doc := testDoc(t)
+	before := index.Snapshot()
+
+	faultpoint.Enable(faultpoint.PointIndexBuild, faultpoint.Always())
+	if d := index.Probe(doc); d != nil {
+		t.Fatal("probe built an index through an armed build fault")
+	}
+	if index.Snapshot().Builds != before.Builds {
+		t.Fatal("a build ran despite the fault")
+	}
+
+	faultpoint.Reset()
+	if d := index.Probe(doc); d == nil {
+		t.Fatal("probe did not recover after the fault cleared")
+	}
+	if index.Snapshot().Builds != before.Builds+1 {
+		t.Fatalf("builds = %d, want %d", index.Snapshot().Builds, before.Builds+1)
+	}
+	if _, fires := faultpoint.Stats(faultpoint.PointIndexBuild); fires != 0 {
+		t.Fatal("stats should be zero after reset")
+	}
+}

@@ -174,6 +174,57 @@ func (n *Node) AddAttrNode(a *Node) error {
 	return nil
 }
 
+// RestoreChildAt re-attaches a detached node as n's child at position
+// i — the rollback path's undo of a removal, which must restore the
+// child list (and so serialisation order) exactly. Unlike the insert
+// mutators it takes a list position, because by the time an undo log
+// unwinds, the sibling that anchored the original operation may itself
+// be detached.
+func (n *Node) RestoreChildAt(c *Node, i int) error {
+	if err := n.checkChild(c); err != nil {
+		return err
+	}
+	if c.parent != nil {
+		return fmt.Errorf("dom: restored node is still attached")
+	}
+	if i < 0 || i > len(n.children) {
+		return fmt.Errorf("dom: restore position %d out of range", i)
+	}
+	c.parent = n
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+	n.bumpVersion()
+	return nil
+}
+
+// RestoreAttrAt re-attaches a detached attribute node at position i in
+// n's attribute list. See RestoreChildAt; attributes keep their own
+// list order under rollback for serialisation-identical documents.
+func (n *Node) RestoreAttrAt(a *Node, i int) error {
+	if a == nil || a.Type != AttributeNode {
+		return fmt.Errorf("dom: restored node is not an attribute")
+	}
+	if n.Type != ElementNode {
+		return fmt.Errorf("dom: attributes only attach to elements")
+	}
+	if a.parent != nil {
+		return fmt.Errorf("dom: restored attribute is still attached")
+	}
+	if n.AttrNode(a.Name) != nil {
+		return fmt.Errorf("dom: duplicate attribute %s", a.Name)
+	}
+	if i < 0 || i > len(n.attrs) {
+		return fmt.Errorf("dom: restore position %d out of range", i)
+	}
+	a.parent = n
+	n.attrs = append(n.attrs, nil)
+	copy(n.attrs[i+1:], n.attrs[i:])
+	n.attrs[i] = a
+	n.bumpVersion()
+	return nil
+}
+
 // RemoveAttr removes the named attribute if present.
 func (n *Node) RemoveAttr(name QName) {
 	if a := n.AttrNode(name); a != nil {

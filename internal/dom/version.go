@@ -7,6 +7,35 @@ package dom
 // the version it was built at still matches.
 func (n *Node) Version() uint64 { return n.Root().version }
 
+// versionRestoreHooks run whenever RestoreVersion rewinds a tree's
+// counter. Registered at init time only (internal/dom/index installs
+// its invalidator there), so the slice is never written concurrently.
+var versionRestoreHooks []func(root *Node)
+
+// OnVersionRestore registers f to run on the root of every tree whose
+// version counter is rewound by RestoreVersion. It must only be called
+// from package init functions: registration is not synchronised.
+func OnVersionRestore(f func(root *Node)) {
+	versionRestoreHooks = append(versionRestoreHooks, f)
+}
+
+// RestoreVersion rewinds the version counter of the tree containing n
+// to v — the final step of rolling back a failed update, after the
+// undo log has restored the tree's structure. Rewinding alone would
+// re-arm an ABA hazard: stamps or indexes computed at a version the
+// rollback skips over would read as fresh once the counter climbs back
+// there. So RestoreVersion re-stamps the (now restored) tree's
+// document order and fires the registered hooks, which drop any cached
+// index built during the rolled-back window.
+func (n *Node) RestoreVersion(v uint64) {
+	root := n.Root()
+	root.version = v
+	stampTree(root)
+	for _, f := range versionRestoreHooks {
+		f(root)
+	}
+}
+
 // LoadIndexCache returns the opaque per-document index slot stored on
 // this node, or nil. The slot belongs to internal/dom/index: only that
 // package may interpret the value, and only on root nodes. It is a

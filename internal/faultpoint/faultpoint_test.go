@@ -1,0 +1,161 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisabledPointIsFree(t *testing.T) {
+	Reset()
+	if err := Hit("nothing.enabled"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+}
+
+func TestAlwaysFires(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Always())
+	err := Hit("p")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if hits, fires := Stats("p"); hits != 1 || fires != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", hits, fires)
+	}
+}
+
+func TestNthFiresOnce(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Nth(3))
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		if Hit("p") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("fired on hits %v, want [3]", fired)
+	}
+}
+
+func TestAfterKeepsFiring(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", After(2))
+	var fired int
+	for i := 0; i < 5; i++ {
+		if Hit("p") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+}
+
+func TestSeededDeterministic(t *testing.T) {
+	run := func() []bool {
+		Reset()
+		Enable("p", Seeded(42, 0.5))
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Hit("p") != nil
+		}
+		Reset()
+		return out
+	}
+	a, b := run(), run()
+	var fires int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded trigger not deterministic at hit %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	// rate 0.5 over 64 hits: expect some fires and some passes.
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("seeded rate 0.5 fired %d/%d", fires, len(a))
+	}
+}
+
+func TestWithErrorWrapsInjected(t *testing.T) {
+	Reset()
+	defer Reset()
+	custom := errors.New("resolver exploded")
+	Enable("p", Always(), WithError(custom))
+	err := Hit("p")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, custom) {
+		t.Fatalf("err %v should match both ErrInjected and the custom error", err)
+	}
+}
+
+func TestWithPanicPanics(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Always(), WithPanic())
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("WithPanic point did not panic")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("panic value %v is not an ErrInjected error", r)
+		}
+	}()
+	Hit("p")
+}
+
+func TestDisableAndReenable(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Always())
+	Disable("p")
+	if Hit("p") != nil {
+		t.Fatal("disabled point fired")
+	}
+	Enable("p", Always())
+	if Hit("p") == nil {
+		t.Fatal("re-enabled point did not fire")
+	}
+	Disable("p")
+	Disable("p") // double-disable is a no-op
+	if Hit("p") != nil {
+		t.Fatal("point fired after double disable")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", After(0)) // fire on every hit
+	const goroutines, per = 8, 100
+	var wg sync.WaitGroup
+	var fires [goroutines]int
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if Hit("p") != nil {
+					fires[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, f := range fires {
+		total += f
+	}
+	if total != goroutines*per {
+		t.Fatalf("fires = %d, want %d", total, goroutines*per)
+	}
+	if hits, firesN := Stats("p"); hits != goroutines*per || firesN != goroutines*per {
+		t.Fatalf("stats = %d/%d", hits, firesN)
+	}
+}

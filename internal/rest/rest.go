@@ -20,6 +20,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/markup"
 	"repro/internal/xdm"
+	"repro/internal/xqerr"
 	"repro/internal/xquery"
 	"repro/internal/xquery/ast"
 	"repro/internal/xquery/runtime"
@@ -173,8 +174,11 @@ func (s *ModuleServer) Call(name, argsXML string) (string, error) {
 // CallContext is Call under a request context: the evaluation aborts
 // cooperatively when reqCtx is cancelled (the HTTP handler passes the
 // request's context, so a disconnected client stops burning engine
-// time) and is bounded by the server's MaxSteps/Timeout budget.
-func (s *ModuleServer) CallContext(reqCtx context.Context, name, argsXML string) (string, error) {
+// time) and is bounded by the server's MaxSteps/Timeout budget. It is
+// a panic-isolation boundary: a panicking service function comes back
+// as an error matching xqerr.ErrInternal, never as a crashed server.
+func (s *ModuleServer) CallContext(reqCtx context.Context, name, argsXML string) (out string, err error) {
+	defer xqerr.RecoverInto(&err, "rest.CallContext")
 	args, err := DecodeArgs(argsXML)
 	if err != nil {
 		return "", err

@@ -1,0 +1,318 @@
+package serve
+
+// Chaos suite: drives the fault-injection matrix through the serving
+// layer and checks the fault-tolerance contract — fault in, typed error
+// out, pool still serviceable, documents and counters consistent. Run
+// race-enabled via `make chaos`.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/dom/index"
+	"repro/internal/faultpoint"
+	"repro/internal/markup"
+	"repro/internal/xdm"
+	"repro/internal/xqerr"
+	"repro/internal/xquery"
+	"repro/internal/xquery/parser"
+	"repro/internal/xquery/runtime"
+	"repro/internal/xquery/update"
+)
+
+// chaosModule backs the resolver-retry scenario.
+const chaosModule = `module namespace m = "urn:chaos";
+declare function m:square($x) { $x * $x };`
+
+// panickingEngine returns an engine with a browser:chaos-panic()
+// extension whose invocation panics — the realistic stand-in for a
+// buggy host extension.
+func panickingEngine() *xquery.Engine {
+	return xquery.New(xquery.WithFunctions(func(reg *runtime.Registry) {
+		reg.Register(&runtime.Function{
+			Name:    dom.QName{Space: parser.BrowserNamespace, Prefix: "browser", Local: "chaos-panic"},
+			MinArgs: 0, MaxArgs: 0,
+			Invoke: func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+				panic("chaos: deliberate extension panic")
+			},
+		})
+	}))
+}
+
+// evalHealthy asserts the pool still answers a trivial query — the
+// "stays serviceable" leg of every scenario.
+func evalHealthy(t *testing.T, p *Pool) {
+	t.Helper()
+	seq, err := p.Eval(context.Background(), "1+1", nil)
+	if err != nil {
+		t.Fatalf("healthy eval failed: %v", err)
+	}
+	if len(seq) != 1 || seq[0].String() != "2" {
+		t.Fatalf("healthy eval = %v", seq)
+	}
+}
+
+func TestChaosMatrix(t *testing.T) {
+	defer faultpoint.Reset()
+	ctx := context.Background()
+
+	t.Run("dispatch error degrades one turn", func(t *testing.T) {
+		defer faultpoint.Reset()
+		p := NewPool(Config{})
+		defer p.Shutdown(ctx)
+		s, err := p.Load(ctx, counterPage, "http://chaos.test/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultpoint.Enable(faultpoint.PointServeDispatch, faultpoint.Nth(1))
+		if err := s.Click(ctx, "b"); !errors.Is(err, faultpoint.ErrInjected) {
+			t.Fatalf("want injected dispatch error, got %v", err)
+		}
+		// The very next turn works and the failed turn left no trace.
+		if err := s.Click(ctx, "b"); err != nil {
+			t.Fatalf("session not serviceable after fault: %v", err)
+		}
+		if got := counterValue(t, s); got != "1" {
+			t.Errorf("counter = %q, want 1 (failed turn must not count)", got)
+		}
+	})
+
+	t.Run("dispatch panic is recovered and typed", func(t *testing.T) {
+		defer faultpoint.Reset()
+		p := NewPool(Config{})
+		defer p.Shutdown(ctx)
+		s, err := p.Load(ctx, counterPage, "http://chaos.test/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := xqerr.Recovered()
+		faultpoint.Enable(faultpoint.PointServeDispatch, faultpoint.Nth(1), faultpoint.WithPanic())
+		err = s.Click(ctx, "b")
+		if !errors.Is(err, xqerr.ErrInternal) {
+			t.Fatalf("want xqerr.ErrInternal, got %v", err)
+		}
+		var ie *xqerr.Internal
+		if !errors.As(err, &ie) || ie.Fingerprint == "" {
+			t.Fatalf("internal error must carry a stack fingerprint: %#v", err)
+		}
+		if xqerr.Recovered() <= before {
+			t.Error("recovered-panic counter did not advance")
+		}
+		if err := s.Click(ctx, "b"); err != nil {
+			t.Fatalf("session not serviceable after panic: %v", err)
+		}
+		evalHealthy(t, p)
+	})
+
+	t.Run("repeated panics quarantine the program", func(t *testing.T) {
+		defer faultpoint.Reset()
+		p := NewPool(Config{Engine: panickingEngine()})
+		defer p.Shutdown(ctx)
+		const bad = "browser:chaos-panic()"
+		for i := 0; i < xquery.QuarantineThreshold; i++ {
+			if _, err := p.Eval(ctx, bad, nil); !errors.Is(err, xqerr.ErrInternal) {
+				t.Fatalf("eval %d: want internal error, got %v", i, err)
+			}
+		}
+		if _, err := p.Eval(ctx, bad, nil); !errors.Is(err, xquery.ErrQuarantined) {
+			t.Fatalf("want quarantine after %d panics, got %v", xquery.QuarantineThreshold, err)
+		}
+		if got := p.Metrics().Failures.Quarantined; got < 1 {
+			t.Errorf("Failures.Quarantined = %d, want >= 1", got)
+		}
+		evalHealthy(t, p) // other programs unaffected
+	})
+
+	t.Run("failed update rolls back atomically", func(t *testing.T) {
+		defer faultpoint.Reset()
+		p := NewPool(Config{})
+		defer p.Shutdown(ctx)
+		doc, err := markup.Parse(`<r><x/></r>`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := markup.Serialize(doc)
+		rollbacks := update.Rollbacks()
+		// First insert applies, second hits the fault: all-or-nothing
+		// demands the first is undone too.
+		faultpoint.Enable(faultpoint.PointUpdateApply, faultpoint.Nth(2))
+		_, err = p.Eval(ctx, `(insert node <a/> into /r, insert node <b/> into /r)`, doc)
+		if !errors.Is(err, faultpoint.ErrInjected) {
+			t.Fatalf("want injected apply error, got %v", err)
+		}
+		if got := markup.Serialize(doc); got != before {
+			t.Fatalf("document changed across failed update:\n before %s\n after  %s", before, got)
+		}
+		if update.Rollbacks() <= rollbacks {
+			t.Error("rollback counter did not advance")
+		}
+		faultpoint.Reset()
+		// The same update succeeds once the fault clears.
+		if _, err := p.Eval(ctx, `(insert node <a/> into /r, insert node <b/> into /r)`, doc); err != nil {
+			t.Fatalf("retry after fault cleared: %v", err)
+		}
+		if got := markup.Serialize(doc); got == before {
+			t.Error("successful retry applied nothing")
+		}
+	})
+
+	t.Run("resolver load retries transient faults", func(t *testing.T) {
+		defer faultpoint.Reset()
+		e := xquery.New(
+			xquery.WithModuleResolver(xquery.NewLocalResolver(map[string]string{"urn:chaos": chaosModule})),
+			xquery.WithResolverRetry(2, 0),
+		)
+		p := NewPool(Config{Engine: e})
+		defer p.Shutdown(ctx)
+		retries := runtime.ResolverRetries()
+		faultpoint.Enable(faultpoint.PointResolverLoad, faultpoint.Nth(1))
+		seq, err := p.Eval(ctx, `import module namespace m = "urn:chaos"; m:square(7)`, nil)
+		if err != nil {
+			t.Fatalf("compile should survive one transient resolver fault: %v", err)
+		}
+		if len(seq) != 1 || seq[0].String() != "49" {
+			t.Fatalf("result = %v", seq)
+		}
+		if runtime.ResolverRetries() <= retries {
+			t.Error("resolver-retry counter did not advance")
+		}
+	})
+
+	t.Run("full queue sheds with ErrOverloaded", func(t *testing.T) {
+		defer faultpoint.Reset()
+		p := NewPool(Config{MaxQueue: 1})
+		defer p.Shutdown(ctx)
+		s, err := p.Load(ctx, counterPage, "http://chaos.test/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		started := make(chan struct{})
+		release := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.Do(ctx, func(h *core.Host) error {
+				close(started)
+				<-release
+				return nil
+			})
+		}()
+		<-started
+		if err := s.Click(ctx, "b"); !errors.Is(err, ErrOverloaded) {
+			t.Errorf("want ErrOverloaded while a turn is in flight, got %v", err)
+		}
+		close(release)
+		wg.Wait()
+		if err := s.Click(ctx, "b"); err != nil {
+			t.Fatalf("session not serviceable after shedding: %v", err)
+		}
+		if got := p.Metrics().Failures.Shed; got < 1 {
+			t.Errorf("Failures.Shed = %d, want >= 1", got)
+		}
+	})
+
+	t.Run("index build fault degrades to scanning", func(t *testing.T) {
+		defer faultpoint.Reset()
+		p := NewPool(Config{})
+		defer p.Shutdown(ctx)
+		var b []byte
+		b = append(b, "<cat>"...)
+		for i := 0; i < 50; i++ {
+			b = append(b, fmt.Sprintf(`<item n="%d"/>`, i)...)
+		}
+		b = append(b, "</cat>"...)
+		doc, err := markup.Parse(string(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultpoint.Enable(faultpoint.PointIndexBuild, faultpoint.Always())
+		builds := index.Snapshot().Builds
+		seq, err := p.Eval(ctx, `count(//item)`, doc)
+		if err != nil {
+			t.Fatalf("query must degrade to scanning, got %v", err)
+		}
+		if len(seq) != 1 || seq[0].String() != "50" {
+			t.Fatalf("degraded count = %v, want 50", seq)
+		}
+		if got := index.Snapshot().Builds; got != builds {
+			t.Errorf("index built under an always-failing fault point (%d -> %d)", builds, got)
+		}
+		faultpoint.Reset()
+		// Once the fault clears the same query goes back to indexes.
+		if seq, err := p.Eval(ctx, `count(//item)`, doc); err != nil || seq[0].String() != "50" {
+			t.Fatalf("post-fault count = %v, %v", seq, err)
+		}
+	})
+
+	t.Run("seeded panic storm under load", func(t *testing.T) {
+		defer faultpoint.Reset()
+		p := NewPool(Config{})
+		defer p.Shutdown(ctx)
+		const sessions, clicks = 4, 25
+		ss := make([]*Session, sessions)
+		for i := range ss {
+			s, err := p.Load(ctx, counterPage, "http://chaos.test/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss[i] = s
+		}
+		faultpoint.Enable(faultpoint.PointServeDispatch, faultpoint.Seeded(42, 0.3), faultpoint.WithPanic())
+		var wg sync.WaitGroup
+		errc := make(chan error, sessions*clicks)
+		for _, s := range ss {
+			wg.Add(1)
+			go func(s *Session) {
+				defer wg.Done()
+				for i := 0; i < clicks; i++ {
+					if err := s.Click(ctx, "b"); err != nil {
+						errc <- err
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		close(errc)
+		faulted := 0
+		for err := range errc {
+			if !errors.Is(err, xqerr.ErrInternal) {
+				t.Fatalf("storm produced a non-internal error: %v", err)
+			}
+			faulted++
+		}
+		if faulted == 0 {
+			t.Fatal("seeded trigger at rate 0.3 never fired over 100 turns")
+		}
+		faultpoint.Reset()
+		// Every session survived its panics.
+		for i, s := range ss {
+			if err := s.Click(ctx, "b"); err != nil {
+				t.Fatalf("session %d dead after storm: %v", i, err)
+			}
+		}
+		evalHealthy(t, p)
+		if m := p.Metrics(); m.Failures.PanicsRecovered < int64(faulted) {
+			t.Errorf("PanicsRecovered = %d, want >= %d", m.Failures.PanicsRecovered, faulted)
+		}
+	})
+
+	// The acceptance gate: after the matrix, every failure-mode counter
+	// has seen traffic.
+	t.Run("all failure counters advanced", func(t *testing.T) {
+		if n := xqerr.Recovered(); n < 1 {
+			t.Errorf("PanicsRecovered = %d", n)
+		}
+		if n := update.Rollbacks(); n < 1 {
+			t.Errorf("Rollbacks = %d", n)
+		}
+		if n := runtime.ResolverRetries(); n < 1 {
+			t.Errorf("ResolverRetries = %d", n)
+		}
+	})
+}

@@ -96,6 +96,34 @@ type Metrics struct {
 	// process-wide (internal/dom/index keeps global atomics), not
 	// per-pool: two pools in one process report the same numbers.
 	Index IndexStats `json:"index"`
+	// Failures is the resilience layer's snapshot: every degraded-mode
+	// mechanism reports here, so "is the pool absorbing faults" is one
+	// poll away.
+	Failures FailureStats `json:"failures"`
+}
+
+// FailureStats aggregates the failure-handling counters. Shed and
+// Quarantined are per-pool; PanicsRecovered, Rollbacks and
+// ResolverRetries are process-wide (like Index: the underlying layers
+// keep global atomics), so two pools in one process report the same
+// numbers for those.
+type FailureStats struct {
+	// PanicsRecovered counts panics recovered into xqerr.ErrInternal
+	// errors at any evaluation boundary.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// Rollbacks counts pending-update applications that failed mid-way
+	// and rolled the documents back.
+	Rollbacks int64 `json:"rollbacks"`
+	// ResolverRetries counts module-resolver load attempts that were
+	// retried after a failure.
+	ResolverRetries int64 `json:"resolver_retries"`
+	// Shed counts event-loop turns refused with ErrOverloaded under
+	// Config.MaxQueue.
+	Shed int64 `json:"shed"`
+	// Quarantined counts evaluations refused because the program
+	// crashed xquery.QuarantineThreshold times in a row (mirrors
+	// Cache.Quarantined).
+	Quarantined int64 `json:"quarantined"`
 }
 
 // IndexStats mirrors index.Stats with JSON tags: Builds counts index

@@ -24,8 +24,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/dom"
 	"repro/internal/dom/index"
+	"repro/internal/faultpoint"
 	"repro/internal/xdm"
+	"repro/internal/xqerr"
 	"repro/internal/xquery"
+	"repro/internal/xquery/runtime"
+	"repro/internal/xquery/update"
 )
 
 // Sentinel errors; applications match them with errors.Is (the facade
@@ -35,6 +39,11 @@ var (
 	ErrPoolClosed = errors.New("serve: pool is shut down")
 	// ErrSessionClosed reports an event sent to a closed session.
 	ErrSessionClosed = errors.New("serve: session is closed")
+	// ErrOverloaded reports an event-loop turn shed because the
+	// session's queue was already at Config.MaxQueue — the load-shedding
+	// alternative to unbounded blocking: the caller hears "back off"
+	// immediately instead of piling onto a stuck session.
+	ErrOverloaded = errors.New("serve: session overloaded")
 )
 
 // Config parameterises a Pool. The zero value is usable: 64 sessions,
@@ -61,6 +70,12 @@ type Config struct {
 	// xquery.ErrAnalysisFailed, never enter the shared program cache,
 	// and are counted in Metrics.QueriesRejected.
 	Strict bool
+	// MaxQueue bounds each session's event-loop queue: a Do (or
+	// Click/Keyup/Dispatch) arriving while MaxQueue turns are already
+	// running or waiting on that session is shed immediately with
+	// ErrOverloaded and counted in Metrics.Failures.Shed. <= 0 keeps
+	// the pre-shedding behaviour: callers block until the loop frees.
+	MaxQueue int
 	// HostOptions are applied to every session's LoadPage (policies,
 	// loaders, extra functions ...).
 	HostOptions []core.Option
@@ -86,6 +101,7 @@ type Pool struct {
 	rejected      atomic.Int64
 	events        atomic.Int64
 	evalsRejected atomic.Int64
+	shed          atomic.Int64
 
 	loads      hist
 	queries    hist
@@ -127,6 +143,9 @@ type Session struct {
 	cancel context.CancelFunc
 	sem    chan struct{} // the session's single-threaded event loop
 	closed atomic.Bool
+	// pending counts turns running or waiting on this session's loop;
+	// Config.MaxQueue sheds arrivals beyond it.
+	pending atomic.Int64
 }
 
 // Load boots a page session, blocking while the pool is at
@@ -202,13 +221,25 @@ func (s *Session) Host() *core.Host { return s.h }
 // Do runs fn on the session's event loop: turns are serialised per
 // session (the browser's single-threaded dispatch, §6.2) while
 // different sessions proceed in parallel. It blocks while another turn
-// is in flight, honouring ctx.
+// is in flight, honouring ctx — unless Config.MaxQueue is set, in
+// which case arrivals beyond the queue bound are shed immediately with
+// ErrOverloaded. Each turn runs behind a panic-isolation boundary: a
+// panicking listener or script comes back as an error matching
+// xqerr.ErrInternal and the session stays serviceable.
 func (s *Session) Do(ctx context.Context, fn func(*core.Host) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if s.closed.Load() {
 		return ErrSessionClosed
+	}
+	if mq := s.p.cfg.MaxQueue; mq > 0 {
+		if s.pending.Add(1) > int64(mq) {
+			s.pending.Add(-1)
+			s.p.shed.Add(1)
+			return ErrOverloaded
+		}
+		defer s.pending.Add(-1)
 	}
 	select {
 	case s.sem <- struct{}{}:
@@ -220,10 +251,20 @@ func (s *Session) Do(ctx context.Context, fn func(*core.Host) error) error {
 		return ErrSessionClosed
 	}
 	t0 := time.Now()
-	err := fn(s.h)
+	err := s.runTurn(fn)
 	s.p.dispatches.observe(time.Since(t0))
 	s.p.events.Add(1)
 	return err
+}
+
+// runTurn executes one event-loop turn behind the serve.dispatch fault
+// point and the session's panic-isolation boundary.
+func (s *Session) runTurn(fn func(*core.Host) error) (err error) {
+	defer xqerr.RecoverInto(&err, "serve.Session.Do")
+	if err := faultpoint.Hit(faultpoint.PointServeDispatch); err != nil {
+		return err
+	}
+	return fn(s.h)
 }
 
 // Click dispatches a click at the element with the given id on the
@@ -271,7 +312,12 @@ func (s *Session) Close() {
 // Eval evaluates a query on the pool's shared engine through the
 // program cache, under the pool's per-query budget and ctx. This is
 // the high-volume serving path: repeated sources skip parse/compile.
-func (p *Pool) Eval(ctx context.Context, src string, contextDoc *dom.Node) (xdm.Sequence, error) {
+// Eval is a panic-isolation boundary (panics come back as errors
+// matching xqerr.ErrInternal) and sits behind the cache's quarantine
+// gate: programs that keep panicking are refused with an error
+// matching xquery.ErrQuarantined.
+func (p *Pool) Eval(ctx context.Context, src string, contextDoc *dom.Node) (seq xdm.Sequence, err error) {
+	defer xqerr.RecoverInto(&err, "serve.Pool.Eval")
 	select {
 	case <-p.closing:
 		return nil, ErrPoolClosed
@@ -337,6 +383,7 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 
 // Metrics returns the pool's observability snapshot.
 func (p *Pool) Metrics() Metrics {
+	cache := p.cache.Stats()
 	return Metrics{
 		SessionsActive:   p.active.Load(),
 		SessionsPeak:     p.peak.Load(),
@@ -347,8 +394,15 @@ func (p *Pool) Metrics() Metrics {
 		Loads:            p.loads.snapshot(),
 		Queries:          p.queries.snapshot(),
 		Dispatches:       p.dispatches.snapshot(),
-		Cache:            p.cache.Stats(),
+		Cache:            cache,
 		Index:            indexStats(),
+		Failures: FailureStats{
+			PanicsRecovered: xqerr.Recovered(),
+			Rollbacks:       update.Rollbacks(),
+			ResolverRetries: runtime.ResolverRetries(),
+			Shed:            p.shed.Load(),
+			Quarantined:     cache.Quarantined,
+		},
 	}
 }
 

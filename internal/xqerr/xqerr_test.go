@@ -1,0 +1,101 @@
+package xqerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRecoverIntoCapturesPanic(t *testing.T) {
+	before := Recovered()
+	boom := func() (err error) {
+		defer RecoverInto(&err, "test.boom")
+		panic("kaboom")
+	}
+	err := boom()
+	if err == nil {
+		t.Fatal("panic not recovered into error")
+	}
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("recovered error does not match ErrInternal: %v", err)
+	}
+	var ie *Internal
+	if !errors.As(err, &ie) {
+		t.Fatalf("recovered error is not *Internal: %T", err)
+	}
+	if ie.Boundary != "test.boom" {
+		t.Fatalf("boundary = %q", ie.Boundary)
+	}
+	if ie.Value != "kaboom" {
+		t.Fatalf("value = %v", ie.Value)
+	}
+	if len(ie.Fingerprint) != 16 {
+		t.Fatalf("fingerprint %q not 16 hex chars", ie.Fingerprint)
+	}
+	if len(ie.Stack) == 0 {
+		t.Fatal("stack not captured")
+	}
+	if Recovered() != before+1 {
+		t.Fatalf("Recovered() = %d, want %d", Recovered(), before+1)
+	}
+}
+
+func TestRecoverIntoNoPanicLeavesError(t *testing.T) {
+	sentinel := errors.New("normal failure")
+	f := func() (err error) {
+		defer RecoverInto(&err, "test.normal")
+		return sentinel
+	}
+	if err := f(); err != sentinel {
+		t.Fatalf("err = %v, want sentinel untouched", err)
+	}
+}
+
+func TestFingerprintStableAcrossValues(t *testing.T) {
+	// Two panics from the same call site must share a fingerprint even
+	// when the panic values differ.
+	site := func(v any) (err error) {
+		defer RecoverInto(&err, "test.site")
+		panic(v)
+	}
+	var fp [2]string
+	for i, v := range []any{"first", fmt.Errorf("second %d", 42)} {
+		var ie *Internal
+		if !errors.As(site(v), &ie) {
+			t.Fatal("no Internal")
+		}
+		fp[i] = ie.Fingerprint
+	}
+	if fp[0] != fp[1] {
+		t.Fatalf("fingerprints differ for same site: %q vs %q", fp[0], fp[1])
+	}
+}
+
+func TestFingerprintDistinguishesSites(t *testing.T) {
+	a := func() (err error) {
+		defer RecoverInto(&err, "a")
+		panic("x")
+	}
+	deep := func() { panic("x") }
+	b := func() (err error) {
+		defer RecoverInto(&err, "b")
+		deep()
+		return nil
+	}
+	var ia, ib *Internal
+	errors.As(a(), &ia)
+	errors.As(b(), &ib)
+	if ia == nil || ib == nil {
+		t.Fatal("missing Internal")
+	}
+	if ia.Fingerprint == ib.Fingerprint {
+		t.Fatalf("different panic stacks share fingerprint %q", ia.Fingerprint)
+	}
+}
+
+func TestMisconfiguredSentinel(t *testing.T) {
+	err := fmt.Errorf("funclib: streaming substring not registered: %w", ErrMisconfigured)
+	if !errors.Is(err, ErrMisconfigured) {
+		t.Fatal("wrapped ErrMisconfigured not matched")
+	}
+}

@@ -103,7 +103,9 @@ var defaultRegistry *runtime.Registry
 func defaultReg() *runtime.Registry {
 	if defaultRegistry == nil {
 		r := runtime.NewRegistry()
-		funclib.Register(r)
+		// Analysis only reads signatures; a stream-attachment failure
+		// does not change them, so the error is ignorable here.
+		_ = funclib.Register(r)
 		defaultRegistry = r
 	}
 	return defaultRegistry

@@ -2,9 +2,12 @@ package xquery
 
 import (
 	"container/list"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/xqerr"
 	"repro/internal/xquery/analysis"
 	"repro/internal/xquery/ast"
 	"repro/internal/xquery/parser"
@@ -29,7 +32,22 @@ type CacheStats struct {
 	Coalesced int64 `json:"coalesced"`
 	// Evictions counts LRU evictions across both levels.
 	Evictions int64 `json:"evictions"`
+	// Quarantined counts lookups refused because the program crashed
+	// (panicked) QuarantineThreshold times in a row through this cache.
+	Quarantined int64 `json:"quarantined"`
 }
+
+// QuarantineThreshold is the number of consecutive internal errors
+// (recovered panics, matching xqerr.ErrInternal) after which
+// Cache.EvalQuery refuses a program outright. Any other outcome —
+// success, a normal query error, even a budget overrun — resets the
+// streak: quarantine is for programs that reliably crash the
+// evaluator, not ones that merely fail.
+const QuarantineThreshold = 3
+
+// ErrQuarantined matches (via errors.Is) lookups refused because the
+// program is quarantined.
+var ErrQuarantined = errors.New("xquery: program quarantined")
 
 // Cache is a shared compiled-program cache: repeated queries skip
 // parse/compile entirely, and concurrent first requests for the same
@@ -55,12 +73,19 @@ type Cache struct {
 	modLRU   *list.List
 	flights  map[string]*flight
 
-	compiles  atomic.Int64
-	parses    atomic.Int64
-	progHits  atomic.Int64
-	modHits   atomic.Int64
-	coalesced atomic.Int64
-	evictions atomic.Int64
+	// panicStreak tracks consecutive internal errors per program key;
+	// reaching QuarantineThreshold quarantines the key until any
+	// non-internal outcome (never, unless the program is re-admitted by
+	// a cache restart). Guarded by mu; bounded at capacity entries.
+	panicStreak map[string]int
+
+	compiles    atomic.Int64
+	parses      atomic.Int64
+	progHits    atomic.Int64
+	modHits     atomic.Int64
+	coalesced   atomic.Int64
+	evictions   atomic.Int64
+	quarantined atomic.Int64
 }
 
 type cacheEntry struct {
@@ -98,12 +123,13 @@ func NewCache(capacity int) *Cache {
 		capacity = DefaultCacheCapacity
 	}
 	return &Cache{
-		capacity: capacity,
-		programs: map[string]*list.Element{},
-		modules:  map[string]*list.Element{},
-		progLRU:  list.New(),
-		modLRU:   list.New(),
-		flights:  map[string]*flight{},
+		capacity:    capacity,
+		programs:    map[string]*list.Element{},
+		modules:     map[string]*list.Element{},
+		progLRU:     list.New(),
+		modLRU:      list.New(),
+		flights:     map[string]*flight{},
+		panicStreak: map[string]int{},
 	}
 }
 
@@ -116,7 +142,42 @@ func (c *Cache) Stats() CacheStats {
 		ModuleHits:  c.modHits.Load(),
 		Coalesced:   c.coalesced.Load(),
 		Evictions:   c.evictions.Load(),
+		Quarantined: c.quarantined.Load(),
 	}
+}
+
+// checkQuarantine refuses keys whose panic streak crossed the
+// threshold.
+func (c *Cache) checkQuarantine(key string) error {
+	c.mu.Lock()
+	streak := c.panicStreak[key]
+	c.mu.Unlock()
+	if streak >= QuarantineThreshold {
+		c.quarantined.Add(1)
+		return fmt.Errorf("%w after %d consecutive internal errors", ErrQuarantined, streak)
+	}
+	return nil
+}
+
+// noteOutcome updates a key's panic streak from a run outcome: an
+// internal error (recovered panic) extends the streak, anything else
+// clears it.
+func (c *Cache) noteOutcome(key string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil && errors.Is(err, xqerr.ErrInternal) {
+		if len(c.panicStreak) >= c.capacity {
+			// Bound the bookkeeping like the cache itself: drop an
+			// arbitrary streak rather than grow without limit.
+			for k := range c.panicStreak {
+				delete(c.panicStreak, k)
+				break
+			}
+		}
+		c.panicStreak[key]++
+		return
+	}
+	delete(c.panicStreak, key)
 }
 
 // Len returns the number of resident compiled programs.
@@ -298,7 +359,18 @@ func (c *Cache) CompileStrict(e *Engine, src string) (*Program, *analysis.Result
 // goes through CompileStrict: statically rejected programs fail with an
 // *AnalysisError (and stay out of the program cache), and the memoised
 // analysis supplies Result.Diagnostics without re-analyzing per run.
+//
+// EvalQuery is also the quarantine gate: a program whose last
+// QuarantineThreshold runs all ended in recovered panics (errors
+// matching xqerr.ErrInternal) is refused up front with an error
+// matching ErrQuarantined, so a reliably crashing program stops
+// burning evaluation budget. Any non-internal outcome resets its
+// streak.
 func (c *Cache) EvalQuery(e *Engine, src string, cfg RunConfig) (*Result, error) {
+	key := e.Fingerprint() + "\x00" + src
+	if err := c.checkQuarantine(key); err != nil {
+		return nil, err
+	}
 	if cfg.Strict {
 		p, ares, err := c.CompileStrict(e, src)
 		if err != nil {
@@ -307,6 +379,7 @@ func (c *Cache) EvalQuery(e *Engine, src string, cfg RunConfig) (*Result, error)
 		runCfg := cfg
 		runCfg.Strict = false // analysis already done; don't redo it per run
 		res, err := p.Run(runCfg)
+		c.noteOutcome(key, err)
 		if err != nil {
 			return nil, err
 		}
@@ -320,5 +393,7 @@ func (c *Cache) EvalQuery(e *Engine, src string, cfg RunConfig) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return p.Run(cfg)
+	res, err := p.Run(cfg)
+	c.noteOutcome(key, err)
+	return res, err
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/dom"
 	"repro/internal/xdm"
+	"repro/internal/xqerr"
 	"repro/internal/xquery/analysis"
 	"repro/internal/xquery/ast"
 	"repro/internal/xquery/funclib"
@@ -31,10 +32,16 @@ import (
 // dynamic Context. The concurrent serving layer (internal/serve) relies
 // on this to share one engine across all sessions.
 type Engine struct {
-	base     *runtime.Registry
-	resolver runtime.ModuleResolver
-	blockDoc bool
-	fp       string
+	base            *runtime.Registry
+	resolver        runtime.ModuleResolver
+	blockDoc        bool
+	fp              string
+	resolverRetries int
+	resolverBackoff time.Duration
+	// initErr records a function-library wiring failure from New;
+	// every Compile on this engine refuses with it instead of running
+	// programs against a half-built registry.
+	initErr error
 }
 
 // engineSeq numbers engines so each gets a distinct static-context
@@ -57,6 +64,19 @@ func WithModuleResolver(r runtime.ModuleResolver) Option {
 	return func(e *Engine) { e.resolver = r }
 }
 
+// WithResolverRetry retries failed module-resolver loads up to retries
+// additional times per import, waiting backoff before the first retry
+// and doubling it each further attempt. Module resolvers reach over
+// process boundaries (the REST substrate fetches service
+// descriptions), so transient load failures degrade to a bounded
+// retry instead of failing the compile outright.
+func WithResolverRetry(retries int, backoff time.Duration) Option {
+	return func(e *Engine) {
+		e.resolverRetries = retries
+		e.resolverBackoff = backoff
+	}
+}
+
 // WithBrowserProfile blocks fn:doc/fn:put, per the paper's §4.2.1
 // security rule for in-browser execution.
 func WithBrowserProfile() Option {
@@ -72,7 +92,7 @@ func WithFunctions(register func(*runtime.Registry)) Option {
 // New builds an engine with the full fn: library installed.
 func New(opts ...Option) *Engine {
 	e := &Engine{base: runtime.NewRegistry()}
-	funclib.Register(e.base)
+	e.initErr = funclib.Register(e.base)
 	for _, o := range opts {
 		o(e)
 	}
@@ -116,10 +136,15 @@ func (e *Engine) Compile(src string) (*Program, error) {
 // compiled by many engines concurrently — the program cache uses this
 // to share parse work across per-page host engines.
 func (e *Engine) CompileModule(m *ast.Module) (*Program, error) {
+	if e.initErr != nil {
+		return nil, e.initErr
+	}
 	p, err := runtime.Compile(m, runtime.CompileConfig{
-		Registry: e.base,
-		Resolver: e.resolver,
-		BlockDoc: e.blockDoc,
+		Registry:        e.base,
+		Resolver:        e.resolver,
+		BlockDoc:        e.blockDoc,
+		ResolverRetries: e.resolverRetries,
+		ResolverBackoff: e.resolverBackoff,
 	})
 	if err != nil {
 		return nil, err
@@ -176,6 +201,9 @@ func (e *Engine) analysisConfig(maxSteps int64) analysis.Config {
 // evaluating it. Parse failures return the parser error; an analyzed
 // module always returns a result, whatever its diagnostics say.
 func (e *Engine) Analyze(src string) (*analysis.Result, error) {
+	if e.initErr != nil {
+		return nil, e.initErr
+	}
 	m, err := parser.ParseModule(src)
 	if err != nil {
 		return nil, err
@@ -263,6 +291,20 @@ type RunConfig struct {
 	// Cache.EvalQuery, Strict additionally keeps rejected programs out
 	// of the program cache.
 	Strict bool
+	// NonAtomicUpdates applies pending update lists without the undo
+	// log: a mid-list failure leaves earlier primitives in place
+	// instead of rolling the documents back. Escape hatch for hosts
+	// that relied on the pre-rollback behaviour; see PUL.ApplyNonAtomic.
+	NonAtomicUpdates bool
+}
+
+// applyPUL applies a pending update list honouring the run's atomicity
+// setting.
+func (cfg *RunConfig) applyPUL(pul *update.PUL, onChange func(update.Primitive)) error {
+	if cfg.NonAtomicUpdates {
+		return pul.ApplyNonAtomic(onChange)
+	}
+	return pul.Apply(onChange)
 }
 
 // ErrBudgetExceeded matches (via errors.Is) the error returned when a
@@ -313,7 +355,7 @@ func (p *Program) NewContext(cfg RunConfig) *runtime.Context {
 	}
 	if cfg.Sequential {
 		ctx.SnapshotApply = func(pul *update.PUL) error {
-			return pul.Apply(cfg.OnUpdate)
+			return cfg.applyPUL(pul, cfg.OnUpdate)
 		}
 	}
 	return ctx
@@ -346,7 +388,12 @@ func RunWith(ctx *runtime.Context, cfg RunConfig, name dom.QName, args []xdm.Seq
 	})
 }
 
-func finishRun(ctx *runtime.Context, cfg RunConfig, eval func() (xdm.Sequence, error)) (*Result, error) {
+// finishRun evaluates and applies pending updates behind the engine's
+// panic-isolation boundary: a panic anywhere in evaluation or PUL
+// application recovers into an error matching xqerr.ErrInternal
+// instead of unwinding into the host.
+func finishRun(ctx *runtime.Context, cfg RunConfig, eval func() (xdm.Sequence, error)) (res *Result, err error) {
+	defer xqerr.RecoverInto(&err, "xquery.Run")
 	applied := 0
 	count := func(pr update.Primitive) {
 		applied++
@@ -355,14 +402,14 @@ func finishRun(ctx *runtime.Context, cfg RunConfig, eval func() (xdm.Sequence, e
 		}
 	}
 	if cfg.Sequential {
-		ctx.SnapshotApply = func(pul *update.PUL) error { return pul.Apply(count) }
+		ctx.SnapshotApply = func(pul *update.PUL) error { return cfg.applyPUL(pul, count) }
 	}
 	val, err := eval()
 	if err != nil {
 		return nil, err
 	}
 	if ctx.PUL != nil && !ctx.PUL.Empty() {
-		if err := ctx.PUL.Apply(count); err != nil {
+		if err := cfg.applyPUL(ctx.PUL, count); err != nil {
 			return nil, err
 		}
 	}
@@ -377,8 +424,10 @@ func (e *Engine) EvalQuery(src string, contextDoc *dom.Node) (xdm.Sequence, erro
 
 // EvalQueryContext is EvalQuery with cooperative cancellation: the run
 // aborts (with an error matching ctx.Err()) when ctx is cancelled or
-// its deadline passes.
-func (e *Engine) EvalQueryContext(ctx context.Context, src string, contextDoc *dom.Node) (xdm.Sequence, error) {
+// its deadline passes. It is a panic-isolation boundary: compile- or
+// run-time panics come back as errors matching xqerr.ErrInternal.
+func (e *Engine) EvalQueryContext(ctx context.Context, src string, contextDoc *dom.Node) (seq xdm.Sequence, err error) {
+	defer xqerr.RecoverInto(&err, "xquery.EvalQuery")
 	p, err := e.Compile(src)
 	if err != nil {
 		return nil, err

@@ -16,8 +16,11 @@ import (
 	"repro/internal/xquery/runtime"
 )
 
-// Register installs the built-in function library.
-func Register(reg *runtime.Registry) {
+// Register installs the built-in function library. The returned error
+// is non-nil only when the library is internally inconsistent (a
+// streaming entry point names a function that was never registered); it
+// wraps xqerr.ErrMisconfigured and means the registry must not be used.
+func Register(reg *runtime.Registry) error {
 	registerStrings(reg)
 	registerNumeric(reg)
 	registerBooleans(reg)
@@ -30,7 +33,7 @@ func Register(reg *runtime.Registry) {
 	registerContext(reg)
 	registerConstructors(reg)
 	// Last: attaches lazy Stream entry points to the functions above.
-	registerStreaming(reg)
+	return registerStreaming(reg)
 }
 
 // registerConstructors installs the xs: constructor functions

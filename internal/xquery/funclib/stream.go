@@ -1,10 +1,12 @@
 package funclib
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/xdm"
+	"repro/internal/xqerr"
 	"repro/internal/xquery/runtime"
 )
 
@@ -17,8 +19,17 @@ import (
 // Context.NoStream is set.
 
 // registerStreaming installs fn:head/fn:tail and attaches Stream
-// implementations to already-registered sequence functions.
-func registerStreaming(reg *runtime.Registry) {
+// implementations to already-registered sequence functions. A missing
+// base registration is a wiring bug in this package, reported as an
+// error wrapping xqerr.ErrMisconfigured rather than a panic so callers
+// at any depth can surface it.
+func registerStreaming(reg *runtime.Registry) error {
+	var errs []error
+	att := func(err error) {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
 	simple(reg, "head", 1, func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
 		if len(args[0]) == 0 {
 			return nil, nil
@@ -32,21 +43,21 @@ func registerStreaming(reg *runtime.Registry) {
 		return args[0][1:], nil
 	})
 
-	stream(reg, "exists", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+	att(stream(reg, "exists", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
 		_, ok, err := args[0].Next()
 		if err != nil {
 			return nil, err
 		}
 		return xdm.SingletonIter(xdm.Boolean(ok)), nil
-	})
-	stream(reg, "empty", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+	}))
+	att(stream(reg, "empty", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
 		_, ok, err := args[0].Next()
 		if err != nil {
 			return nil, err
 		}
 		return xdm.SingletonIter(xdm.Boolean(!ok)), nil
-	})
-	stream(reg, "count", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+	}))
+	att(stream(reg, "count", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
 		// Counting drains the stream but never stores it.
 		var n int64
 		for {
@@ -59,8 +70,8 @@ func registerStreaming(reg *runtime.Registry) {
 			}
 			n++
 		}
-	})
-	stream(reg, "head", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+	}))
+	att(stream(reg, "head", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
 		first, ok, err := args[0].Next()
 		if err != nil {
 			return nil, err
@@ -69,15 +80,15 @@ func registerStreaming(reg *runtime.Registry) {
 			return xdm.EmptyIter(), nil
 		}
 		return xdm.SingletonIter(first), nil
-	})
-	stream(reg, "tail", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+	}))
+	att(stream(reg, "tail", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
 		_, _, err := args[0].Next()
 		if err != nil {
 			return nil, err
 		}
 		return args[0], nil
-	})
-	stream(reg, "zero-or-one", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+	}))
+	att(stream(reg, "zero-or-one", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
 		s, err := xdm.MaterializeAtMost(args[0], 1)
 		if err != nil {
 			return nil, err
@@ -86,8 +97,8 @@ func registerStreaming(reg *runtime.Registry) {
 			return nil, fmt.Errorf("fn:zero-or-one: sequence has more than one item")
 		}
 		return xdm.FromSlice(s), nil
-	})
-	stream(reg, "one-or-more", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+	}))
+	att(stream(reg, "one-or-more", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
 		first, ok, err := args[0].Next()
 		if err != nil {
 			return nil, err
@@ -96,22 +107,22 @@ func registerStreaming(reg *runtime.Registry) {
 			return nil, fmt.Errorf("fn:one-or-more: empty sequence")
 		}
 		return xdm.ConcatIters(xdm.SingletonIter(first), args[0]), nil
-	})
-	stream(reg, "boolean", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+	}))
+	att(stream(reg, "boolean", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
 		b, err := xdm.EffectiveBooleanValueIter(args[0])
 		if err != nil {
 			return nil, err
 		}
 		return xdm.SingletonIter(xdm.Boolean(b)), nil
-	})
-	stream(reg, "not", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+	}))
+	att(stream(reg, "not", 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
 		b, err := xdm.EffectiveBooleanValueIter(args[0])
 		if err != nil {
 			return nil, err
 		}
 		return xdm.SingletonIter(xdm.Boolean(!b)), nil
-	})
-	streamRange(reg, "subsequence", 2, 3, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+	}))
+	att(streamRange(reg, "subsequence", 2, 3, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
 		startSeq, err := xdm.Materialize(args[1])
 		if err != nil {
 			return nil, err
@@ -158,28 +169,33 @@ func registerStreaming(reg *runtime.Registry) {
 			done = true
 			return nil, false, nil
 		}), nil
-	})
+	}))
+	return errors.Join(errs...)
 }
 
 // stream attaches a Stream implementation to a registered fixed-arity
 // fn: function.
 func stream(reg *runtime.Registry, local string, arity int,
-	s func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error)) {
+	s func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error)) error {
 	f := reg.Lookup(fnName(local), arity)
 	if f == nil {
-		panic("funclib: streaming " + local + " not registered")
+		return fmt.Errorf("%w: funclib: streaming fn:%s#%d has no base registration",
+			xqerr.ErrMisconfigured, local, arity)
 	}
 	f.Stream = s
+	return nil
 }
 
 // streamRange is stream for a variable-arity registration.
 func streamRange(reg *runtime.Registry, local string, min, max int,
-	s func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error)) {
+	s func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error)) error {
 	for a := min; a <= max; a++ {
 		f := reg.Lookup(fnName(local), a)
 		if f == nil {
-			panic("funclib: streaming " + local + " not registered")
+			return fmt.Errorf("%w: funclib: streaming fn:%s#%d has no base registration",
+				xqerr.ErrMisconfigured, local, a)
 		}
 		f.Stream = s
 	}
+	return nil
 }

@@ -90,7 +90,12 @@ func (p *Parser) recoverTo(err *error) {
 			*err = pe
 			return
 		}
-		panic(r)
+		// Any other panic is a parser bug (index out of range, nil
+		// dereference, ...). Re-panicking would tear down whatever
+		// serving goroutine called Parse, so wrap it as a positioned
+		// parse error at the token the parser was stuck on instead.
+		t := p.lx.Peek()
+		*err = &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf("internal error: %v", r)}
 	}
 }
 

@@ -508,3 +508,39 @@ func TestPathologicalNesting(t *testing.T) {
 		t.Errorf("100-deep parens should parse: %v", err)
 	}
 }
+
+func TestRecoverToWrapsForeignPanics(t *testing.T) {
+	// A non-*Error panic is a parser bug; recoverTo must turn it into
+	// a positioned parse error rather than re-panic through whatever
+	// goroutine called Parse.
+	p := newParser("1 +\n  2")
+	p.lx.Next() // advance so Peek has a real position
+	var err error
+	func() {
+		defer p.recoverTo(&err)
+		panic("boom")
+	}()
+	if err == nil {
+		t.Fatal("foreign panic not converted to error")
+	}
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("want *Error, got %T: %v", err, err)
+	}
+	if !strings.Contains(pe.Msg, "internal error: boom") {
+		t.Errorf("message %q should mention the panic value", pe.Msg)
+	}
+	if pe.Line == 0 && pe.Col == 0 {
+		t.Errorf("error should carry the current token position, got %d:%d", pe.Line, pe.Col)
+	}
+}
+
+func TestRecoverToPassesParseErrors(t *testing.T) {
+	_, err := ParseExpr("1 +")
+	if err == nil {
+		t.Fatal("want syntax error")
+	}
+	if _, ok := err.(*Error); !ok {
+		t.Fatalf("want *Error, got %T", err)
+	}
+}

@@ -12,9 +12,11 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dom"
+	"repro/internal/faultpoint"
 	"repro/internal/xdm"
 	"repro/internal/xquery/ast"
 	"repro/internal/xquery/plan"
@@ -156,6 +158,16 @@ type CompileConfig struct {
 	// BlockDoc disables fn:doc and fn:put — the browser profile's
 	// security rule (paper §4.2.1).
 	BlockDoc bool
+	// ResolverRetries is the number of additional resolver attempts
+	// after a failed module load (0: fail on the first error, the
+	// pre-retry behaviour). Module resolvers reach over process
+	// boundaries — the REST substrate fetches service descriptions —
+	// so transient failures deserve bounded retry before the compile
+	// gives up.
+	ResolverRetries int
+	// ResolverBackoff is the wait before the first retry; each further
+	// retry doubles it. 0 retries immediately.
+	ResolverBackoff time.Duration
 }
 
 // Program is a compiled module ready for evaluation.
@@ -163,6 +175,38 @@ type Program struct {
 	Module   *ast.Module
 	Reg      *Registry
 	BlockDoc bool
+}
+
+// resolverRetries counts module-resolver load attempts retried after a
+// failure, process-wide (surfaced in serve.Metrics.Failures).
+var resolverRetries atomic.Int64
+
+// ResolverRetries returns the process-wide resolver-retry count.
+func ResolverRetries() int64 { return resolverRetries.Load() }
+
+// resolveWithRetry runs one module import through the resolver with
+// the configured bounded retry-with-backoff. The resolver.load fault
+// point fires inside each attempt, so injected faults are retried like
+// real ones. Registry.Register replaces same-name/arity entries, so a
+// half-registered failed attempt is safely overwritten by the retry.
+func resolveWithRetry(cfg CompileConfig, imp ast.ModuleImport, reg *Registry) error {
+	attempt := func() error {
+		if err := faultpoint.Hit(faultpoint.PointResolverLoad); err != nil {
+			return err
+		}
+		return cfg.Resolver(imp, reg)
+	}
+	err := attempt()
+	backoff := cfg.ResolverBackoff
+	for retry := 0; err != nil && retry < cfg.ResolverRetries; retry++ {
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		resolverRetries.Add(1)
+		err = attempt()
+	}
+	return err
 }
 
 // Compile resolves imports and user function declarations of a parsed
@@ -182,7 +226,7 @@ func Compile(m *ast.Module, cfg CompileConfig) (*Program, error) {
 		if cfg.Resolver == nil {
 			return nil, fmt.Errorf("%w for import of %q", ErrNoResolver, imp.URI)
 		}
-		if err := cfg.Resolver(imp, reg); err != nil {
+		if err := resolveWithRetry(cfg, imp, reg); err != nil {
 			return nil, fmt.Errorf("xquery: importing %q: %w", imp.URI, err)
 		}
 	}

@@ -9,9 +9,12 @@
 package update
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dom"
+	"repro/internal/faultpoint"
 )
 
 // Kind identifies an update primitive.
@@ -120,26 +123,132 @@ var applyOrder = [][]Kind{
 	{Delete},
 }
 
+// rollbacks counts PUL applications that failed mid-way and were
+// rolled back, process-wide (surfaced in serve.Metrics.Failures).
+var rollbacks atomic.Int64
+
+// Rollbacks returns the process-wide rollback count.
+func Rollbacks() int64 { return rollbacks.Load() }
+
 // Apply performs all pending updates against the live trees in the
-// prescribed order and clears the list. If onChange is non-nil it is
-// called once per applied primitive (the plug-in host uses this to count
-// DOM mutations and schedule re-rendering).
+// prescribed order and clears the list — atomically: every primitive
+// records its exact inverse in an undo log, and if any primitive fails
+// mid-apply the log unwinds in reverse, each touched tree's version
+// counter is rewound to its pre-apply value (re-stamping document
+// order and dropping any index built in the rolled-back window, once
+// per tree), and the original error returns with the documents
+// serialisation-identical to their pre-apply state. That makes the
+// Update Facility's all-or-nothing contract hold against the live DOM,
+// not just the evaluation snapshot.
+//
+// If onChange is non-nil it is called once per applied primitive (the
+// plug-in host uses this to count DOM mutations and schedule
+// re-rendering) — but only after the whole list has applied, so
+// observers never see a primitive that is later rolled back.
 func (p *PUL) Apply(onChange func(Primitive)) error {
+	return p.apply(onChange, true)
+}
+
+// ApplyNonAtomic performs the pending updates without undo logging:
+// primitives apply (and report to onChange) one by one, and a mid-list
+// failure leaves the earlier mutations in place. This is the
+// RunConfig.NonAtomicUpdates escape hatch for hosts that relied on the
+// pre-rollback behaviour or cannot afford the undo log.
+func (p *PUL) ApplyNonAtomic(onChange func(Primitive)) error {
+	return p.apply(onChange, false)
+}
+
+func (p *PUL) apply(onChange func(Primitive), atomically bool) error {
+	var u *undoLog
+	var versions map[*dom.Node]uint64
+	if atomically {
+		u = &undoLog{}
+		// Snapshot each target tree's version before the first
+		// mutation. Content trees need no entry: nothing caches on a
+		// freshly constructed copy, and inserts bump the target tree.
+		versions = map[*dom.Node]uint64{}
+		for _, pr := range p.prims {
+			if r := pr.Target.Root(); r != nil {
+				if _, ok := versions[r]; !ok {
+					versions[r] = r.Version()
+				}
+			}
+		}
+	}
+	fail := func(err error) error {
+		if !atomically {
+			return err
+		}
+		rollbacks.Add(1)
+		undoErr := u.undo()
+		for root, v := range versions {
+			if root.Version() != v {
+				root.RestoreVersion(v)
+			}
+		}
+		if undoErr != nil {
+			return errors.Join(err, fmt.Errorf("update: rollback failed: %w", undoErr))
+		}
+		return err
+	}
+	var applied []Primitive
 	for _, phase := range applyOrder {
 		for _, pr := range p.prims {
 			if !kindIn(pr.Kind, phase) {
 				continue
 			}
-			if err := applyOne(pr); err != nil {
-				return err
+			if err := faultpoint.Hit(faultpoint.PointUpdateApply); err != nil {
+				return fail(err)
 			}
-			if onChange != nil {
+			if err := applyOne(pr, u); err != nil {
+				return fail(err)
+			}
+			if atomically {
+				applied = append(applied, pr)
+			} else if onChange != nil {
 				onChange(pr)
 			}
 		}
 	}
+	if onChange != nil {
+		for _, pr := range applied {
+			onChange(pr)
+		}
+	}
 	p.Reset()
 	return nil
+}
+
+// undoLog records, during an atomic apply, the exact inverse of every
+// mutation in application order. A nil *undoLog discards records, so
+// the same apply code serves both modes. Inverses are positional
+// (RestoreChildAt/RestoreAttrAt) rather than sibling-relative: by the
+// time the log unwinds, the sibling that anchored an operation may
+// itself be detached, but unwinding in strict reverse order means each
+// inverse runs against exactly the state its operation produced, so a
+// captured list index is always valid.
+type undoLog struct {
+	steps []func() error
+}
+
+func (u *undoLog) add(f func() error) {
+	if u == nil {
+		return
+	}
+	u.steps = append(u.steps, f)
+}
+
+func (u *undoLog) undo() error {
+	if u == nil {
+		return nil
+	}
+	var errs []error
+	for i := len(u.steps) - 1; i >= 0; i-- {
+		if err := u.steps[i](); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 func kindIn(k Kind, ks []Kind) bool {
@@ -151,12 +260,12 @@ func kindIn(k Kind, ks []Kind) bool {
 	return false
 }
 
-func applyOne(pr Primitive) error {
+func applyOne(pr Primitive, u *undoLog) error {
 	t := pr.Target
 	switch pr.Kind {
 	case InsertInto, InsertIntoLast:
 		for _, c := range pr.Content {
-			if err := insertChildOrAttr(t, c, func(n *dom.Node) error { return t.AppendChild(n) }); err != nil {
+			if err := insertChildOrAttr(t, c, u, func(n *dom.Node) error { return t.AppendChild(n) }); err != nil {
 				return err
 			}
 		}
@@ -164,7 +273,7 @@ func applyOne(pr Primitive) error {
 		// Preserve content order while prepending.
 		for i := len(pr.Content) - 1; i >= 0; i-- {
 			c := pr.Content[i]
-			if err := insertChildOrAttr(t, c, func(n *dom.Node) error { return t.PrependChild(n) }); err != nil {
+			if err := insertChildOrAttr(t, c, u, func(n *dom.Node) error { return t.PrependChild(n) }); err != nil {
 				return err
 			}
 		}
@@ -174,7 +283,7 @@ func applyOne(pr Primitive) error {
 			return fmt.Errorf("update: insert before a parentless node")
 		}
 		for _, c := range pr.Content {
-			if err := parent.InsertBefore(c, t); err != nil {
+			if err := insertChild(c, u, func() error { return parent.InsertBefore(c, t) }); err != nil {
 				return err
 			}
 		}
@@ -185,7 +294,7 @@ func applyOne(pr Primitive) error {
 		}
 		ref := t
 		for _, c := range pr.Content {
-			if err := parent.InsertAfter(c, ref); err != nil {
+			if err := insertChild(c, u, func() error { return parent.InsertAfter(c, ref) }); err != nil {
 				return err
 			}
 			ref = c
@@ -195,22 +304,22 @@ func applyOne(pr Primitive) error {
 			if a.Type != dom.AttributeNode {
 				return fmt.Errorf("update: insertAttributes content must be attributes")
 			}
-			t.SetAttr(a.Name, a.Data)
+			setAttr(t, a.Name, a.Data, u)
 		}
 	case Delete:
-		t.Detach()
+		detach(t, u)
 	case ReplaceNode:
 		if t.Type == dom.AttributeNode {
 			owner := t.Parent()
 			if owner == nil {
 				return fmt.Errorf("update: replace a detached attribute")
 			}
-			t.Detach()
+			detach(t, u)
 			for _, c := range pr.Content {
 				if c.Type != dom.AttributeNode {
 					return fmt.Errorf("update: attribute can only be replaced by attributes")
 				}
-				owner.SetAttr(c.Name, c.Data)
+				setAttr(owner, c.Name, c.Data, u)
 			}
 			return nil
 		}
@@ -220,25 +329,40 @@ func applyOne(pr Primitive) error {
 		}
 		ref := t
 		for _, c := range pr.Content {
-			if err := parent.InsertAfter(c, ref); err != nil {
+			if err := insertChild(c, u, func() error { return parent.InsertAfter(c, ref) }); err != nil {
 				return err
 			}
 			ref = c
 		}
-		t.Detach()
+		detach(t, u)
 	case ReplaceValue:
 		switch t.Type {
 		case dom.ElementNode:
+			old := append([]*dom.Node(nil), t.Children()...)
 			t.ReplaceElementContent(pr.Value)
+			u.add(func() error {
+				t.RemoveChildren()
+				var errs []error
+				for _, c := range old {
+					if err := t.AppendChild(c); err != nil {
+						errs = append(errs, err)
+					}
+				}
+				return errors.Join(errs...)
+			})
 		case dom.DocumentNode:
 			return fmt.Errorf("update: cannot replace value of a document node")
 		default:
+			old := t.Data
 			t.SetData(pr.Value)
+			u.add(func() error { t.SetData(old); return nil })
 		}
 	case Rename:
 		switch t.Type {
 		case dom.ElementNode, dom.AttributeNode, dom.ProcessingInstructionNode:
+			old := t.Name
 			t.Rename(pr.Name)
+			u.add(func() error { t.Rename(old); return nil })
 		default:
 			return fmt.Errorf("update: cannot rename a %s node", t.Type)
 		}
@@ -248,15 +372,72 @@ func applyOne(pr Primitive) error {
 	return nil
 }
 
+// insertChild runs one child insertion and records its inverse (the
+// content node was detached before insertion, so detaching again is
+// exact).
+func insertChild(c *dom.Node, u *undoLog, insert func() error) error {
+	if err := insert(); err != nil {
+		return err
+	}
+	u.add(func() error { c.Detach(); return nil })
+	return nil
+}
+
+// setAttr sets (or adds) an attribute and records its inverse: restore
+// the previous value on the same attribute node, or detach the node
+// SetAttr created.
+func setAttr(t *dom.Node, name dom.QName, value string, u *undoLog) {
+	if a := t.AttrNode(name); a != nil {
+		old := a.Data
+		a.SetData(value)
+		u.add(func() error { a.SetData(old); return nil })
+		return
+	}
+	a := t.SetAttr(name, value)
+	u.add(func() error { a.Detach(); return nil })
+}
+
+// detach removes t from its parent and records a positional inverse so
+// the undo restores the exact child/attribute list order. Detaching a
+// parentless node records nothing (Detach itself is a no-op there).
+func detach(t *dom.Node, u *undoLog) {
+	p := t.Parent()
+	if p == nil {
+		return
+	}
+	if t.Type == dom.AttributeNode {
+		i := nodeIndex(p.Attrs(), t)
+		t.Detach()
+		u.add(func() error { return p.RestoreAttrAt(t, i) })
+		return
+	}
+	i := nodeIndex(p.Children(), t)
+	t.Detach()
+	u.add(func() error { return p.RestoreChildAt(t, i) })
+}
+
+func nodeIndex(list []*dom.Node, t *dom.Node) int {
+	for i, x := range list {
+		if x == t {
+			return i
+		}
+	}
+	return -1
+}
+
 // insertChildOrAttr routes attribute nodes in an insert-into content
 // list to the attribute list and everything else through insert.
-func insertChildOrAttr(target, c *dom.Node, insert func(*dom.Node) error) error {
+func insertChildOrAttr(target, c *dom.Node, u *undoLog, insert func(*dom.Node) error) error {
 	if c.Type == dom.AttributeNode {
 		if target.Type != dom.ElementNode {
 			return fmt.Errorf("update: attributes can only be inserted into elements")
 		}
-		target.SetAttr(c.Name, c.Data)
+		setAttr(target, c.Name, c.Data, u)
 		return nil
 	}
-	return insert(c)
+	if err := insert(c); err != nil {
+		return err
+	}
+	u.add(func() error { c.Detach(); return nil })
+	return nil
 }

@@ -22,6 +22,13 @@
 //	            through index.For/index.Fresh, which are the only
 //	            places allowed to compare the stamp.
 //
+//	recovercheck  panic recovery only happens at sanctioned boundaries:
+//	            naked recover() calls are forbidden everywhere except
+//	            package xqerr (which implements RecoverInto), package
+//	            faultpoint, and the parser's recoverTo. A bare
+//	            recover() swallows the panic signal that quarantine
+//	            and the failure metrics depend on.
+//
 // The passes would normally be go/analysis analyzers run through
 // `go vet -vettool`, but go/analysis lives in golang.org/x/tools, which
 // this repository deliberately does not depend on (builds must work
@@ -54,10 +61,10 @@ type finding struct {
 }
 
 func main() {
-	check := flag.String("check", "", "pass to run: progmutate, ctxstruct or idxversion")
+	check := flag.String("check", "", "pass to run: progmutate, ctxstruct, idxversion or recovercheck")
 	flag.Parse()
 	if *check == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: analyzers -check {progmutate|ctxstruct|idxversion} dir...")
+		fmt.Fprintln(os.Stderr, "usage: analyzers -check {progmutate|ctxstruct|idxversion|recovercheck} dir...")
 		os.Exit(2)
 	}
 
@@ -77,6 +84,8 @@ func main() {
 				findings = append(findings, ctxStruct(fset, f)...)
 			case "idxversion":
 				findings = append(findings, idxVersion(fset, f)...)
+			case "recovercheck":
+				findings = append(findings, recoverCheck(fset, f)...)
 			default:
 				fmt.Fprintf(os.Stderr, "analyzers: unknown check %q\n", *check)
 				os.Exit(2)
@@ -382,4 +391,47 @@ func isContextContext(t ast.Expr) bool {
 	}
 	id, ok := sel.X.(*ast.Ident)
 	return ok && id.Name == "context" && sel.Sel.Name == "Context"
+}
+
+// --- recovercheck ---------------------------------------------------------------
+
+// recoverCheck forbids naked recover() calls. Panic recovery is a
+// serving-layer contract: a recovered panic must become a typed,
+// counted error (xqerr.RecoverInto) so quarantine and the failure
+// metrics see it — a bare recover() silently swallows the signal.
+// Sanctioned sites: package xqerr (it implements the boundary helper),
+// package faultpoint (test scaffolding for injected panics), and the
+// parser's recoverTo, which converts its own positioned *Error panics
+// and wraps everything else.
+func recoverCheck(fset *token.FileSet, file *ast.File) []finding {
+	pkg := file.Name.Name
+	if pkg == "xqerr" || pkg == "faultpoint" {
+		return nil
+	}
+	var out []finding
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if pkg == "parser" && fd.Name.Name == "recoverTo" {
+			continue
+		}
+		fn := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" && len(call.Args) == 0 {
+				out = append(out, finding{
+					pos: fset.Position(call.Pos()),
+					msg: fmt.Sprintf("recovercheck: naked recover() in %s.%s; use xqerr.RecoverInto so the panic becomes a typed, counted internal error",
+						pkg, fn),
+				})
+			}
+			return true
+		})
+	}
+	return out
 }

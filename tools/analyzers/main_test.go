@@ -117,3 +117,44 @@ func ok(ctx context.Context) {}
 		t.Fatalf("findings = %v, want exactly the ctx field", got)
 	}
 }
+
+func TestRecoverCheckFlagsNakedRecover(t *testing.T) {
+	src := `package serve
+func (s *Session) runTurn() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+		}
+	}()
+	return nil
+}
+`
+	got := analyze(t, src, recoverCheck)
+	if len(got) != 1 {
+		t.Fatalf("findings = %v, want 1", got)
+	}
+}
+
+func TestRecoverCheckAllowsSanctionedPackages(t *testing.T) {
+	for _, src := range []string{
+		`package xqerr
+func RecoverInto(errp *error, b string) { if r := recover(); r != nil { _ = r } }`,
+		`package faultpoint
+func catch() { _ = recover() }`,
+		`package parser
+func (p *Parser) recoverTo(err *error) { if r := recover(); r != nil { _ = r } }`,
+	} {
+		if got := analyze(t, src, recoverCheck); len(got) != 0 {
+			t.Fatalf("findings = %v, want none for %q", got, src)
+		}
+	}
+}
+
+func TestRecoverCheckFlagsElsewhereInParser(t *testing.T) {
+	src := `package parser
+func sneaky() { _ = recover() }
+`
+	if got := analyze(t, src, recoverCheck); len(got) != 1 {
+		t.Fatalf("findings = %v, want 1", got)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/xdm"
 	"repro/internal/xmldb"
+	"repro/internal/xqerr"
 	"repro/internal/xquery"
 )
 
@@ -112,6 +113,15 @@ func WithModuleResolver(r ModuleResolver) Option {
 // Deprecated: use WithModuleResolver — the same option now applies to
 // engines and hosts alike.
 var WithHostResolver = WithModuleResolver
+
+// WithResolverRetry retries failed module-resolver loads up to retries
+// additional times per import, waiting backoff before the first retry
+// and doubling it each further attempt — bounded degradation for
+// transient resolver failures (the REST substrate fetches service
+// descriptions over process boundaries).
+func WithResolverRetry(retries int, backoff time.Duration) Option {
+	return Option{engine: []xquery.Option{xquery.WithResolverRetry(retries, backoff)}}
+}
 
 // WithBrowserProfile blocks fn:doc/fn:put, per the paper's §4.2.1
 // security rule for in-browser execution (LoadPage engines always run
@@ -256,6 +266,17 @@ var (
 	ErrPoolClosed = serve.ErrPoolClosed
 	// ErrSessionClosed matches events sent to a closed Session.
 	ErrSessionClosed = serve.ErrSessionClosed
+	// ErrOverloaded matches event-loop turns shed because a session's
+	// queue was at Config.MaxQueue.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrInternal matches a panic recovered into an error at any
+	// evaluation boundary (engine run, session dispatch, Pool.Eval,
+	// rest call, page load). The concrete error is an *xqerr.Internal
+	// carrying a stack fingerprint.
+	ErrInternal = xqerr.ErrInternal
+	// ErrQuarantined matches evaluations refused because the program
+	// panicked QuarantineThreshold times in a row through one cache.
+	ErrQuarantined = xquery.ErrQuarantined
 )
 
 // --- serving layer --------------------------------------------------------------
