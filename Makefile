@@ -16,14 +16,16 @@ ci: fmt-check vet vet-invariants build race chaos lint bench-smoke staticcheck g
 
 # Custom invariant passes (tools/analyzers): compiled programs are
 # immutable after construction, serve/rest never store a
-# context.Context in a struct, and only internal/dom/index reads the
-# per-document index maps / raw cache slots, always behind the version
-# stamp. Stdlib-only stand-ins for the `go vet -vettool` analyzers,
-# which would need golang.org/x/tools.
+# context.Context in a struct, only internal/dom/index reads the
+# per-document index maps / raw cache slots (always behind the version
+# stamp), and the optimizer/closure-compiler never mutate shared AST
+# nodes (rewrites must copy). Stdlib-only stand-ins for the
+# `go vet -vettool` analyzers, which would need golang.org/x/tools.
 vet-invariants:
 	$(GO) run ./tools/analyzers -check progmutate internal/xquery internal/xquery/runtime
 	$(GO) run ./tools/analyzers -check ctxstruct internal/serve internal/rest
 	$(GO) run ./tools/analyzers -check idxversion internal/dom/index internal/dom internal/xquery/runtime internal/xquery/funclib internal/serve
+	$(GO) run ./tools/analyzers -check planpure internal/xquery/plan internal/xquery/compile
 	$(GO) run ./tools/analyzers -check recovercheck $(shell $(GO) list -f '{{.Dir}}' ./...)
 
 # Static analysis of the shipped example programs: every embedded
@@ -72,13 +74,17 @@ bench:
 	$(GO) test -bench . -benchmem -run xxx . ./internal/serve
 	$(GO) run ./cmd/benchserve -check -out BENCH_serve.json
 	$(GO) run ./cmd/benchpath -check -out BENCH_pathindex.json
+	$(GO) run ./cmd/benchcompile -check -out BENCH_compile.json
 
 # Cheap CI gates: one iteration per serving scenario (cache/metrics
-# accounting stays exact) and a short fixed-iteration path-index run
-# (indexed //x at least 5x faster than the scan, identical results).
+# accounting stays exact), a short fixed-iteration path-index run
+# (indexed //x at least 5x faster than the scan, identical results),
+# and the compile-backend gate (FLWOR-heavy compiled runs at least 2x
+# faster than the walker, identical results from both backends).
 bench-smoke:
 	$(GO) run ./cmd/benchserve -smoke -out BENCH_serve.json
 	$(GO) run ./cmd/benchpath -smoke -out BENCH_pathindex.json
+	$(GO) run ./cmd/benchcompile -smoke -out BENCH_compile.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/xquery/parser"
+)
+
+func estimateOf(t *testing.T, src string) int64 {
+	t.Helper()
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Analyze(m, Config{}).EstimatedSteps
+}
+
+// TestEstimateChargesProbedPredicatesPostProbe: a descendant step the
+// planner turned into an id probe answers with a handful of nodes, so
+// the [@id = ...] predicate (and anything after it) must be charged at
+// that post-probe cardinality — not at the scan expansion, which made
+// XQ0301 fire spuriously on pages whose queries the index serves.
+func TestEstimateChargesProbedPredicatesPostProbe(t *testing.T) {
+	probed := estimateOf(t, `//section[@id = "s1"][@class = "x"]`)
+	scanned := estimateOf(t, `//section[@class = "x"]`)
+	if probed >= scanned {
+		t.Errorf("probed estimate %d not below scan estimate %d", probed, scanned)
+	}
+	// The probe visits the frontier once and re-applies its predicates
+	// to a short candidate list; anything in the hundreds means the
+	// predicates were charged at scan cardinality again.
+	if probed > 100 {
+		t.Errorf("probed estimate %d: predicates charged pre-probe", probed)
+	}
+
+	// And the budget diagnostic agrees: a budget the probe fits must
+	// not warn, while the scan's estimate may exceed it.
+	if _, warn := BudgetDiagnostic(probed, 100); warn {
+		t.Errorf("XQ0301 fired for probed estimate %d under budget 100", probed)
+	}
+}

@@ -2,17 +2,17 @@ package analysis
 
 import (
 	"repro/internal/xquery/ast"
-	"repro/internal/xquery/parser"
 	"repro/internal/xquery/plan"
 )
 
-// Pass 4: constant folding and cost annotation. Folding is deliberately
-// small — enough to catch `if (true())` / `if (1 = 2)` dead branches
-// and to size `1 to N` ranges exactly; everything else stays unknown.
-// The step estimate is saturating and uses the same unit as the runtime
+// Pass 4: constant folding and cost annotation. The folding itself
+// lives in internal/xquery/plan (plan.Fold), where the algebraic
+// optimizer reuses it to rewrite trees before compilation; the
+// analyzer delegates so both passes agree on what is constant. The
+// step estimate is saturating and uses the same unit as the runtime
 // budget (one step per expression evaluation or streamed item), so a
-// program estimated at E steps run under MaxSteps < E is likely to trip
-// runtime.ErrBudgetExceeded.
+// program estimated at E steps run under MaxSteps < E is likely to
+// trip runtime.ErrBudgetExceeded.
 
 // Cardinality and iteration guesses for statically unknown shapes.
 const (
@@ -24,227 +24,14 @@ const (
 	costCap      = int64(1) << 40
 )
 
-// constKind tags the folded value.
-type constKind int
-
-const (
-	constInt constKind = iota
-	constFloat
-	constString
-	constBool
-	constEmpty
-)
-
-type constVal struct {
-	kind constKind
-	i    int64
-	f    float64
-	s    string
-	b    bool
-}
-
-// ebv is the effective boolean value of a folded constant.
-func (v constVal) ebv() bool {
-	switch v.kind {
-	case constInt:
-		return v.i != 0
-	case constFloat:
-		return v.f != 0 && v.f == v.f // non-zero, non-NaN
-	case constString:
-		return v.s != ""
-	case constBool:
-		return v.b
-	default:
-		return false
-	}
-}
-
 // constBool folds e and takes its effective boolean value.
 func (c *checker) constBool(e ast.Expr) (bool, bool) {
-	v, ok := c.fold(e)
-	if !ok {
-		return false, false
-	}
-	return v.ebv(), true
+	return plan.FoldBool(e)
 }
 
-// fold evaluates e if it is a constant expression.
-func (c *checker) fold(e ast.Expr) (constVal, bool) {
-	switch x := e.(type) {
-	case ast.IntLit:
-		return constVal{kind: constInt, i: x.Val}, true
-	case ast.DoubleLit:
-		return constVal{kind: constFloat, f: x.Val}, true
-	case ast.StringLit:
-		return constVal{kind: constString, s: x.Val}, true
-	case ast.SeqExpr:
-		if len(x.Items) == 0 {
-			return constVal{kind: constEmpty}, true
-		}
-	case ast.Unary:
-		v, ok := c.fold(x.X)
-		if !ok {
-			return constVal{}, false
-		}
-		if x.Neg {
-			switch v.kind {
-			case constInt:
-				v.i = -v.i
-			case constFloat:
-				v.f = -v.f
-			default:
-				return constVal{}, false
-			}
-		}
-		return v, true
-	case ast.FuncCall:
-		if x.Name.Space != parser.FnNamespace {
-			return constVal{}, false
-		}
-		switch {
-		case x.Name.Local == "true" && len(x.Args) == 0:
-			return constVal{kind: constBool, b: true}, true
-		case x.Name.Local == "false" && len(x.Args) == 0:
-			return constVal{kind: constBool, b: false}, true
-		case x.Name.Local == "not" && len(x.Args) == 1:
-			if b, ok := c.constBool(x.Args[0]); ok {
-				return constVal{kind: constBool, b: !b}, true
-			}
-		}
-	case ast.Binary:
-		return c.foldBinary(x)
-	case ast.Compare:
-		return c.foldCompare(x)
-	}
-	return constVal{}, false
-}
-
-func (c *checker) foldBinary(x ast.Binary) (constVal, bool) {
-	switch x.Op {
-	case "and", "or":
-		lb, lok := c.constBool(x.L)
-		rb, rok := c.constBool(x.R)
-		// Short-circuit folds: a constant dominant operand decides the
-		// result regardless of the other side.
-		if x.Op == "and" {
-			if lok && !lb || rok && !rb {
-				return constVal{kind: constBool, b: false}, true
-			}
-			if lok && rok {
-				return constVal{kind: constBool, b: lb && rb}, true
-			}
-		} else {
-			if lok && lb || rok && rb {
-				return constVal{kind: constBool, b: true}, true
-			}
-			if lok && rok {
-				return constVal{kind: constBool, b: lb || rb}, true
-			}
-		}
-		return constVal{}, false
-	case "+", "-", "*", "idiv", "mod":
-		l, lok := c.fold(x.L)
-		r, rok := c.fold(x.R)
-		if !lok || !rok || l.kind != constInt || r.kind != constInt {
-			return constVal{}, false
-		}
-		switch x.Op {
-		case "+":
-			return constVal{kind: constInt, i: l.i + r.i}, true
-		case "-":
-			return constVal{kind: constInt, i: l.i - r.i}, true
-		case "*":
-			return constVal{kind: constInt, i: l.i * r.i}, true
-		case "idiv":
-			if r.i == 0 {
-				return constVal{}, false // a runtime error, not a constant
-			}
-			return constVal{kind: constInt, i: l.i / r.i}, true
-		default: // mod
-			if r.i == 0 {
-				return constVal{}, false
-			}
-			return constVal{kind: constInt, i: l.i % r.i}, true
-		}
-	}
-	return constVal{}, false
-}
-
-func (c *checker) foldCompare(x ast.Compare) (constVal, bool) {
-	if x.Kind == ast.NodeComp {
-		return constVal{}, false
-	}
-	l, lok := c.fold(x.L)
-	r, rok := c.fold(x.R)
-	if !lok || !rok {
-		return constVal{}, false
-	}
-	op := x.Op
-	switch op { // value-comparison spellings map onto the general ones
-	case "eq":
-		op = "="
-	case "ne":
-		op = "!="
-	case "lt":
-		op = "<"
-	case "le":
-		op = "<="
-	case "gt":
-		op = ">"
-	case "ge":
-		op = ">="
-	}
-	var cmp int // -1, 0, 1
-	switch {
-	case l.kind == constInt && r.kind == constInt:
-		cmp = cmpOrder(l.i < r.i, l.i == r.i)
-	case l.kind == constString && r.kind == constString:
-		cmp = cmpOrder(l.s < r.s, l.s == r.s)
-	case (l.kind == constFloat || l.kind == constInt) && (r.kind == constFloat || r.kind == constInt):
-		lf, rf := l.asFloat(), r.asFloat()
-		if lf != lf || rf != rf { // NaN compares false for everything but !=
-			return constVal{kind: constBool, b: op == "!="}, true
-		}
-		cmp = cmpOrder(lf < rf, lf == rf)
-	default:
-		return constVal{}, false
-	}
-	var b bool
-	switch op {
-	case "=":
-		b = cmp == 0
-	case "!=":
-		b = cmp != 0
-	case "<":
-		b = cmp < 0
-	case "<=":
-		b = cmp <= 0
-	case ">":
-		b = cmp > 0
-	case ">=":
-		b = cmp >= 0
-	default:
-		return constVal{}, false
-	}
-	return constVal{kind: constBool, b: b}, true
-}
-
-func (v constVal) asFloat() float64 {
-	if v.kind == constInt {
-		return float64(v.i)
-	}
-	return v.f
-}
-
-func cmpOrder(less, eq bool) int {
-	switch {
-	case less:
-		return -1
-	case eq:
-		return 0
-	default:
-		return 1
-	}
+// fold evaluates e if it is a constant expression (see plan.Fold).
+func (c *checker) fold(e ast.Expr) (plan.Const, bool) {
+	return plan.Fold(e)
 }
 
 // --- step estimation -------------------------------------------------------
@@ -273,8 +60,8 @@ func (c *checker) cardOf(e ast.Expr) int64 {
 	case ast.Range:
 		l, lok := c.fold(x.L)
 		r, rok := c.fold(x.R)
-		if lok && rok && l.kind == constInt && r.kind == constInt {
-			n := r.i - l.i + 1
+		if lok && rok && l.Kind == plan.ConstInt && r.Kind == plan.ConstInt {
+			n := r.I - l.I + 1
 			if n < 0 {
 				return 0
 			}
@@ -317,6 +104,8 @@ func (c *checker) estimate(e ast.Expr) int64 {
 		return t
 	case ast.Ordered:
 		return c.estimate(x.X)
+	case ast.Hoisted:
+		return c.estimate(x.X)
 	case ast.FuncCall:
 		t := int64(1)
 		for _, a := range x.Args {
@@ -343,6 +132,9 @@ func (c *checker) estimate(e ast.Expr) int64 {
 			}
 		}
 		inner := c.estimate(x.Where)
+		if x.Join != nil {
+			inner = satAdd(inner, c.estimate(x.Join.Pred))
+		}
 		for _, os := range x.OrderBy {
 			inner = satAdd(inner, c.estimate(os.Key))
 		}
@@ -398,6 +190,17 @@ func (c *checker) estimate(e ast.Expr) int64 {
 			if st.Primary != nil {
 				t = satAdd(t, satMul(card, c.estimate(st.Primary)))
 				card = satMul(card, c.cardOf(st.Primary))
+			} else if st.Access == ast.AccessIndexID {
+				// An id probe answers from the index with at most a
+				// handful of candidates, and the [@id = ...] predicate
+				// it was planned from re-applies to that short list —
+				// not to the unknownCard-per-frontier-node expansion a
+				// scan would produce. Keep the post-probe cardinality
+				// at the frontier size so the predicate loop below
+				// charges probed predicates at post-probe cost;
+				// charging them at the expanded cardinality made
+				// XQ0301 fire spuriously on indexed pages.
+				t = satAdd(t, card)
 			} else if (st.Axis == ast.AxisDescendant || st.Axis == ast.AxisDescendantOrSelf) &&
 				st.Access == ast.AccessScan {
 				// An unindexed descendant step walks whole subtrees.

@@ -140,7 +140,38 @@ type FLWOR struct {
 	Where   Expr     // nil if absent
 	OrderBy []OrderSpec
 	Return  Expr
+
+	// Join, when non-nil, is the optimizer's equality-join annotation:
+	// the clause at Join.Clause can be executed as the build side of a
+	// hash join instead of a nested loop. The annotated predicate is
+	// removed from Where and kept in Join.Pred, so an evaluator that
+	// ignores the annotation (the tree walker) must apply Join.Pred as
+	// the leading where conjunct to preserve semantics. Only the
+	// optimizer (internal/xquery/plan) writes this field, and only on
+	// its own copies of the tree — parsed modules never carry it.
+	Join *JoinPlan
 }
+
+// JoinPlan annotates a FLWOR with a detected equality join (see
+// plan.Optimize). OuterKey depends only on clauses before Clause;
+// InnerKey depends only on the clause variable itself. ValueEq
+// distinguishes `eq` (value comparison, at-most-one key per tuple)
+// from `=` (general comparison, existential over key sequences).
+type JoinPlan struct {
+	Clause    int  // index of the inner (build-side) for clause
+	OuterKey  Expr // probe key, evaluated in the outer tuple's scope
+	InnerKey  Expr // build key, evaluated with the clause var bound
+	ValueEq   bool // eq (value comp) vs = (general comp)
+	OuterLeft bool // OuterKey was the left operand (evaluation-order parity)
+	Pred      Expr // the original predicate, for non-hash evaluation
+}
+
+// Hoisted marks a loop-invariant subexpression the optimizer lifted
+// out of a FLWOR iteration: the compiled backend evaluates it at most
+// once per FLWOR entry (memoised at first use, so a zero-iteration
+// loop never evaluates it). To every other evaluator it is a
+// transparent wrapper, like Ordered. Only the optimizer constructs it.
+type Hoisted struct{ X Expr }
 
 // Clause is a for or let clause of a FLWOR.
 type Clause struct {
@@ -664,3 +695,4 @@ func (EventTrigger) exprNode()    {}
 func (SetStyle) exprNode()        {}
 func (GetStyle) exprNode()        {}
 func (FTContains) exprNode()      {}
+func (Hoisted) exprNode()         {}

@@ -168,6 +168,8 @@ func annotateExpr(e ast.Expr) {
 		}
 	case ast.Ordered:
 		annotateExpr(x.X)
+	case ast.Hoisted:
+		annotateExpr(x.X)
 	case ast.If:
 		annotateExpr(x.Cond)
 		annotateExpr(x.Then)

@@ -1,0 +1,97 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+	"repro/internal/xdm"
+	"repro/internal/xquery/ast"
+)
+
+// This file is the walker's interface to the closure-compiled backend
+// (internal/xquery/compile). The compiled backend keeps variables in
+// flat frames indexed by slot, but bridges any expression shape it does
+// not compile natively back into this package's tree walker; these
+// helpers let it do that without reaching into unexported state, and
+// with exactly the walker's semantics (same error strings, same depth
+// accounting, same environment discipline).
+
+// VarBinding is one variable visible to a bridged subexpression.
+type VarBinding struct {
+	Name dom.QName
+	Val  xdm.Sequence
+}
+
+// WithBindings returns a context copy whose environment extends the
+// receiver's with the given bindings, bound in order — so to reproduce
+// lexical scoping, pass outermost first and the innermost binding wins
+// lookup, exactly as nested withBinding calls would.
+func (ctx *Context) WithBindings(bs []VarBinding) *Context {
+	c := *ctx
+	for _, b := range bs {
+		c.env = c.env.bind(b.Name, b.Val)
+	}
+	return &c
+}
+
+// EBV computes the effective boolean value of e with the walker's
+// streaming discipline (a lazy iterator unless NoStream), which the
+// compiled backend must match for error-visibility parity.
+func (ctx *Context) EBV(e ast.Expr) (bool, error) {
+	return ctx.evalEBV(e)
+}
+
+// AtomizedOne evaluates e and atomizes to at most one item, exactly as
+// the walker does for value comparisons and order keys.
+func (ctx *Context) AtomizedOne(e ast.Expr) (xdm.Item, error) {
+	return ctx.evalAtomizedOne(e)
+}
+
+// ExitValue unwraps the scripting "exit with" non-local return: ok
+// reports whether err was an exit, and val is the exit value.
+func (ctx *Context) ExitValue(err error) (val xdm.Sequence, ok bool) {
+	if ex, isExit := err.(*exitError); isExit {
+		return ex.val, true
+	}
+	return nil, false
+}
+
+// IsLoopControl reports whether err is the break/continue sentinel,
+// which must not escape a function body.
+func IsLoopControl(err error) bool {
+	return err == errBreak || err == errContinue
+}
+
+// CalleeContext builds the evaluation context for a user-function body:
+// a fresh frame rooted at the globals with the ambient focus installed,
+// after checking the recursion limit. It mirrors the walker's
+// compileUserFunction preamble exactly (the compiled backend shares the
+// walker's depth counter, so mixed compiled/bridged recursion still
+// hits one limit).
+func (ctx *Context) CalleeContext(fname dom.QName) (*Context, error) {
+	if ctx.depth >= maxCallDepth {
+		return nil, fmt.Errorf("xquery: call depth limit exceeded in %s", fname)
+	}
+	callee := *ctx
+	callee.depth = ctx.depth + 1
+	callee.env = ctx.globals
+	callee.Item = ctx.Ambient
+	callee.Pos, callee.Size = 0, 0
+	if callee.Item != nil {
+		callee.Pos, callee.Size = 1, 1
+	}
+	return &callee, nil
+}
+
+// LoopControlInFunction wraps a break/continue sentinel escaping the
+// named function, with the walker's message.
+func LoopControlInFunction(err error, fname dom.QName) error {
+	return fmt.Errorf("%w (in function %s)", err, fname)
+}
+
+// CompareOrderKeys compares two order-by keys under one order spec:
+// -1, 0 or 1, with the walker's empty/NaN ordering and its error for
+// incomparable keys.
+func CompareOrderKeys(a, b xdm.Item, spec ast.OrderSpec) (int, error) {
+	return compareOrderKeys(a, b, spec)
+}

@@ -55,6 +55,11 @@ func (ctx *Context) Eval(e ast.Expr) (xdm.Sequence, error) {
 		return out, nil
 	case ast.Ordered:
 		return ctx.Eval(x.X)
+	case ast.Hoisted:
+		// The walker does not memoise hoisted subexpressions; it only
+		// has to evaluate them transparently (the compiled backend is
+		// where hoisting pays off).
+		return ctx.Eval(x.X)
 	case ast.FuncCall:
 		return ctx.evalCall(x)
 	case ast.If:
@@ -228,6 +233,18 @@ func (ctx *Context) evalFLWOR(f ast.FLWOR) (xdm.Sequence, error) {
 	var rec func(c *Context, i int) error
 	rec = func(c *Context, i int) error {
 		if i == len(f.Clauses) {
+			if f.Join != nil {
+				// The optimizer moved this predicate out of Where into
+				// the join annotation; the walker evaluates it in its
+				// original place (leading conjunct) instead of hashing.
+				keep, err := c.evalEBV(f.Join.Pred)
+				if err != nil {
+					return err
+				}
+				if !keep {
+					return nil
+				}
+			}
 			if f.Where != nil {
 				keep, err := c.evalEBV(f.Where)
 				if err != nil {

@@ -63,6 +63,8 @@ func (ctx *Context) evalIter(e ast.Expr) (xdm.Iter, bool) {
 		return ctx.seqIter(x), false
 	case ast.Ordered:
 		return ctx.evalIter(x.X)
+	case ast.Hoisted:
+		return ctx.evalIter(x.X)
 	case ast.If:
 		return deferredIter(func() (xdm.Iter, error) {
 			c, err := ctx.evalEBV(x.Cond)

@@ -15,8 +15,9 @@ import (
 // tooling work. Attach one to a Context; collection is off (zero cost)
 // when the pointer is nil.
 type Profiler struct {
-	mu      sync.Mutex
-	entries map[string]*ProfileEntry
+	mu       sync.Mutex
+	entries  map[string]*ProfileEntry
+	rewrites map[string]int64
 }
 
 // ProfileEntry accumulates one expression kind's statistics. Items
@@ -30,6 +31,7 @@ type Profiler struct {
 type ProfileEntry struct {
 	Kind      string
 	Count     int64
+	Compiled  int64 // evaluations served by a compiled closure
 	Items     int64
 	IndexHits int64
 	Time      time.Duration
@@ -50,6 +52,59 @@ func (p *Profiler) record(kind string, d time.Duration) {
 	e.Count++
 	e.Time += d
 	p.mu.Unlock()
+}
+
+// RecordCompiled counts one evaluation of an expression kind performed
+// by a compiled closure (internal/xquery/compile): it contributes to
+// Count like a walked evaluation and additionally to Compiled, so a
+// profile shows how much of a query ran natively versus bridged to the
+// walker. Compiled closures do not time themselves — per-node clock
+// reads are most of what compilation removes.
+func (p *Profiler) RecordCompiled(kind string) {
+	p.mu.Lock()
+	e := p.entries[kind]
+	if e == nil {
+		e = &ProfileEntry{Kind: kind}
+		p.entries[kind] = e
+	}
+	e.Count++
+	e.Compiled++
+	p.mu.Unlock()
+}
+
+// CompiledFor returns the compiled-evaluation count for one expression
+// kind.
+func (p *Profiler) CompiledFor(kind string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e := p.entries[kind]; e != nil {
+		return e.Compiled
+	}
+	return 0
+}
+
+// AddRewrites adds to a named optimizer-rewrite counter. The engine
+// credits the per-program rewrite statistics ("pushdown", "hoist",
+// "join", "fold") here once per run, so a profile reports which
+// algebraic rewrites shaped the plan it measured.
+func (p *Profiler) AddRewrites(kind string, n int64) {
+	if n == 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.rewrites == nil {
+		p.rewrites = map[string]int64{}
+	}
+	p.rewrites[kind] += n
+	p.mu.Unlock()
+}
+
+// RewritesFor returns a named optimizer-rewrite counter (see
+// AddRewrites).
+func (p *Profiler) RewritesFor(kind string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rewrites[kind]
 }
 
 // recordItems adds to the items-pulled counter of an expression kind.
@@ -122,14 +177,27 @@ func (p *Profiler) Total() int64 {
 }
 
 // Format renders a report (cmd/xq -profile). Column legend: count is
-// eager evaluations, items is items pulled through streaming
-// iterators, idxhits is path steps answered from a per-document index
-// instead of an axis walk.
+// evaluations (walked or compiled), compiled is the subset served by a
+// compiled closure, items is items pulled through streaming iterators,
+// idxhits is path steps answered from a per-document index instead of
+// an axis walk. Optimizer rewrite counters follow when any is nonzero.
 func (p *Profiler) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-20s %10s %10s %10s %14s\n", "expression", "count", "items", "idxhits", "time")
+	fmt.Fprintf(&b, "%-20s %10s %10s %10s %10s %14s\n",
+		"expression", "count", "compiled", "items", "idxhits", "time")
 	for _, e := range p.Entries() {
-		fmt.Fprintf(&b, "%-20s %10d %10d %10d %14s\n", e.Kind, e.Count, e.Items, e.IndexHits, e.Time)
+		fmt.Fprintf(&b, "%-20s %10d %10d %10d %10d %14s\n",
+			e.Kind, e.Count, e.Compiled, e.Items, e.IndexHits, e.Time)
+	}
+	p.mu.Lock()
+	kinds := make([]string, 0, len(p.rewrites))
+	for k := range p.rewrites {
+		kinds = append(kinds, k)
+	}
+	p.mu.Unlock()
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "rewrite:%-12s %10d\n", k, p.RewritesFor(k))
 	}
 	return b.String()
 }

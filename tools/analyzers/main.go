@@ -22,6 +22,16 @@
 //	            through index.For/index.Fresh, which are the only
 //	            places allowed to compare the stamp.
 //
+//	planpure    the optimizer and the closure compiler never mutate the
+//	            shared AST: a parsed module is cached and compiled once
+//	            but read by every run, so plan/compile rewrites must
+//	            build fresh nodes (copy-then-modify by value) instead of
+//	            writing through *ast.Node pointers. The one sanctioned
+//	            in-place write is the planner's step annotation
+//	            (Access/AccessID on *ast.Step in PlanStep), which is
+//	            idempotent and published through Module.EnsurePlanned's
+//	            sync.Once before any concurrent read.
+//
 //	recovercheck  panic recovery only happens at sanctioned boundaries:
 //	            naked recover() calls are forbidden everywhere except
 //	            package xqerr (which implements RecoverInto), package
@@ -61,10 +71,10 @@ type finding struct {
 }
 
 func main() {
-	check := flag.String("check", "", "pass to run: progmutate, ctxstruct, idxversion or recovercheck")
+	check := flag.String("check", "", "pass to run: progmutate, ctxstruct, idxversion, planpure or recovercheck")
 	flag.Parse()
 	if *check == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: analyzers -check {progmutate|ctxstruct|idxversion|recovercheck} dir...")
+		fmt.Fprintln(os.Stderr, "usage: analyzers -check {progmutate|ctxstruct|idxversion|planpure|recovercheck} dir...")
 		os.Exit(2)
 	}
 
@@ -84,6 +94,8 @@ func main() {
 				findings = append(findings, ctxStruct(fset, f)...)
 			case "idxversion":
 				findings = append(findings, idxVersion(fset, f)...)
+			case "planpure":
+				findings = append(findings, planPure(fset, f)...)
 			case "recovercheck":
 				findings = append(findings, recoverCheck(fset, f)...)
 			default:
@@ -391,6 +403,138 @@ func isContextContext(t ast.Expr) bool {
 	}
 	id, ok := sel.X.(*ast.Ident)
 	return ok && id.Name == "context" && sel.Sel.Name == "Context"
+}
+
+// --- planpure -------------------------------------------------------------------
+
+// planAnnotationFields are the step fields PlanStep writes in place:
+// the access-method annotation is idempotent and published through
+// Module.EnsurePlanned's sync.Once, so it is the one legal pointer
+// write into the shared tree.
+var planAnnotationFields = map[string]bool{
+	"Access":   true,
+	"AccessID": true,
+}
+
+// planPure reports field assignments that reach the shared AST through
+// a pointer. In plan/compile, an identifier typed *ast.X (receiver,
+// parameter, declared local, or closure parameter) aliases a node of
+// the cached parsed module, which concurrent runs read without locks —
+// rewrites must copy the node by value and modify the copy. Writes to
+// the planner's annotation fields on *ast.Step are exempt (see
+// planAnnotationFields).
+func planPure(fset *token.FileSet, file *ast.File) []finding {
+	var out []finding
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		guarded := map[string]string{} // ident name -> ast node type name
+		bind := func(names []*ast.Ident, typ ast.Expr) {
+			if tn, ok := astPtrType(typ); ok {
+				for _, n := range names {
+					guarded[n.Name] = tn
+				}
+			}
+		}
+		if fd.Recv != nil {
+			for _, f := range fd.Recv.List {
+				bind(f.Names, f.Type)
+			}
+		}
+		for _, f := range fd.Type.Params.List {
+			bind(f.Names, f.Type)
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				for _, f := range x.Type.Params.List {
+					bind(f.Names, f.Type)
+				}
+			case *ast.DeclStmt:
+				if gd, ok := x.Decl.(*ast.GenDecl); ok {
+					for _, sp := range gd.Specs {
+						if vs, ok := sp.(*ast.ValueSpec); ok && vs.Type != nil {
+							bind(vs.Names, vs.Type)
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if x.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range x.Lhs {
+					out = append(out, flagASTWrite(fset, lhs, guarded, fd.Name.Name)...)
+				}
+			case *ast.IncDecStmt:
+				out = append(out, flagASTWrite(fset, x.X, guarded, fd.Name.Name)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// astPtrType reports T for a *ast.T type expression, where ast is the
+// xquery AST package's import name in the analyzed source.
+func astPtrType(t ast.Expr) (string, bool) {
+	st, ok := t.(*ast.StarExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := st.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != "ast" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// flagASTWrite reports lhs when it writes a field reachable from a
+// guarded *ast.X identifier: s.F, s.F.G, s.Slice[i].F and deeper
+// chains all root at the same shared node.
+func flagASTWrite(fset *token.FileSet, lhs ast.Expr, guarded map[string]string, fn string) []finding {
+	field := ""
+	if sel, ok := lhs.(*ast.SelectorExpr); ok {
+		field = sel.Sel.Name
+	}
+	root := lhs
+	depth := 0
+	for {
+		switch x := root.(type) {
+		case *ast.SelectorExpr:
+			root, depth = x.X, depth+1
+		case *ast.IndexExpr:
+			root, depth = x.X, depth+1
+		case *ast.ParenExpr:
+			root = x.X
+		case *ast.StarExpr:
+			root = x.X
+		default:
+			goto done
+		}
+	}
+done:
+	id, ok := root.(*ast.Ident)
+	if !ok || depth == 0 {
+		return nil
+	}
+	tn, ok := guarded[id.Name]
+	if !ok {
+		return nil
+	}
+	if tn == "Step" && depth == 1 && planAnnotationFields[field] {
+		return nil // the planner's sanctioned step annotation
+	}
+	return []finding{{
+		pos: fset.Position(lhs.Pos()),
+		msg: fmt.Sprintf("planpure: write through *ast.%s (%s) in %s; the parsed AST is shared across runs — copy the node and modify the copy",
+			tn, id.Name, fn),
+	}}
 }
 
 // --- recovercheck ---------------------------------------------------------------

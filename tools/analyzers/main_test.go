@@ -103,6 +103,48 @@ func (n *Node) StoreIndexCache(v any) {}
 	}
 }
 
+func TestPlanPureFlagsPointerWrites(t *testing.T) {
+	src := `package plan
+import "repro/internal/xquery/ast"
+func rewrite(f *ast.FLWOR, s *ast.Step) {
+	f.Where = nil    // structural mutation through a pointer: flagged
+	s.Preds[0] = nil // deep write rooted at the same pointer: flagged
+}
+`
+	got := analyze(t, src, planPure)
+	if len(got) != 2 {
+		t.Fatalf("findings = %v, want 2", got)
+	}
+}
+
+func TestPlanPureAllowsCopyAndAnnotation(t *testing.T) {
+	src := `package plan
+import "repro/internal/xquery/ast"
+func PlanStep(s *ast.Step) { s.Access, s.AccessID = 0, "" }
+func optimize(f ast.FLWOR) ast.FLWOR {
+	g := f          // copy-then-modify by value is the sanctioned idiom
+	g.Where = nil
+	cl := append([]ast.ForLet(nil), f.Clauses...)
+	cl[0].For = true
+	g.Clauses = cl
+	return g
+}
+`
+	if got := analyze(t, src, planPure); len(got) != 0 {
+		t.Fatalf("findings = %v, want none", got)
+	}
+}
+
+func TestPlanPureFlagsNonAnnotationStepWrite(t *testing.T) {
+	src := `package plan
+import "repro/internal/xquery/ast"
+func bad(s *ast.Step) { s.Axis = 0 }
+`
+	if got := analyze(t, src, planPure); len(got) != 1 {
+		t.Fatalf("findings = %v, want 1", got)
+	}
+}
+
 func TestCtxStructFlagsStoredContext(t *testing.T) {
 	src := `package p
 import "context"
