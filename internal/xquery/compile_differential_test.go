@@ -49,6 +49,14 @@ var compileDifferentialCorpus = []string{
 	`for $b in //book where $b/@id = "b2" return $b/title/string()`,
 	`for $b in //book where $b/price > 50 and $b/@year = "2005" return name($b)`,
 	`for $b in //book where $b/author = "Knuth" return $b/@id/string()`,
+	// Context-defaulting builtins in where conjuncts must keep reading
+	// the outer focus: pushdown would rebind their implicit context
+	// item to each candidate node (walker yields () here, because the
+	// document node's local-name is empty).
+	`for $x in //* where local-name() = "book" return 1`,
+	`for $b in //book where name() = "book" return $b/@id/string()`,
+	`for $b in //book where string-length() > 1 return $b/@id/string()`,
+	`for $b in //book where string($b/@id) = "b2" return $b/title/string()`,
 	// Hoisting candidates (loop-invariant let and where conjuncts).
 	`for $b in //book let $all := count(//book) where $all > 2 return $b/@id/string()`,
 	`for $i in 1 to 10 let $base := string-length("invariant") return $i + $base`,

@@ -34,6 +34,13 @@ func TestOptimizerRewriteStats(t *testing.T) {
 		// clause's path (it evaluates once per candidate node either
 		// way); the correlated domain rules out a join.
 		{`for $a in //book for $b in $a/author where $a/price > 5 return $b`, 0, 1, 0, 0},
+		// A zero-arg context-defaulting builtin reads the outer focus:
+		// pushing it into the path would rebind its implicit context
+		// item to each candidate node, so no pushdown may fire.
+		{`for $x in //* where local-name() = "book" return 1`, 0, 0, 0, 0},
+		{`for $b in //book where string-length() > 1 return $b/@id`, 0, 0, 0, 0},
+		// The same builtin with the context made explicit moves freely.
+		{`for $b in //book where string($b/@id) = "b2" return 1`, 0, 1, 0, 0},
 	}
 	for _, tt := range tests {
 		p, err := e.Compile(tt.src)

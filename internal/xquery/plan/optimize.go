@@ -339,9 +339,10 @@ func (o *optimizer) pushdown(clauses []ast.Clause, conj []ast.Expr) ([]ast.Expr,
 // rewriteForPushdown rewrites a where conjunct over $v into a path
 // predicate over the candidate node: $v becomes `.` (a context-item
 // path root). ok is false when the conjunct cannot move — it mentions
-// the surrounding focus (., position(), last()), contains a relative
-// or absolute path not rooted at a variable, binds variables of its
-// own, or has a shape the rewriter does not understand.
+// the surrounding focus (., position(), last(), or a builtin call that
+// defaults an omitted argument to the context item), contains a
+// relative or absolute path not rooted at a variable, binds variables
+// of its own, or has a shape the rewriter does not understand.
 func rewriteForPushdown(e ast.Expr, v dom.QName) (ast.Expr, bool) {
 	switch x := e.(type) {
 	case nil:
@@ -368,6 +369,9 @@ func rewriteForPushdown(e ast.Expr, v dom.QName) (ast.Expr, bool) {
 	case ast.FuncCall:
 		if x.Name.Local == "position" || x.Name.Local == "last" {
 			return nil, false
+		}
+		if n, defaults := contextFnMinArgs[x.Name.Local]; defaults && len(x.Args) < n {
+			return nil, false // implicit context item: outer-focus reference
 		}
 		args := make([]ast.Expr, len(x.Args))
 		for i, a := range x.Args {
@@ -568,11 +572,76 @@ func vkey(n dom.QName) string { return n.Space + "#" + n.Local }
 
 // --- conservative predicates -------------------------------------------------
 
-// impureFn lists fn:-namespace functions the optimizer must not move
-// or memoise: resolver-backed document access can observe external
-// state, fn:put updates, fn:trace has a side channel.
-var impureFn = map[string]bool{
-	"doc": true, "collection": true, "put": true, "trace": true,
+// contextFnMinArgs maps builtins whose funclib implementation defaults
+// an omitted argument to the context item (argOrContext / ctx.Item) to
+// the argument count that makes the context explicit. A shorter call
+// reads the focus implicitly, so rewriteForPushdown must reject it:
+// pushdown re-focuses the conjunct from the outer FLWOR tuple onto
+// each candidate node, which would silently rebind the implicit
+// context (`where local-name() = "book"` must keep seeing the outer
+// focus, not each candidate). Standard context-defaulting builtins the
+// library does not register yet are listed too, so registering one
+// later cannot re-open the hole. Matched by local name regardless of
+// namespace, like the position()/last() check above: a false positive
+// only skips a rewrite.
+var contextFnMinArgs = map[string]int{
+	"string": 1, "string-length": 1, "length": 1, "normalize-space": 1,
+	"number": 1, "data": 1, "name": 1, "local-name": 1,
+	"namespace-uri": 1, "node-name": 1, "root": 1, "base-uri": 1,
+	"document-uri": 1, "generate-id": 1, "path": 1, "has-children": 1,
+	"lang": 2, "id": 2, "idref": 2, "element-with-id": 2,
+}
+
+// pureFn is the allowlist of fn:-namespace builtins the optimizer may
+// move, memoise or join-build: side-effect free and stable under
+// re-evaluation within one FLWOR entry. Context-defaulting builtins
+// qualify — pureExpr rewrites never change the focus, and the focus is
+// invariant across the iterations of the FLWOR they move within (only
+// pushdown re-focuses, and it has its own guard above). Anything
+// absent answers impure, the conservative default-false style used
+// elsewhere in this file, so a future or host-registered builtin is
+// never silently hoisted: notably fn:doc / fn:doc-available /
+// fn:collection (resolver-backed, observe external state), fn:put
+// (updates), fn:trace (side channel), fn:error (raising must stay
+// where the author put it), fn:current-* (read the clock), and
+// fn:position / fn:last (focus-dependent beyond the item).
+var pureFn = map[string]bool{}
+
+func init() {
+	for _, n := range []string{
+		// strings
+		"string", "concat", "string-join", "substring", "string-length",
+		"length", "normalize-space", "upper-case", "lower-case",
+		"translate", "contains", "starts-with", "ends-with",
+		"substring-before", "substring-after", "compare",
+		"encode-for-uri", "codepoints-to-string", "string-to-codepoints",
+		// regex
+		"matches", "replace", "tokenize",
+		// numeric
+		"number", "abs", "floor", "ceiling", "round", "round-half-to-even",
+		// boolean
+		"true", "false", "not", "boolean",
+		// sequences
+		"empty", "exists", "head", "tail", "count", "reverse",
+		"insert-before", "remove", "subsequence", "index-of",
+		"distinct-values", "deep-equal", "data",
+		"zero-or-one", "one-or-more", "exactly-one",
+		// aggregates
+		"sum", "avg", "min", "max",
+		// nodes (reads, not constructors; fresh-identity makers are
+		// handled by the expression cases, not this list)
+		"name", "local-name", "namespace-uri", "node-name", "root",
+		"base-uri", "id",
+		// date/time component accessors (current-* excluded above)
+		"year-from-dateTime", "month-from-dateTime", "day-from-dateTime",
+		"hours-from-dateTime", "minutes-from-dateTime", "seconds-from-dateTime",
+		"year-from-date", "month-from-date", "day-from-date",
+		"hours-from-time", "minutes-from-time", "seconds-from-time",
+		"years-from-duration", "months-from-duration", "days-from-duration",
+		"hours-from-duration", "minutes-from-duration", "seconds-from-duration",
+	} {
+		pureFn[n] = true
+	}
 }
 
 // pureExpr reports whether evaluating e is free of side effects and
@@ -598,7 +667,7 @@ func pureExpr(e ast.Expr) bool {
 	case ast.Hoisted:
 		return pureExpr(x.X)
 	case ast.FuncCall:
-		if x.Name.Space != fnSpace || impureFn[x.Name.Local] {
+		if x.Name.Space != fnSpace || !pureFn[x.Name.Local] {
 			return false
 		}
 		for _, a := range x.Args {
