@@ -18,14 +18,17 @@ ci: fmt-check vet vet-invariants build race chaos lint bench-smoke staticcheck g
 # immutable after construction, serve/rest never store a
 # context.Context in a struct, only internal/dom/index reads the
 # per-document index maps / raw cache slots (always behind the version
-# stamp), and the optimizer/closure-compiler never mutate shared AST
-# nodes (rewrites must copy). Stdlib-only stand-ins for the
-# `go vet -vettool` analyzers, which would need golang.org/x/tools.
+# stamp), the optimizer/closure-compiler never mutate shared AST
+# nodes (rewrites must copy), and the store's raw shard state is only
+# touched by shard.go's lock-upholding methods. Stdlib-only stand-ins
+# for the `go vet -vettool` analyzers, which would need
+# golang.org/x/tools.
 vet-invariants:
 	$(GO) run ./tools/analyzers -check progmutate internal/xquery internal/xquery/runtime
 	$(GO) run ./tools/analyzers -check ctxstruct internal/serve internal/rest
 	$(GO) run ./tools/analyzers -check idxversion internal/dom/index internal/dom internal/xquery/runtime internal/xquery/funclib internal/serve
 	$(GO) run ./tools/analyzers -check planpure internal/xquery/plan internal/xquery/compile
+	$(GO) run ./tools/analyzers -check storesync internal/xmldb
 	$(GO) run ./tools/analyzers -check recovercheck $(shell $(GO) list -f '{{.Dir}}' ./...)
 
 # Static analysis of the shipped example programs: every embedded
@@ -61,12 +64,15 @@ race:
 
 # Fault-injection suite: drives the faultpoint matrix (dispatch panics,
 # mid-apply update faults, resolver failures, index-build faults, load
-# shedding) race-enabled and checks the pool stays serviceable with
-# atomic documents and advancing failure counters.
+# shedding, torn store commits and aborted store recoveries)
+# race-enabled and checks the pool stays serviceable with atomic
+# documents, the store recovers byte-identical state, and the failure
+# counters advance.
 chaos:
 	$(GO) test -race -count=1 ./internal/faultpoint
 	$(GO) test -race -count=1 -run 'Chaos|Rollback|Fault|Restore' \
-		./internal/serve ./internal/xquery/update ./internal/dom/index
+		./internal/serve ./internal/xquery/update ./internal/dom/index \
+		./internal/xmldb
 
 # Full serving-layer benchmark: asserts the program cache wins >=5x over
 # compile-per-request and writes the BENCH_serve.json snapshot.
@@ -75,16 +81,20 @@ bench:
 	$(GO) run ./cmd/benchserve -check -out BENCH_serve.json
 	$(GO) run ./cmd/benchpath -check -out BENCH_pathindex.json
 	$(GO) run ./cmd/benchcompile -check -out BENCH_compile.json
+	$(GO) run ./cmd/benchstore -check -out BENCH_store.json
 
 # Cheap CI gates: one iteration per serving scenario (cache/metrics
 # accounting stays exact), a short fixed-iteration path-index run
 # (indexed //x at least 5x faster than the scan, identical results),
-# and the compile-backend gate (FLWOR-heavy compiled runs at least 2x
-# faster than the walker, identical results from both backends).
+# the compile-backend gate (FLWOR-heavy compiled runs at least 2x
+# faster than the walker, identical results from both backends), and
+# the store gate (4-shard parallel collection scan at least 2x faster
+# than 1 shard, identical document sets).
 bench-smoke:
 	$(GO) run ./cmd/benchserve -smoke -out BENCH_serve.json
 	$(GO) run ./cmd/benchpath -smoke -out BENCH_pathindex.json
 	$(GO) run ./cmd/benchcompile -smoke -out BENCH_compile.json
+	$(GO) run ./cmd/benchstore -smoke -out BENCH_store.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,0 +1,245 @@
+// Command benchstore measures the sharded document store and writes a
+// machine-readable snapshot (BENCH_store.json by default):
+//
+//	benchstore -out BENCH_store.json          # full timed run
+//	benchstore -check                         # also assert the sharded scan wins >=2x
+//	benchstore -smoke                         # short fixed-iteration run (CI gate)
+//
+// Scenarios:
+//
+//	scan_1shard     full-collection scan with every document on one
+//	                shard — the sequential baseline
+//	scan_4shards    the same scan fanned out across 4 shards, one
+//	                goroutine per shard
+//	put_sync        durable PutDoc with per-commit fsync
+//	put_nosync      PutDoc with fsync off (the WithSyncWrites(false)
+//	                throughput setting)
+//
+// Each scanned document charges a fixed stall (-stall, default 300µs)
+// modelling the per-document work a real collection scan pays —
+// deserialization, page faults, downstream processing. The sharded
+// scan overlaps those stalls across shards, so the win holds on any
+// machine, single-core CI included; -check and -smoke assert it at
+// >=2x on 4 shards along with identical scan results from both
+// layouts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dom"
+	"repro/internal/xmldb"
+)
+
+// smokeIters is the fixed per-scenario iteration count for -smoke: the
+// scan op is milliseconds-scale (docs x stall / shards), so a handful
+// of iterations gives a stable ratio without benchserve-scale wall
+// time.
+const smokeIters = 8
+
+// smokePuts is the fixed commit count for the put scenarios under
+// -smoke (put_sync pays a real fsync per op).
+const smokePuts = 64
+
+type result struct {
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"`
+}
+
+type snapshot struct {
+	Timestamp   string   `json:"timestamp"`
+	GoVersion   string   `json:"go_version"`
+	Smoke       bool     `json:"smoke"`
+	Docs        int      `json:"docs"`
+	StallNs     int64    `json:"stall_ns"`
+	Scenarios   []result `json:"scenarios"`
+	ScanSpeedup float64  `json:"scan_speedup"`
+	SyncCostX   float64  `json:"sync_cost_x"`
+}
+
+// buildStore opens an ephemeral store with the given shard count and
+// fills one collection with docs documents.
+func buildStore(shards, docs int) (*xmldb.Store, error) {
+	st, err := xmldb.Open("", xmldb.WithShards(shards))
+	if err != nil {
+		return nil, err
+	}
+	if err := st.CreateCollection("/db/bench"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < docs; i++ {
+		uri := fmt.Sprintf("/db/bench/d%04d.xml", i)
+		if err := st.PutXML(uri, fmt.Sprintf(`<doc n="%d"><v>%d</v></doc>`, i, i*i)); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// scanOnce runs one full parallel collection scan, charging stall per
+// document, and returns the URIs seen (sorted, for the correctness
+// gate).
+func scanOnce(st *xmldb.Store, stall time.Duration) ([]string, error) {
+	var mu sync.Mutex
+	var seen []string
+	var work atomic.Int64
+	err := st.ScanCollection("/db/bench", func(uri string, doc *dom.Node) error {
+		time.Sleep(stall) // the modelled per-document cost
+		work.Add(int64(len(uri)))
+		mu.Lock()
+		seen = append(seen, uri)
+		mu.Unlock()
+		return nil
+	})
+	sort.Strings(seen)
+	return seen, err
+}
+
+func main() {
+	out := flag.String("out", "BENCH_store.json", "snapshot output file")
+	smoke := flag.Bool("smoke", false, "short fixed-iteration run (CI regression gate)")
+	check := flag.Bool("check", false, "assert the 4-shard scan is >=2x faster than 1 shard")
+	docs := flag.Int("docs", 64, "documents in the scanned collection")
+	stall := flag.Duration("stall", 300*time.Microsecond, "modelled per-document scan cost")
+	flag.Parse()
+
+	st1, err := buildStore(1, *docs)
+	if err != nil {
+		fatal(err)
+	}
+	defer st1.Close()
+	st4, err := buildStore(4, *docs)
+	if err != nil {
+		fatal(err)
+	}
+	defer st4.Close()
+
+	// Correctness gate before any timing: both layouts must scan the
+	// identical document set.
+	seen1, err := scanOnce(st1, 0)
+	if err != nil {
+		fatal(err)
+	}
+	seen4, err := scanOnce(st4, 0)
+	if err != nil {
+		fatal(err)
+	}
+	if len(seen1) != *docs || fmt.Sprint(seen1) != fmt.Sprint(seen4) {
+		fatal(fmt.Errorf("scan results differ between layouts: %d vs %d docs", len(seen1), len(seen4)))
+	}
+
+	snap := snapshot{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Smoke:     *smoke,
+		Docs:      *docs,
+		StallNs:   stall.Nanoseconds(),
+	}
+	perOp := map[string]int64{}
+
+	scans := []struct {
+		name  string
+		store *xmldb.Store
+	}{
+		{"scan_1shard", st1},
+		{"scan_4shards", st4},
+	}
+	for _, sc := range scans {
+		var r result
+		if *smoke {
+			start := time.Now()
+			for i := 0; i < smokeIters; i++ {
+				if _, err := scanOnce(sc.store, *stall); err != nil {
+					fatal(fmt.Errorf("%s: %w", sc.name, err))
+				}
+			}
+			r = result{Name: sc.name, Iterations: smokeIters,
+				NsPerOp: time.Since(start).Nanoseconds() / smokeIters}
+		} else {
+			br := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := scanOnce(sc.store, *stall); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			r = result{Name: sc.name, Iterations: br.N, NsPerOp: br.NsPerOp()}
+		}
+		perOp[sc.name] = r.NsPerOp
+		snap.Scenarios = append(snap.Scenarios, r)
+	}
+
+	// Durable-write cost: per-commit fsync against the no-sync setting,
+	// both on a real on-disk store.
+	dir, err := os.MkdirTemp("", "benchstore")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	for _, pc := range []struct {
+		name string
+		sync bool
+	}{
+		{"put_sync", true},
+		{"put_nosync", false},
+	} {
+		ds, err := xmldb.Open(filepath.Join(dir, pc.name), xmldb.WithSyncWrites(pc.sync))
+		if err != nil {
+			fatal(err)
+		}
+		if err := ds.CreateCollection("/db"); err != nil {
+			fatal(err)
+		}
+		n := smokePuts
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			uri := fmt.Sprintf("/db/p%04d.xml", i)
+			if err := ds.PutXML(uri, fmt.Sprintf(`<p n="%d"/>`, i)); err != nil {
+				fatal(fmt.Errorf("%s: %w", pc.name, err))
+			}
+		}
+		r := result{Name: pc.name, Iterations: n,
+			NsPerOp: time.Since(start).Nanoseconds() / int64(n)}
+		perOp[pc.name] = r.NsPerOp
+		snap.Scenarios = append(snap.Scenarios, r)
+		ds.Close()
+	}
+
+	if perOp["scan_4shards"] > 0 {
+		snap.ScanSpeedup = float64(perOp["scan_1shard"]) / float64(perOp["scan_4shards"])
+	}
+	if perOp["put_nosync"] > 0 {
+		snap.SyncCostX = float64(perOp["put_sync"]) / float64(perOp["put_nosync"])
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchstore: wrote %s (%d scenarios, sharded scan speedup %.1fx, fsync cost %.1fx)\n",
+		*out, len(snap.Scenarios), snap.ScanSpeedup, snap.SyncCostX)
+
+	if (*check || *smoke) && snap.ScanSpeedup < 2 {
+		fatal(fmt.Errorf("4-shard scan speedup %.2fx over 1 shard, want >= 2x", snap.ScanSpeedup))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchstore:", err)
+	os.Exit(1)
+}

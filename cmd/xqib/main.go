@@ -30,6 +30,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/markup"
 	"repro/internal/serve"
+	"repro/internal/xmldb"
 )
 
 func main() {
@@ -42,6 +43,8 @@ func main() {
 	sessions := flag.Int("sessions", 1, "serve the page as this many concurrent sessions")
 	maxSessions := flag.Int("max-sessions", 0, "session pool bound (0 = number of sessions)")
 	stats := flag.Bool("stats", false, "print the serving metrics snapshot as JSON (pool mode)")
+	storeDir := flag.String("store", "", "document store directory: routes fn:doc/fn:collection through the persistent store (empty = no store)")
+	shards := flag.Int("shards", 0, "store shard count for parallel collection scans (0 = default)")
 	flag.Parse()
 
 	if *pageFile == "" {
@@ -51,14 +54,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var st *xmldb.Store
+	if *storeDir != "" {
+		var sopts []xmldb.Option
+		if *shards > 0 {
+			sopts = append(sopts, xmldb.WithShards(*shards))
+		}
+		st, err = xmldb.Open(*storeDir, sopts...)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+	}
 	if *sessions > 1 {
 		servePool(string(data), *href, *script, *sessions, *maxSessions,
-			*budget, *timeout, *stats)
+			*budget, *timeout, *stats, st)
 		return
 	}
 	var opts []core.Option
 	if *budget > 0 || *timeout > 0 {
 		opts = append(opts, core.WithQueryBudget(*budget, *timeout))
+	}
+	if st != nil {
+		opts = append(opts, core.WithStoreResolvers(st.Resolver(), st.CollectionResolver(), st.CollectionIterResolver()))
 	}
 	h, err := core.LoadPage(string(data), *href, opts...)
 	if err != nil {
@@ -96,7 +114,7 @@ func main() {
 // servePool runs the pool mode: load the page as n concurrent
 // sessions, replay the interaction script on each session's event
 // loop, and report aggregate results.
-func servePool(page, href, script string, n, maxSessions int, budget int64, timeout time.Duration, stats bool) {
+func servePool(page, href, script string, n, maxSessions int, budget int64, timeout time.Duration, stats bool, st *xmldb.Store) {
 	if maxSessions <= 0 {
 		maxSessions = n
 	}
@@ -104,6 +122,7 @@ func servePool(page, href, script string, n, maxSessions int, budget int64, time
 		MaxSessions: maxSessions,
 		MaxSteps:    budget,
 		Timeout:     timeout,
+		Store:       st,
 	})
 	ctx := context.Background()
 

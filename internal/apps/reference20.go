@@ -49,7 +49,11 @@ type Reference20 struct {
 // NewReference20 generates the corpus into a fresh store and starts its
 // REST endpoint.
 func NewReference20(cfg CorpusConfig) (*Reference20, error) {
-	r := &Reference20{Cfg: cfg, Store: xmldb.NewStore()}
+	st, err := xmldb.Open("")
+	if err != nil {
+		return nil, err
+	}
+	r := &Reference20{Cfg: cfg, Store: st}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	var cat strings.Builder
@@ -288,9 +292,9 @@ func ReplayPerQueryClient(r *Reference20, session []Interaction) (Metrics, error
 	return Metrics{
 		Architecture:    "client-side, per-query endpoint",
 		Interactions:    len(session),
-		ServerRequests:  st.Requests,
+		ServerRequests:  int(st.Requests),
 		ServerBytes:     st.BytesServed,
-		ServerQueries:   st.QueriesEvaluated,
+		ServerQueries:   int(st.QueriesEvaluated),
 		ClientFetches:   client.Fetches,
 		ClientCacheHits: client.CacheHit,
 	}, nil
@@ -417,9 +421,9 @@ func (a *ClientSideApp) Replay(session []Interaction) (Metrics, error) {
 	return Metrics{
 		Architecture:    arch,
 		Interactions:    len(session),
-		ServerRequests:  st.Requests,
+		ServerRequests:  int(st.Requests),
 		ServerBytes:     st.BytesServed,
-		ServerQueries:   st.QueriesEvaluated,
+		ServerQueries:   int(st.QueriesEvaluated),
 		ClientFetches:   a.Client.Fetches,
 		ClientCacheHits: a.Client.CacheHit,
 	}, nil

@@ -30,7 +30,10 @@ const ProductsXML = `<products>
 
 // NewProductStore builds the products database.
 func NewProductStore() (*xmldb.Store, error) {
-	s := xmldb.NewStore()
+	s, err := xmldb.Open("")
+	if err != nil {
+		return nil, err
+	}
 	if err := s.PutXML("products.xml", ProductsXML); err != nil {
 		return nil, err
 	}

@@ -116,6 +116,20 @@ func WithQueryBudget(maxSteps int64, timeout time.Duration) Option {
 	}
 }
 
+// WithStoreResolvers binds a document store's resolvers to the page's
+// engines: fn:doc and fn:collection read through them by default, and
+// the §4.2.1 browser profile (which blocks those functions against
+// arbitrary network fetch) is not applied — a host-provided store is
+// trusted storage, not the open network. fn:put stays blocked
+// unconditionally. The xqib facade's WithStore wires a *xmldb.Store
+// through this.
+func WithStoreResolvers(docs runtime.DocResolver, cols runtime.CollectionResolver,
+	colsIter runtime.CollectionIterResolver) Option {
+	return func(h *Host) {
+		h.storeDocs, h.storeCols, h.storeColsIter = docs, cols, colsIter
+	}
+}
+
 // Host is a loaded page with its executing plug-in.
 type Host struct {
 	Browser *browser.Browser
@@ -132,6 +146,9 @@ type Host struct {
 	navigator     *browser.NavigatorInfo
 	extraFns      []func(*runtime.Registry)
 	browserSetups []func(*browser.Browser)
+	storeDocs     runtime.DocResolver
+	storeCols     runtime.CollectionResolver
+	storeColsIter runtime.CollectionIterResolver
 	cache         *xquery.Cache
 	ctx           context.Context
 	maxQuerySteps int64
@@ -205,22 +222,7 @@ func loadPage(ctx context.Context, pageSrc, href string, opts ...Option) (*Host,
 		setup(b)
 	}
 
-	engineOpts := []xquery.Option{
-		xquery.WithBrowserProfile(), // §4.2.1: fn:doc / fn:put blocked
-		xquery.WithFunctions(func(reg *runtime.Registry) {
-			browser.RegisterFunctions(reg, b, h.Window)
-		}),
-		// The §5.1 high-order-function registration route, alongside the
-		// §4.3 grammar (ablation E8).
-		xquery.WithFunctions(h.registerHOFEventAPI),
-	}
-	for _, reg := range h.extraFns {
-		engineOpts = append(engineOpts, xquery.WithFunctions(reg))
-	}
-	if h.resolver != nil {
-		engineOpts = append(engineOpts, xquery.WithModuleResolver(h.resolver))
-	}
-	h.Engine = xquery.New(engineOpts...)
+	h.Engine = xquery.New(h.engineOptions(h.Window)...)
 	scripts := ExtractScripts(page)
 	h.Times.InitPlugin = time.Since(t0)
 
@@ -276,20 +278,7 @@ func (h *Host) LoadFrame(name, pageSrc, href string) (*browser.Window, error) {
 
 	// The frame's scripts execute with the frame as self and the frame
 	// document as (ambient) context item.
-	engineOpts := []xquery.Option{
-		xquery.WithBrowserProfile(),
-		xquery.WithFunctions(func(reg *runtime.Registry) {
-			browser.RegisterFunctions(reg, h.Browser, frame)
-		}),
-		xquery.WithFunctions(h.registerHOFEventAPI),
-	}
-	for _, reg := range h.extraFns {
-		engineOpts = append(engineOpts, xquery.WithFunctions(reg))
-	}
-	if h.resolver != nil {
-		engineOpts = append(engineOpts, xquery.WithModuleResolver(h.resolver))
-	}
-	frameEngine := xquery.New(engineOpts...)
+	frameEngine := xquery.New(h.engineOptions(frame)...)
 	for _, src := range ExtractScripts(page) {
 		prog, err := h.compile(frameEngine, src)
 		if err != nil {
@@ -320,6 +309,43 @@ func ExtractScripts(page *dom.Node) []string {
 		return true
 	})
 	return out
+}
+
+// engineOptions builds the engine configuration for a page or frame
+// window. Without a bound store the §4.2.1 browser profile applies
+// (fn:doc / fn:put blocked); with one, fn:doc and fn:collection route
+// to the store's resolvers instead — trusted storage replaces the
+// blocked open-network fetch, while fn:put stays blocked in funclib
+// unconditionally.
+func (h *Host) engineOptions(win *browser.Window) []xquery.Option {
+	opts := []xquery.Option{
+		xquery.WithFunctions(func(reg *runtime.Registry) {
+			browser.RegisterFunctions(reg, h.Browser, win)
+		}),
+		// The §5.1 high-order-function registration route, alongside the
+		// §4.3 grammar (ablation E8).
+		xquery.WithFunctions(h.registerHOFEventAPI),
+	}
+	if h.storeDocs == nil && h.storeCols == nil && h.storeColsIter == nil {
+		opts = append(opts, xquery.WithBrowserProfile())
+	} else {
+		if h.storeDocs != nil {
+			opts = append(opts, xquery.WithDocResolver(h.storeDocs))
+		}
+		if h.storeCols != nil {
+			opts = append(opts, xquery.WithCollectionResolver(h.storeCols))
+		}
+		if h.storeColsIter != nil {
+			opts = append(opts, xquery.WithCollectionIterResolver(h.storeColsIter))
+		}
+	}
+	for _, reg := range h.extraFns {
+		opts = append(opts, xquery.WithFunctions(reg))
+	}
+	if h.resolver != nil {
+		opts = append(opts, xquery.WithModuleResolver(h.resolver))
+	}
+	return opts
 }
 
 // compile routes a script through the shared program cache when one is

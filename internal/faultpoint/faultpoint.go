@@ -36,6 +36,15 @@ const (
 	PointUpdateApply = "update.apply"
 	// PointServeDispatch fires at the top of each serve.Session turn.
 	PointServeDispatch = "serve.dispatch"
+	// PointStoreFsync fires inside wal.Writer.Append, before a commit's
+	// redo record reaches the log file; a fault leaves a deliberately
+	// torn frame behind (the damage a mid-commit crash produces) and
+	// fails the commit.
+	PointStoreFsync = "store.fsync"
+	// PointStoreReplay fires before each redo record is re-applied
+	// during store recovery (xmldb.Open's snapshot load and log
+	// replay); a fault aborts the open.
+	PointStoreReplay = "store.replay"
 )
 
 // ErrInjected is the default error a fired point returns; every

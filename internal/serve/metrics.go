@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/xmldb"
 	"repro/internal/xquery"
 )
 
@@ -100,6 +101,9 @@ type Metrics struct {
 	// mechanism reports here, so "is the pool absorbing faults" is one
 	// poll away.
 	Failures FailureStats `json:"failures"`
+	// Store is the bound document store's counters (Config.Store); nil
+	// when the pool serves without one.
+	Store *xmldb.StatsSnapshot `json:"store,omitempty"`
 }
 
 // FailureStats aggregates the failure-handling counters. Shed and

@@ -26,6 +26,7 @@ import (
 	"repro/internal/dom/index"
 	"repro/internal/faultpoint"
 	"repro/internal/xdm"
+	"repro/internal/xmldb"
 	"repro/internal/xqerr"
 	"repro/internal/xquery"
 	"repro/internal/xquery/runtime"
@@ -79,6 +80,12 @@ type Config struct {
 	// HostOptions are applied to every session's LoadPage (policies,
 	// loaders, extra functions ...).
 	HostOptions []core.Option
+	// Store, when non-nil, is the pool's document store: fn:doc and
+	// fn:collection route to it in every session script and Eval call,
+	// and its counters join the Metrics snapshot. Binding a store lifts
+	// the §4.2.1 browser profile from session engines (trusted storage
+	// instead of blocked network fetch); fn:put stays blocked.
+	Store *xmldb.Store
 }
 
 // Pool is the serving subsystem: a bounded set of live page sessions
@@ -176,6 +183,10 @@ func (p *Pool) Load(ctx context.Context, pageSrc, href string, opts ...core.Opti
 	hostOpts := []core.Option{
 		core.WithProgramCache(p.cache),
 		core.WithQueryBudget(p.cfg.MaxSteps, p.cfg.Timeout),
+	}
+	if st := p.cfg.Store; st != nil {
+		hostOpts = append(hostOpts,
+			core.WithStoreResolvers(st.Resolver(), st.CollectionResolver(), st.CollectionIterResolver()))
 	}
 	hostOpts = append(hostOpts, p.cfg.HostOptions...)
 	hostOpts = append(hostOpts, opts...)
@@ -330,6 +341,11 @@ func (p *Pool) Eval(ctx context.Context, src string, contextDoc *dom.Node) (seq 
 		Timeout:    p.cfg.Timeout,
 		Strict:     p.cfg.Strict,
 	}
+	if st := p.cfg.Store; st != nil {
+		cfg.Docs = st.Resolver()
+		cfg.Collections = st.CollectionResolver()
+		cfg.CollectionsIter = st.CollectionIterResolver()
+	}
 	if contextDoc != nil {
 		cfg.ContextItem = xdm.NewNode(contextDoc)
 	}
@@ -384,7 +400,13 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 // Metrics returns the pool's observability snapshot.
 func (p *Pool) Metrics() Metrics {
 	cache := p.cache.Stats()
+	var store *xmldb.StatsSnapshot
+	if p.cfg.Store != nil {
+		st := p.cfg.Store.Stats.Snapshot()
+		store = &st
+	}
 	return Metrics{
+		Store:            store,
 		SessionsActive:   p.active.Load(),
 		SessionsPeak:     p.peak.Load(),
 		SessionsLoaded:   p.loaded.Load(),

@@ -1,0 +1,281 @@
+package xmldb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/faultpoint"
+	"repro/internal/markup"
+)
+
+// Crash-recovery chaos suite: arm the store.fsync and store.replay
+// fault points across a matrix of fault positions and assert the
+// durability contract — every commit that reported success is present,
+// byte-identical, after recovery, and every commit that reported
+// failure is absent. The faultpoint package is process-global, so none
+// of these tests run in parallel and all Reset before returning.
+
+// stateOf snapshots a store's full logical state: every document's
+// canonical serialization plus the collection list.
+func stateOf(t *testing.T, s *Store) (docs map[string]string, cols []string) {
+	t.Helper()
+	docs = map[string]string{}
+	for _, uri := range s.List() {
+		d, ok := s.Get(uri)
+		if !ok {
+			t.Fatalf("List reported %q but Get misses", uri)
+		}
+		docs[uri] = markup.Serialize(d)
+	}
+	return docs, s.Collections()
+}
+
+// assertState compares a recovered store against the model of
+// successful commits, byte for byte.
+func assertState(t *testing.T, s *Store, wantDocs map[string]string, wantCols []string) {
+	t.Helper()
+	gotDocs, gotCols := stateOf(t, s)
+	if len(gotDocs) != len(wantDocs) {
+		t.Errorf("recovered %d docs, want %d (got %v)", len(gotDocs), len(wantDocs), s.List())
+	}
+	for uri, want := range wantDocs {
+		if got, ok := gotDocs[uri]; !ok {
+			t.Errorf("doc %q lost in recovery", uri)
+		} else if got != want {
+			t.Errorf("doc %q corrupted:\n got %s\nwant %s", uri, got, want)
+		}
+	}
+	for uri := range gotDocs {
+		if _, ok := wantDocs[uri]; !ok {
+			t.Errorf("doc %q resurrected: its commit reported failure", uri)
+		}
+	}
+	if fmt.Sprint(gotCols) != fmt.Sprint(wantCols) {
+		t.Errorf("collections = %v, want %v", gotCols, wantCols)
+	}
+}
+
+// TestChaosFsyncFaultMatrix walks the fault position through the commit
+// sequence: commit k's redo append fails (leaving a torn frame, the
+// damage a mid-commit crash produces), the store poisons, and reopening
+// the directory — under a different shard count, to exercise
+// re-partitioning — recovers exactly the successful prefix.
+func TestChaosFsyncFaultMatrix(t *testing.T) {
+	defer faultpoint.Reset()
+	const ops = 10
+	for faultAt := int64(1); faultAt <= ops+2; faultAt++ {
+		faultpoint.Reset()
+		dir := t.TempDir()
+		st, err := Open(dir, WithShards(3), WithSyncWrites(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.CreateCollection("/db/a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.CreateCollection("/db/b"); err != nil {
+			t.Fatal(err)
+		}
+		model := map[string]string{}
+		faultpoint.Enable(faultpoint.PointStoreFsync, faultpoint.Nth(faultAt))
+
+		poisoned := false
+		for i := 0; i < ops; i++ {
+			uri := fmt.Sprintf("/db/%c/d%02d.xml", 'a'+byte(i%2), i)
+			src := fmt.Sprintf(`<doc n="%d"><v>%d</v></doc>`, i, i*i)
+			err := st.PutXML(uri, src)
+			switch {
+			case err == nil:
+				if poisoned {
+					t.Fatalf("fault@%d: commit %d succeeded after poisoning", faultAt, i)
+				}
+				d, _ := markup.Parse(src)
+				model[uri] = markup.Serialize(d)
+			case errors.Is(err, ErrStoreClosed):
+				if !poisoned && !errors.Is(err, faultpoint.ErrInjected) {
+					t.Fatalf("fault@%d: first failure does not carry the injected fault: %v", faultAt, err)
+				}
+				poisoned = true
+			default:
+				t.Fatalf("fault@%d: commit %d: unexpected error %v", faultAt, i, err)
+			}
+		}
+		if wantPoison := faultAt <= ops; poisoned != wantPoison {
+			t.Fatalf("fault@%d: poisoned = %v, want %v", faultAt, poisoned, wantPoison)
+		}
+
+		// Reads keep serving the pre-fault state on a poisoned store.
+		for uri, want := range model {
+			if d, ok := st.Get(uri); !ok || markup.Serialize(d) != want {
+				t.Fatalf("fault@%d: poisoned store lost read of %q", faultAt, uri)
+			}
+		}
+		st.Close()
+
+		faultpoint.Reset()
+		st2, err := Open(dir, WithShards(2))
+		if err != nil {
+			t.Fatalf("fault@%d: recovery failed: %v", faultAt, err)
+		}
+		assertState(t, st2, model, []string{"/", "/db", "/db/a", "/db/b"})
+		// The recovered store accepts new commits.
+		if err := st2.PutXML("/db/a/post.xml", `<post/>`); err != nil {
+			t.Fatalf("fault@%d: post-recovery commit: %v", faultAt, err)
+		}
+		st2.Close()
+	}
+}
+
+// TestChaosFsyncConcurrentWriters poisons the log mid-flight under
+// concurrent writers and readers (race-enabled): every writer records
+// which of its commits reported success, and recovery must surface
+// exactly that set.
+func TestChaosFsyncConcurrentWriters(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	st, err := Open(dir, WithShards(4), WithSyncWrites(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateCollection("/db"); err != nil {
+		t.Fatal(err)
+	}
+	faultpoint.Enable(faultpoint.PointStoreFsync, faultpoint.Seeded(42, 0.05))
+
+	const writers, docsEach = 4, 20
+	committed := make([]map[string]string, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		committed[w] = map[string]string{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < docsEach; i++ {
+				uri := fmt.Sprintf("/db/w%d-%02d.xml", w, i)
+				src := fmt.Sprintf(`<doc w="%d" i="%d"/>`, w, i)
+				if err := st.PutXML(uri, src); err == nil {
+					d, _ := markup.Parse(src)
+					committed[w][uri] = markup.Serialize(d)
+				}
+			}
+		}(w)
+	}
+	// Concurrent scans must stay consistent while the writers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			docs, err := st.Collection("/db")
+			if err != nil {
+				t.Errorf("concurrent scan: %v", err)
+				return
+			}
+			for _, d := range docs {
+				_ = markup.Serialize(d)
+			}
+		}
+	}()
+	wg.Wait()
+	st.Close()
+
+	model := map[string]string{}
+	for _, m := range committed {
+		for uri, s := range m {
+			model[uri] = s
+		}
+	}
+	if len(model) == writers*docsEach {
+		t.Fatalf("seeded fault never fired: all %d commits succeeded", len(model))
+	}
+
+	faultpoint.Reset()
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer st2.Close()
+	assertState(t, st2, model, []string{"/", "/db"})
+}
+
+// TestChaosTornTailReplay crashes without a checkpoint, so recovery
+// must replay the redo-log tail past a deliberately torn final frame.
+func TestChaosTornTailReplay(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateCollection("/db"); err != nil {
+		t.Fatal(err)
+	}
+	model := map[string]string{}
+	for i := 0; i < 5; i++ {
+		uri := fmt.Sprintf("/db/d%d.xml", i)
+		src := fmt.Sprintf(`<doc i="%d"/>`, i)
+		if err := st.PutXML(uri, src); err != nil {
+			t.Fatal(err)
+		}
+		d, _ := markup.Parse(src)
+		model[uri] = markup.Serialize(d)
+	}
+	// The 6th commit tears: no Close, no checkpoint — the log is all
+	// there is, intact prefix plus half a frame.
+	faultpoint.Enable(faultpoint.PointStoreFsync, faultpoint.Nth(1))
+	if err := st.PutXML("/db/torn.xml", `<torn/>`); !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("torn commit err = %v, want ErrStoreClosed", err)
+	}
+	faultpoint.Reset()
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recovery over torn tail: %v", err)
+	}
+	defer st2.Close()
+	assertState(t, st2, model, []string{"/", "/db"})
+	if replays := st2.Stats.Snapshot().WALReplays; replays < 5 {
+		t.Errorf("WALReplays = %d, want >= 5 (log tail should have replayed)", replays)
+	}
+}
+
+// TestChaosReplayFaultMatrix aborts recovery at each record in turn:
+// the open must fail with the injected fault, and a clean retry must
+// recover the full state.
+func TestChaosReplayFaultMatrix(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	st, err := Open(dir, WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateCollection("/db"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := st.PutXML(fmt.Sprintf("/db/d%d.xml", i), fmt.Sprintf(`<doc i="%d"/>`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantDocs, wantCols := stateOf(t, st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 7 records in the snapshot (1 MkCol + 6 Puts): abort at each.
+	for k := int64(1); k <= 7; k++ {
+		faultpoint.Enable(faultpoint.PointStoreReplay, faultpoint.Nth(k))
+		if _, err := Open(dir); !errors.Is(err, faultpoint.ErrInjected) {
+			t.Fatalf("replay fault@%d: open err = %v, want injected fault", k, err)
+		}
+		faultpoint.Reset()
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("clean reopen after aborted recoveries: %v", err)
+	}
+	defer st2.Close()
+	assertState(t, st2, wantDocs, wantCols)
+}

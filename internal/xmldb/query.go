@@ -1,0 +1,95 @@
+package xmldb
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+	"repro/internal/markup"
+	"repro/internal/xdm"
+	"repro/internal/xmldb/wal"
+	"repro/internal/xquery"
+)
+
+// Query evaluation against stored documents, with the MVCC split:
+// queries the static detector proves pure run directly on the published
+// immutable revision (no copy, no lock); anything that could mutate the
+// context document runs on a private clone that commits as the next
+// revision — or loses a first-committer-wins race with ErrConflict.
+
+// run evaluates a compiled program with doc as the context item and the
+// store as doc/collection resolver.
+func (s *Store) run(prog *xquery.Program, doc *dom.Node) (string, error) {
+	res, err := prog.Run(xquery.RunConfig{
+		ContextItem: xdm.NewNode(doc),
+		Docs:        s.Resolver(),
+		Collections: s.CollectionResolver(),
+		Sequential:  true,
+	})
+	if err != nil {
+		return "", err
+	}
+	s.Stats.queriesEvaluated.Add(1)
+	return xquery.FormatSequence(res.Value, markup.Serialize), nil
+}
+
+// Query evaluates an XQuery expression with the stored document as the
+// context item. Pure queries read the current revision in place;
+// updating queries are routed through Update's clone-and-commit
+// protocol, so a query can never scribble on a published revision.
+func (s *Store) Query(uri, query string) (string, error) {
+	rev, ok := s.shardFor(uri).get(uri)
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrDocNotFound, uri)
+	}
+	prog, err := s.engine.Compile(query)
+	if err != nil {
+		return "", err
+	}
+	if moduleUpdates(prog.Module()) {
+		return s.update(uri, rev, prog)
+	}
+	return s.run(prog, rev.root)
+}
+
+// Update evaluates an updating XQuery expression against a stored
+// document under the MVCC protocol, regardless of what the static
+// detector thinks of it.
+func (s *Store) Update(uri, query string) (string, error) {
+	rev, ok := s.shardFor(uri).get(uri)
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrDocNotFound, uri)
+	}
+	prog, err := s.engine.Compile(query)
+	if err != nil {
+		return "", err
+	}
+	return s.update(uri, rev, prog)
+}
+
+// update is the optimistic write path: clone the revision the caller
+// saw, run the query against the clone, then commit the clone as the
+// next revision — unless another committer got there first, in which
+// case the work is discarded and the caller gets ErrConflict to retry
+// against the newer revision.
+func (s *Store) update(uri string, base *docRev, prog *xquery.Program) (string, error) {
+	clone := base.root.Clone()
+	out, err := s.run(prog, clone)
+	if err != nil {
+		return "", err
+	}
+	data := []byte(markup.Serialize(clone))
+	err = s.commit(wal.Put, uri, data,
+		func() error {
+			cur, ok := s.shardFor(uri).get(uri)
+			if !ok || cur != base {
+				s.Stats.conflicts.Add(1)
+				return fmt.Errorf("%w: %q changed underfoot", ErrConflict, uri)
+			}
+			return nil
+		},
+		func() { s.shardFor(uri).publish(uri, clone) })
+	if err != nil {
+		return "", err
+	}
+	return out, nil
+}

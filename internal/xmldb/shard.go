@@ -1,0 +1,215 @@
+package xmldb
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/dom"
+)
+
+// The store's document space is partitioned across N sub-stores by a
+// consistent hash of the document URI. Shards bound lock contention
+// (writers to different shards never queue on each other) and give
+// collection scans natural parallelism: each shard snapshots and sorts
+// its slice of a collection concurrently, and the results merge in URI
+// order. Shard assignment is recomputed from the URI alone, so a
+// directory written with one shard count reopens correctly under any
+// other — the partitioning is an in-memory layout, not an on-disk one.
+//
+// This file owns every raw access to the shard's document map; the
+// rest of the package (and the repo — the storesync vet pass enforces
+// it) goes through the methods here, which uphold the lock discipline.
+
+// docRev is one committed, immutable document revision — the MVCC unit.
+// A reader that obtained a docRev iterates its tree without locks:
+// commits publish new revisions, they never mutate published ones. domV
+// records the tree's dom version counter at publish time, so staleness
+// of any cached derivation (the PR 4 per-document indexes) and
+// accidental in-place mutation are both detectable by comparing
+// root.Version() against it.
+type docRev struct {
+	root *dom.Node
+	rev  uint64 // per-document revision number, 1-based
+	domV uint64 // root.Version() at publish: published trees are immutable
+}
+
+// mutated reports whether someone wrote to the published tree in place
+// (legacy callers that update a resolver-returned node bypass MVCC).
+func (d *docRev) mutated() bool { return d.root.Version() != d.domV }
+
+// shard is one sub-store: a mutex-guarded URI → current-revision map.
+type shard struct {
+	mu   sync.RWMutex
+	docs map[string]*docRev
+}
+
+func newShard() *shard { return &shard{docs: map[string]*docRev{}} }
+
+// get returns the current revision of a document.
+func (sh *shard) get(uri string) (*docRev, bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	d, ok := sh.docs[uri]
+	return d, ok
+}
+
+// publish installs root as the next revision of uri and returns it.
+func (sh *shard) publish(uri string, root *dom.Node) *docRev {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rev := uint64(1)
+	if cur, ok := sh.docs[uri]; ok {
+		rev = cur.rev + 1
+	}
+	d := &docRev{root: root, rev: rev, domV: root.Version()}
+	sh.docs[uri] = d
+	return d
+}
+
+// remove deletes a document, reporting whether it existed.
+func (sh *shard) remove(uri string) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.docs[uri]
+	delete(sh.docs, uri)
+	return ok
+}
+
+// removeWhere deletes every document whose URI matches, returning the
+// removed URIs.
+func (sh *shard) removeWhere(match func(uri string) bool) []string {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var out []string
+	for uri := range sh.docs {
+		if match(uri) {
+			delete(sh.docs, uri)
+			out = append(out, uri)
+		}
+	}
+	return out
+}
+
+// count returns the number of documents in the shard.
+func (sh *shard) count() int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.docs)
+}
+
+// docEntry pairs a URI with the revision a scan observed.
+type docEntry struct {
+	uri string
+	rev *docRev
+}
+
+// snapshotSorted collects the shard's documents matching the filter
+// (nil matches all), sorted by URI. The returned entries are a
+// point-in-time snapshot: later commits to the shard do not affect
+// them, and their trees are immutable revisions.
+func (sh *shard) snapshotSorted(match func(uri string) bool) []docEntry {
+	sh.mu.RLock()
+	out := make([]docEntry, 0, len(sh.docs))
+	for uri, d := range sh.docs {
+		if match == nil || match(uri) {
+			out = append(out, docEntry{uri: uri, rev: d})
+		}
+	}
+	sh.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].uri < out[j].uri })
+	return out
+}
+
+// --- consistent hashing ----------------------------------------------------------
+
+// shardIndex maps a URI to a shard by consistent hash (Lamping-Veach
+// jump hash over a 64-bit FNV-1a of the URI): when the shard count
+// changes, only ~1/n of the URIs move, so re-partitioning a reopened
+// store touches the minimum number of documents.
+func shardIndex(uri string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(uri))
+	key := h.Sum64()
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// --- parallel scan + merge --------------------------------------------------------
+
+// scanShards snapshots every shard concurrently (one goroutine per
+// shard — the parallel collection scan) and returns the per-shard
+// sorted entry lists, ready for merging.
+func scanShards(shards []*shard, match func(uri string) bool) [][]docEntry {
+	parts := make([][]docEntry, len(shards))
+	if len(shards) == 1 {
+		parts[0] = shards[0].snapshotSorted(match)
+		return parts
+	}
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			parts[i] = sh.snapshotSorted(match)
+		}(i, sh)
+	}
+	wg.Wait()
+	return parts
+}
+
+// mergeEntries merges per-shard sorted lists into one URI-ordered list.
+func mergeEntries(parts [][]docEntry) []docEntry {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]docEntry, 0, total)
+	m := newMerger(parts)
+	for {
+		e, ok := m.next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+// merger is an incremental k-way merge over per-shard sorted entry
+// lists — the streaming core of CollectionIter: pulling the next
+// document costs O(k), not a full materialised merge, so an early-exit
+// consumer (collection()[1]) stops after one step.
+type merger struct {
+	parts [][]docEntry
+	pos   []int
+}
+
+func newMerger(parts [][]docEntry) *merger {
+	return &merger{parts: parts, pos: make([]int, len(parts))}
+}
+
+func (m *merger) next() (docEntry, bool) {
+	best := -1
+	for i, p := range m.parts {
+		if m.pos[i] >= len(p) {
+			continue
+		}
+		if best < 0 || p[m.pos[i]].uri < m.parts[best][m.pos[best]].uri {
+			best = i
+		}
+	}
+	if best < 0 {
+		return docEntry{}, false
+	}
+	e := m.parts[best][m.pos[best]]
+	m.pos[best]++
+	return e, true
+}

@@ -1,0 +1,89 @@
+package xmldb
+
+import "sync/atomic"
+
+// Stats counts the store's work with lock-free atomics (the
+// serve.Metrics style): HTTP service counters for the paper's §6.1
+// off-loading experiments plus the storage-engine counters the
+// persistent backend added. Concurrent increments never contend on a
+// lock, and Snapshot reads a consistent-enough point-in-time view
+// without stopping writers.
+type Stats struct {
+	// HTTP / query service.
+	requests         atomic.Int64
+	bytesServed      atomic.Int64
+	queriesEvaluated atomic.Int64
+	docsServed       atomic.Int64
+
+	// Storage engine.
+	puts        atomic.Int64
+	gets        atomic.Int64
+	deletes     atomic.Int64
+	scans       atomic.Int64
+	commits     atomic.Int64
+	conflicts   atomic.Int64
+	walAppends  atomic.Int64
+	walReplays  atomic.Int64
+	checkpoints atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of the counters — a plain value
+// struct (no mutex inside, unlike the old by-value Stats copy) that is
+// safe to pass around and JSON-serialise.
+type StatsSnapshot struct {
+	// Requests counts HTTP requests served by Handler.
+	Requests int64 `json:"requests"`
+	// BytesServed counts response bytes written by Handler.
+	BytesServed int64 `json:"bytes_served"`
+	// QueriesEvaluated counts Query/Update evaluations (HTTP and
+	// direct).
+	QueriesEvaluated int64 `json:"queries_evaluated"`
+	// DocsServed counts whole documents served over HTTP (§6.1's
+	// cache-friendly granularity).
+	DocsServed int64 `json:"docs_served"`
+	// Puts/Gets/Deletes/Scans count storage operations: document
+	// stores, point reads, removals and collection scans.
+	Puts    int64 `json:"puts"`
+	Gets    int64 `json:"gets"`
+	Deletes int64 `json:"deletes"`
+	Scans   int64 `json:"scans"`
+	// Commits counts committed mutations (every kind); Conflicts counts
+	// optimistic update commits refused with ErrConflict.
+	Commits   int64 `json:"commits"`
+	Conflicts int64 `json:"conflicts"`
+	// WALAppends/WALReplays count redo-log records written and records
+	// re-applied during recovery; Checkpoints counts snapshot writes.
+	WALAppends  int64 `json:"wal_appends"`
+	WALReplays  int64 `json:"wal_replays"`
+	Checkpoints int64 `json:"checkpoints"`
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Requests:         s.requests.Load(),
+		BytesServed:      s.bytesServed.Load(),
+		QueriesEvaluated: s.queriesEvaluated.Load(),
+		DocsServed:       s.docsServed.Load(),
+		Puts:             s.puts.Load(),
+		Gets:             s.gets.Load(),
+		Deletes:          s.deletes.Load(),
+		Scans:            s.scans.Load(),
+		Commits:          s.commits.Load(),
+		Conflicts:        s.conflicts.Load(),
+		WALAppends:       s.walAppends.Load(),
+		WALReplays:       s.walReplays.Load(),
+		Checkpoints:      s.checkpoints.Load(),
+	}
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() {
+	for _, c := range []*atomic.Int64{
+		&s.requests, &s.bytesServed, &s.queriesEvaluated, &s.docsServed,
+		&s.puts, &s.gets, &s.deletes, &s.scans, &s.commits, &s.conflicts,
+		&s.walAppends, &s.walReplays, &s.checkpoints,
+	} {
+		c.Store(0)
+	}
+}

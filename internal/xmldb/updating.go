@@ -1,0 +1,210 @@
+package xmldb
+
+import (
+	"repro/internal/dom"
+	"repro/internal/xquery/ast"
+	"repro/internal/xquery/parser"
+)
+
+// The MVCC store must decide, before running a query against a stored
+// document, whether the query can mutate it: pure queries read the
+// published immutable revision directly (no copy), updating queries run
+// against a private clone that commits as the next revision. The
+// decision is a static over-approximation of the Update Facility's
+// updating-expression classification: a false positive only costs a
+// clone, a false negative would let a query scribble on a published
+// revision — so every shape we cannot prove pure counts as updating.
+
+// moduleUpdates reports whether running the module could mutate its
+// context document or any resolver-provided document.
+func moduleUpdates(m *ast.Module) bool {
+	d := &updDetect{decls: map[dom.QName]*ast.FuncDecl{}}
+	for i := range m.Prolog.Functions {
+		f := &m.Prolog.Functions[i]
+		d.decls[dom.QName{Space: f.Name.Space, Local: f.Name.Local}] = f
+	}
+	for _, v := range m.Prolog.Vars {
+		if d.expr(v.Init) {
+			return true
+		}
+	}
+	return d.expr(m.Body)
+}
+
+type updDetect struct {
+	decls  map[dom.QName]*ast.FuncDecl
+	onPath map[dom.QName]bool // visited declarations (recursion guard)
+}
+
+// call classifies a static function call. Builtin fn:/xs: calls are
+// pure except fn:put; calls to declared functions are as updating as
+// their declaration and body; anything else — imported modules,
+// external functions, the browser extension namespace — is opaque and
+// counts as updating.
+func (d *updDetect) call(x ast.FuncCall) bool {
+	for _, a := range x.Args {
+		if d.expr(a) {
+			return true
+		}
+	}
+	switch x.Name.Space {
+	case parser.FnNamespace:
+		return x.Name.Local == "put"
+	case parser.XSNamespace:
+		return false
+	}
+	f, ok := d.decls[dom.QName{Space: x.Name.Space, Local: x.Name.Local}]
+	if !ok || f.External {
+		return true
+	}
+	if f.Updating || f.Sequential {
+		return true
+	}
+	key := dom.QName{Space: f.Name.Space, Local: f.Name.Local}
+	if d.onPath[key] {
+		return false // recursive call: the outer visit covers the body
+	}
+	if d.onPath == nil {
+		d.onPath = map[dom.QName]bool{}
+	}
+	d.onPath[key] = true
+	defer delete(d.onPath, key)
+	return d.expr(f.Body)
+}
+
+// expr walks one expression. The type switch enumerates every pure
+// shape explicitly; the default arm — any node kind this walker does
+// not know — reports updating, so new AST nodes fail safe.
+func (d *updDetect) expr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case ast.StringLit, ast.IntLit, ast.DecimalLit, ast.DoubleLit,
+		ast.VarRef, ast.ContextItem, ast.Break, ast.Continue:
+		return false
+	case ast.SeqExpr:
+		return d.any(x.Items)
+	case ast.FuncCall:
+		return d.call(x)
+	case ast.Ordered:
+		return d.expr(x.X)
+	case ast.Hoisted:
+		return d.expr(x.X)
+	case ast.If:
+		return d.expr(x.Cond) || d.expr(x.Then) || d.expr(x.Else)
+	case ast.FLWOR:
+		for _, c := range x.Clauses {
+			if d.expr(c.In) {
+				return true
+			}
+		}
+		for _, o := range x.OrderBy {
+			if d.expr(o.Key) {
+				return true
+			}
+		}
+		return d.expr(x.Where) || d.expr(x.Return)
+	case ast.Quantified:
+		for _, c := range x.Vars {
+			if d.expr(c.In) {
+				return true
+			}
+		}
+		return d.expr(x.Satisfies)
+	case ast.Typeswitch:
+		for _, c := range x.Cases {
+			if d.expr(c.Body) {
+				return true
+			}
+		}
+		return d.expr(x.Operand) || d.expr(x.Default)
+	case ast.Binary:
+		return d.expr(x.L) || d.expr(x.R)
+	case ast.Compare:
+		return d.expr(x.L) || d.expr(x.R)
+	case ast.Unary:
+		return d.expr(x.X)
+	case ast.Range:
+		return d.expr(x.L) || d.expr(x.R)
+	case ast.InstanceOf:
+		return d.expr(x.X)
+	case ast.TreatAs:
+		return d.expr(x.X)
+	case ast.CastAs:
+		return d.expr(x.X)
+	case ast.Path:
+		for _, s := range x.Steps {
+			if d.expr(s.Primary) || d.any(s.Preds) {
+				return true
+			}
+		}
+		return false
+	case ast.DirElem:
+		for _, a := range x.Attrs {
+			if d.any(a.Pieces) {
+				return true
+			}
+		}
+		return d.any(x.Content)
+	case ast.CompConstructor:
+		return d.expr(x.NameExpr) || d.expr(x.Content)
+	case ast.Transform:
+		// copy/modify/return mutates only its own copies — pure from the
+		// store's point of view — but its clause sources and return are
+		// ordinary expressions. The modify clause targets copies, yet we
+		// walk it anyway: a call chain from it could escape to fn:put.
+		for _, c := range x.Bindings {
+			if d.expr(c.In) {
+				return true
+			}
+		}
+		return d.expr(x.Modify) || d.expr(x.Return)
+	case ast.Block:
+		return d.any(x.Stmts)
+	case ast.BlockDecl:
+		return d.expr(x.Init)
+	case ast.Assign:
+		// Variable assignment mutates the variable binding, not a
+		// document.
+		return d.expr(x.Val)
+	case ast.While:
+		return d.expr(x.Cond) || d.expr(x.Body)
+	case ast.Exit:
+		return d.expr(x.With)
+	case ast.FTContains:
+		return d.expr(x.X) || d.ftsel(x.Sel)
+	case ast.GetStyle:
+		return d.expr(x.Prop) || d.expr(x.Target)
+	case ast.Insert, ast.Delete, ast.Replace, ast.Rename,
+		ast.SetStyle, ast.EventAttach, ast.EventDetach, ast.EventTrigger:
+		// Update Facility primitives mutate their targets in place;
+		// the browser extensions mutate the target's tree (style
+		// attributes, listener state).
+		return true
+	default:
+		return true // unknown shape: fail safe
+	}
+}
+
+func (d *updDetect) any(es []ast.Expr) bool {
+	for _, e := range es {
+		if d.expr(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *updDetect) ftsel(s ast.FTSelection) bool {
+	switch x := s.(type) {
+	case ast.FTWords:
+		return d.expr(x.Source)
+	case ast.FTAnd:
+		return d.ftsel(x.L) || d.ftsel(x.R)
+	case ast.FTOr:
+		return d.ftsel(x.L) || d.ftsel(x.R)
+	case ast.FTNot:
+		return d.ftsel(x.X)
+	}
+	return true
+}

@@ -1,0 +1,316 @@
+// Package wal is the durability substrate of the XML document store: an
+// append-only redo log plus full-state snapshot files sharing one record
+// encoding. It is the redo-side dual of the update package's undo log
+// (PR 5): where the undo log records, per applied primitive, the exact
+// inverse to unwind a failed in-memory apply, the redo log records, per
+// committed store operation, the exact forward primitive to replay after
+// a crash. The primitive vocabulary mirrors update.Kind's shape — a
+// small enum of operations, each carrying a target path and optional
+// content — and replay applies records strictly in log order, the same
+// discipline as the undo log's strict reverse order.
+//
+// Crash tolerance is structural: every record is length-framed and
+// CRC-sealed, so a reader hitting a torn tail (the bytes a crash left
+// half-written) stops at the last intact record instead of failing.
+// Recovery = load the newest snapshot, then replay every log record
+// with a sequence number beyond the snapshot's.
+//
+// The store.fsync fault point fires inside Append, before the record
+// reaches the file; an injected fault leaves a deliberately torn frame
+// behind — exactly what a mid-commit power cut produces — so the chaos
+// suite can rehearse recovery against realistic damage.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/faultpoint"
+)
+
+// Kind identifies a redo primitive — the store-level analogue of
+// update.Kind. Values are part of the on-disk format: append only.
+type Kind uint8
+
+// Redo primitives, in declaration order.
+const (
+	// Put stores (or replaces) a document: Path is its URI, Data its
+	// serialized XML.
+	Put Kind = iota + 1
+	// Delete removes the document at Path.
+	Delete
+	// MkCol creates the collection at Path (parents included).
+	MkCol
+	// RmCol removes the collection subtree at Path, documents included.
+	RmCol
+)
+
+// String names the primitive kind.
+func (k Kind) String() string {
+	switch k {
+	case Put:
+		return "put"
+	case Delete:
+		return "delete"
+	case MkCol:
+		return "mkcol"
+	case RmCol:
+		return "rmcol"
+	}
+	return fmt.Sprintf("wal.Kind(%d)", uint8(k))
+}
+
+// Record is one redo primitive. Seq is the store's global commit
+// sequence number: strictly increasing across the snapshot and log, so
+// replay can skip records the snapshot already contains.
+type Record struct {
+	Seq  uint64
+	Kind Kind
+	Path string
+	Data []byte
+}
+
+// File magics. A snapshot carries the sequence number of the last
+// commit it contains in the 8 bytes after its magic.
+var (
+	logMagic  = []byte("XQDBWAL1\n")
+	snapMagic = []byte("XQDBSNP1\n")
+)
+
+// ErrCorrupt reports a record frame that is present and complete but
+// fails its integrity check — damage beyond a torn tail.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// maxFrame bounds a record frame read back from disk; a length prefix
+// beyond it is treated as tail damage, not an allocation request.
+const maxFrame = 1 << 30
+
+// encode renders a record as one self-checking frame:
+//
+//	[u32 payload len][payload][u32 crc32(payload)]
+//	payload = [u64 seq][u8 kind][u32 pathLen][path][data]
+func encode(r Record) []byte {
+	payload := make([]byte, 0, 8+1+4+len(r.Path)+len(r.Data))
+	payload = binary.LittleEndian.AppendUint64(payload, r.Seq)
+	payload = append(payload, byte(r.Kind))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(r.Path)))
+	payload = append(payload, r.Path...)
+	payload = append(payload, r.Data...)
+
+	frame := make([]byte, 0, 4+len(payload)+4)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	return frame
+}
+
+// decode parses one payload back into a record.
+func decode(payload []byte) (Record, error) {
+	if len(payload) < 8+1+4 {
+		return Record{}, fmt.Errorf("%w: payload too short (%d bytes)", ErrCorrupt, len(payload))
+	}
+	var r Record
+	r.Seq = binary.LittleEndian.Uint64(payload)
+	r.Kind = Kind(payload[8])
+	plen := binary.LittleEndian.Uint32(payload[9:])
+	rest := payload[13:]
+	if uint32(len(rest)) < plen {
+		return Record{}, fmt.Errorf("%w: path length %d exceeds payload", ErrCorrupt, plen)
+	}
+	r.Path = string(rest[:plen])
+	if data := rest[plen:]; len(data) > 0 {
+		r.Data = append([]byte(nil), data...)
+	}
+	return r, nil
+}
+
+// Writer appends records to a log file. Not safe for concurrent use:
+// the store serialises commits, and the writer inherits that ordering.
+type Writer struct {
+	f    *os.File
+	sync bool
+	// torn is set after an injected mid-commit fault left a partial
+	// frame behind; every later append must fail — a real crash would
+	// not have survived to append again.
+	torn bool
+}
+
+// Create truncates (or creates) the log at path and writes the magic.
+func Create(path string, syncEach bool) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(logMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if syncEach {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &Writer{f: f, sync: syncEach}, nil
+}
+
+// Append durably appends one record: frame write, then (when the
+// writer syncs) fsync, all behind the store.fsync fault point. An
+// injected fault deliberately leaves the first half of the frame on
+// disk — the torn tail a mid-commit crash produces — and poisons the
+// writer, so the caller must treat the commit as failed and the file
+// as crash-equivalent.
+func (w *Writer) Append(r Record) error {
+	if w.torn {
+		return fmt.Errorf("wal: writer poisoned by an earlier failed commit")
+	}
+	frame := encode(r)
+	if err := faultpoint.Hit(faultpoint.PointStoreFsync); err != nil {
+		w.torn = true
+		w.f.Write(frame[:len(frame)/2]) // the crash's half-written frame
+		return fmt.Errorf("wal: append seq %d: %w", r.Seq, err)
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		w.torn = true
+		return fmt.Errorf("wal: append seq %d: %w", r.Seq, err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			w.torn = true
+			return fmt.Errorf("wal: sync seq %d: %w", r.Seq, err)
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the log file.
+func (w *Writer) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// ReadLog replays the log at path, calling apply for every intact
+// record in order. A missing file is an empty log. A torn or truncated
+// tail ends the scan cleanly (that is the crash contract); corruption
+// before the tail — an intact frame whose CRC fails — is returned as
+// ErrCorrupt. apply errors abort the scan.
+func ReadLog(path string, apply func(Record) error) error {
+	return readFile(path, logMagic, nil, apply)
+}
+
+// WriteSnapshot writes a full-state snapshot to path atomically: the
+// records stream into path.tmp, which is fsynced and renamed over
+// path. lastSeq is the commit sequence the state includes; recovery
+// replays only log records beyond it.
+func WriteSnapshot(path string, lastSeq uint64, records []Record) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := bw.Write(snapMagic); err != nil {
+		f.Close()
+		return err
+	}
+	var seqb [8]byte
+	binary.LittleEndian.PutUint64(seqb[:], lastSeq)
+	if _, err := bw.Write(seqb[:]); err != nil {
+		f.Close()
+		return err
+	}
+	for _, r := range records {
+		if _, err := bw.Write(encode(r)); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadSnapshot loads the snapshot at path, calling apply per record,
+// and returns the sequence number the snapshot's state includes. A
+// missing file yields (0, nil): an empty store.
+func ReadSnapshot(path string, apply func(Record) error) (lastSeq uint64, err error) {
+	err = readFile(path, snapMagic, &lastSeq, apply)
+	return lastSeq, err
+}
+
+func readFile(path string, magic []byte, seqOut *uint64, apply func(Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		if err == io.EOF {
+			return nil // zero-length file: created but never written
+		}
+		return fmt.Errorf("%w: %s: short magic", ErrCorrupt, path)
+	}
+	if string(head) != string(magic) {
+		return fmt.Errorf("%w: %s: bad magic %q", ErrCorrupt, path, head)
+	}
+	if seqOut != nil {
+		var seqb [8]byte
+		if _, err := io.ReadFull(br, seqb[:]); err != nil {
+			return fmt.Errorf("%w: %s: short snapshot header", ErrCorrupt, path)
+		}
+		*seqOut = binary.LittleEndian.Uint64(seqb[:])
+	}
+	for {
+		var lenb [4]byte
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
+			return nil // clean EOF or torn length prefix: end of intact log
+		}
+		n := binary.LittleEndian.Uint32(lenb[:])
+		if n == 0 || n > maxFrame {
+			return nil // nonsense length: torn tail
+		}
+		buf := make([]byte, int(n)+4)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil // frame cut short: torn tail
+		}
+		payload, sum := buf[:n], binary.LittleEndian.Uint32(buf[n:])
+		if crc32.ChecksumIEEE(payload) != sum {
+			// A complete frame with a bad checksum is not a torn tail —
+			// unless it is the last frame (a torn write can land inside
+			// the CRC itself). Peek: bytes beyond mean mid-log damage.
+			if _, err := br.ReadByte(); err != nil {
+				return nil
+			}
+			return fmt.Errorf("%w: %s: checksum mismatch mid-log", ErrCorrupt, path)
+		}
+		rec, err := decode(payload)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := apply(rec); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+func readAll(t *testing.T, path string) []Record {
+	t.Helper()
+	var out []Record
+	if err := ReadLog(path, func(r Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Seq: 1, Kind: MkCol, Path: "/db"},
+		{Seq: 2, Kind: Put, Path: "/db/a.xml", Data: []byte("<a/>")},
+		{Seq: 3, Kind: Delete, Path: "/db/a.xml"},
+		{Seq: 4, Kind: RmCol, Path: "/db"},
+		{Seq: 5, Kind: Put, Path: "", Data: nil}, // degenerate: empty path, no data
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, p)
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range recs {
+		g := got[i]
+		if g.Seq != r.Seq || g.Kind != r.Kind || g.Path != r.Path || string(g.Data) != string(r.Data) {
+			t.Errorf("record %d = %+v, want %+v", i, g, r)
+		}
+	}
+}
+
+func TestMissingFileIsEmpty(t *testing.T) {
+	if got := readAll(t, filepath.Join(t.TempDir(), "nope.log")); len(got) != 0 {
+		t.Errorf("missing log read %d records", len(got))
+	}
+	seq, err := ReadSnapshot(filepath.Join(t.TempDir(), "nope.snap"), func(Record) error { return nil })
+	if err != nil || seq != 0 {
+		t.Errorf("missing snapshot = seq %d, %v", seq, err)
+	}
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Seq: 1, Kind: Put, Path: "a", Data: []byte("<a/>")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: tack on a prefix of a valid frame.
+	frame := encode(Record{Seq: 2, Kind: Put, Path: "b", Data: []byte("<b/>")})
+	for cut := 1; cut < len(frame); cut++ {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		torn := append(append([]byte(nil), data...), frame[:cut]...)
+		if err := os.WriteFile(p, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := readAll(t, p)
+		if len(got) != 1 || got[0].Seq != 1 {
+			t.Fatalf("cut %d: read %d records, want the 1 intact one", cut, len(got))
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMidLogCorruptionDetected(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := w.Append(Record{Seq: seq, Kind: Put, Path: "a", Data: []byte("<a/>")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first record's payload (not the tail).
+	data[len(logMagic)+6] ^= 0xff
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = ReadLog(p, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("mid-log corruption: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(p, []byte("NOTALOG00 some bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadLog(p, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "snap")
+	recs := []Record{
+		{Seq: 1, Kind: MkCol, Path: "/db"},
+		{Seq: 7, Kind: Put, Path: "/db/a.xml", Data: []byte("<a/>")},
+	}
+	if err := WriteSnapshot(p, 9, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(p + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Error("snapshot temp file left behind")
+	}
+	var got []Record
+	seq, err := ReadSnapshot(p, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 9 {
+		t.Errorf("lastSeq = %d, want 9", seq)
+	}
+	if len(got) != 2 || got[1].Path != "/db/a.xml" {
+		t.Errorf("snapshot records = %+v", got)
+	}
+	// Overwrite with a newer snapshot: rename must replace atomically.
+	if err := WriteSnapshot(p, 12, recs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	seq, _ = ReadSnapshot(p, func(Record) error { return nil })
+	if seq != 12 {
+		t.Errorf("replaced lastSeq = %d, want 12", seq)
+	}
+}
+
+func TestFsyncFaultTearsAndPoisons(t *testing.T) {
+	defer faultpoint.Reset()
+	p := filepath.Join(t.TempDir(), "wal.log")
+	w, err := Create(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Seq: 1, Kind: Put, Path: "a", Data: []byte("<a/>")}); err != nil {
+		t.Fatal(err)
+	}
+	faultpoint.Enable(faultpoint.PointStoreFsync, faultpoint.Always())
+	err = w.Append(Record{Seq: 2, Kind: Put, Path: "b", Data: []byte("<b/>")})
+	if !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("faulted append err = %v", err)
+	}
+	faultpoint.Reset()
+	// The writer is poisoned: even with the fault disarmed, appending
+	// after a failed commit must not resume.
+	if err := w.Append(Record{Seq: 3, Kind: Put, Path: "c"}); err == nil {
+		t.Error("append after failed commit must error")
+	}
+	w.f.Close()
+	// Recovery sees only the intact prefix — the torn frame vanishes.
+	got := readAll(t, p)
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("post-crash read = %+v, want the 1 committed record", got)
+	}
+	// And the file genuinely holds torn bytes (half a frame).
+	fi, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intact := int64(len(logMagic) + len(encode(got[0])))
+	if fi.Size() <= intact {
+		t.Errorf("no torn bytes on disk: size %d, intact prefix %d", fi.Size(), intact)
+	}
+}

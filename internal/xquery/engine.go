@@ -40,6 +40,12 @@ type Engine struct {
 	fp              string
 	resolverRetries int
 	resolverBackoff time.Duration
+	// Engine-level default doc/collection resolvers (a bound document
+	// store). A RunConfig that sets its own resolvers overrides them
+	// per run.
+	docs            runtime.DocResolver
+	collections     runtime.CollectionResolver
+	collectionsIter runtime.CollectionIterResolver
 	// initErr records a function-library wiring failure from New;
 	// every Compile on this engine refuses with it instead of running
 	// programs against a half-built registry.
@@ -83,6 +89,26 @@ func WithResolverRetry(retries int, backoff time.Duration) Option {
 // security rule for in-browser execution.
 func WithBrowserProfile() Option {
 	return func(e *Engine) { e.blockDoc = true }
+}
+
+// WithDocResolver installs an engine-level default fn:doc resolver:
+// every run without its own RunConfig.Docs reads documents through it.
+// This is how a document store binds to an engine (see xqib.WithStore).
+func WithDocResolver(r runtime.DocResolver) Option {
+	return func(e *Engine) { e.docs = r }
+}
+
+// WithCollectionResolver installs an engine-level default fn:collection
+// resolver, the eager counterpart of WithCollectionIterResolver.
+func WithCollectionResolver(r runtime.CollectionResolver) Option {
+	return func(e *Engine) { e.collections = r }
+}
+
+// WithCollectionIterResolver installs an engine-level default streaming
+// fn:collection resolver (the sharded store's incremental shard-merge
+// scan). Runs may still override it via RunConfig.CollectionsIter.
+func WithCollectionIterResolver(r runtime.CollectionIterResolver) Option {
+	return func(e *Engine) { e.collectionsIter = r }
 }
 
 // WithFunctions registers extra built-in functions (the browser: library
@@ -264,10 +290,16 @@ type RunConfig struct {
 	// AmbientFocus additionally makes ContextItem the focus inside user
 	// function bodies (the browser host's processing model).
 	AmbientFocus bool
-	// Docs resolves fn:doc calls.
+	// Docs resolves fn:doc calls. Nil falls back to the engine's
+	// WithDocResolver default (if any).
 	Docs runtime.DocResolver
-	// Collections resolves fn:collection calls.
+	// Collections resolves fn:collection calls. Nil falls back to the
+	// engine's WithCollectionResolver default.
 	Collections runtime.CollectionResolver
+	// CollectionsIter is the streaming fn:collection source (preferred
+	// by the streaming evaluator when set). Nil falls back to the
+	// engine's WithCollectionIterResolver default.
+	CollectionsIter runtime.CollectionIterResolver
 	// Hooks provides the browser extension points.
 	Hooks runtime.Hooks
 	// Variables are external variable bindings.
@@ -368,6 +400,18 @@ func (p *Program) NewContext(cfg RunConfig) *runtime.Context {
 	ctx.NoIndex = cfg.DisableIndexes
 	ctx.Docs = cfg.Docs
 	ctx.Collections = cfg.Collections
+	ctx.CollectionsIter = cfg.CollectionsIter
+	// Engine-level defaults (a bound store) fill whatever the run left
+	// unset.
+	if ctx.Docs == nil {
+		ctx.Docs = p.engine.docs
+	}
+	if ctx.Collections == nil {
+		ctx.Collections = p.engine.collections
+	}
+	if ctx.CollectionsIter == nil {
+		ctx.CollectionsIter = p.engine.collectionsIter
+	}
 	ctx.Hooks = cfg.Hooks
 	if !cfg.Now.IsZero() {
 		ctx.Now = cfg.Now

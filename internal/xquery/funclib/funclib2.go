@@ -673,7 +673,7 @@ func registerDocs(reg *runtime.Registry) {
 		if ctx.Prog != nil && ctx.Prog.BlockDoc {
 			return nil, fmt.Errorf("fn:collection is blocked in the browser profile")
 		}
-		if ctx.Collections == nil {
+		if ctx.Collections == nil && ctx.CollectionsIter == nil {
 			return nil, fmt.Errorf("fn:collection: no collection resolver available")
 		}
 		uri := ""
@@ -682,6 +682,18 @@ func registerDocs(reg *runtime.Registry) {
 			if uri, err = stringArg(args[0]); err != nil {
 				return nil, err
 			}
+		}
+		if ctx.Collections == nil {
+			// Only the streaming resolver is installed: drain it.
+			it, err := ctx.CollectionsIter(uri)
+			if err != nil {
+				return nil, fmt.Errorf("fn:collection(%q): %w", uri, err)
+			}
+			seq, err := xdm.Materialize(it)
+			if err != nil {
+				return nil, fmt.Errorf("fn:collection(%q): %w", uri, err)
+			}
+			return seq, nil
 		}
 		docs, err := ctx.Collections(uri)
 		if err != nil {

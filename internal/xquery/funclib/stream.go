@@ -170,6 +170,44 @@ func registerStreaming(reg *runtime.Registry) error {
 			return nil, false, nil
 		}), nil
 	}))
+	att(streamRange(reg, "collection", 0, 1, func(ctx *runtime.Context, args []xdm.Iter) (xdm.Iter, error) {
+		// The streaming fn:collection: with a CollectionIterResolver in
+		// the context (the sharded store's incremental shard merge), the
+		// documents flow one Next at a time, so collection($c)[1] pulls
+		// a single merge step instead of materialising the collection.
+		if ctx.Prog != nil && ctx.Prog.BlockDoc {
+			return nil, fmt.Errorf("fn:collection is blocked in the browser profile")
+		}
+		uri := ""
+		if len(args) == 1 {
+			seq, err := xdm.Materialize(args[0])
+			if err != nil {
+				return nil, err
+			}
+			if uri, err = stringArg(seq); err != nil {
+				return nil, err
+			}
+		}
+		if ctx.CollectionsIter != nil {
+			it, err := ctx.CollectionsIter(uri)
+			if err != nil {
+				return nil, fmt.Errorf("fn:collection(%q): %w", uri, err)
+			}
+			return it, nil
+		}
+		if ctx.Collections == nil {
+			return nil, fmt.Errorf("fn:collection: no collection resolver available")
+		}
+		docs, err := ctx.Collections(uri)
+		if err != nil {
+			return nil, fmt.Errorf("fn:collection(%q): %w", uri, err)
+		}
+		out := make(xdm.Sequence, len(docs))
+		for i, d := range docs {
+			out[i] = xdm.NewNode(d)
+		}
+		return xdm.FromSlice(out), nil
+	}))
 	return errors.Join(errs...)
 }
 

@@ -43,6 +43,13 @@ type DocResolver func(uri string) (*dom.Node, error)
 // ("" is the default collection).
 type CollectionResolver func(uri string) ([]*dom.Node, error)
 
+// CollectionIterResolver is the streaming form of CollectionResolver:
+// it resolves fn:collection URIs to lazy document iterators, so a
+// store that scans shards incrementally can hand the merge to the
+// engine one document at a time. When a Context carries both resolvers
+// the streaming fn:collection prefers this one.
+type CollectionIterResolver func(uri string) (xdm.Iter, error)
+
 // Hooks are the browser extension points (paper §4). A nil Hooks makes
 // the event/style expressions and browser: functions unavailable, which
 // is the correct server-side behaviour.
@@ -347,11 +354,14 @@ type Context struct {
 	// the document is easy and straightforward".
 	Ambient xdm.Item
 
-	// External interfaces.
-	Docs        DocResolver
-	Collections CollectionResolver
-	Hooks       Hooks
-	Now         time.Time
+	// External interfaces. CollectionsIter, when set, is the streaming
+	// source fn:collection pulls from; Collections stays the eager
+	// fallback (and the form the NoStream evaluator uses).
+	Docs            DocResolver
+	Collections     CollectionResolver
+	CollectionsIter CollectionIterResolver
+	Hooks           Hooks
+	Now             time.Time
 
 	// PUL accumulates update primitives; nil forbids updating
 	// expressions. SnapshotApply, when non-nil, is called after every

@@ -32,6 +32,14 @@
 //	            idempotent and published through Module.EnsurePlanned's
 //	            sync.Once before any concurrent read.
 //
+//	storesync   the shard lock discipline of the document store
+//	            (internal/xmldb): the raw shard state — the docs
+//	            revision map — is only touched inside shard.go, whose
+//	            methods uphold the mutex and MVCC publish rules. Every
+//	            other file of package xmldb (scans, commits, HTTP
+//	            handlers) must go through those methods; a stray
+//	            sh.docs[...] elsewhere bypasses the lock.
+//
 //	recovercheck  panic recovery only happens at sanctioned boundaries:
 //	            naked recover() calls are forbidden everywhere except
 //	            package xqerr (which implements RecoverInto), package
@@ -71,10 +79,10 @@ type finding struct {
 }
 
 func main() {
-	check := flag.String("check", "", "pass to run: progmutate, ctxstruct, idxversion, planpure or recovercheck")
+	check := flag.String("check", "", "pass to run: progmutate, ctxstruct, idxversion, planpure, storesync or recovercheck")
 	flag.Parse()
 	if *check == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: analyzers -check {progmutate|ctxstruct|idxversion|planpure|recovercheck} dir...")
+		fmt.Fprintln(os.Stderr, "usage: analyzers -check {progmutate|ctxstruct|idxversion|planpure|storesync|recovercheck} dir...")
 		os.Exit(2)
 	}
 
@@ -96,6 +104,8 @@ func main() {
 				findings = append(findings, idxVersion(fset, f)...)
 			case "planpure":
 				findings = append(findings, planPure(fset, f)...)
+			case "storesync":
+				findings = append(findings, storeSync(fset, f)...)
 			case "recovercheck":
 				findings = append(findings, recoverCheck(fset, f)...)
 			default:
@@ -535,6 +545,41 @@ done:
 		msg: fmt.Sprintf("planpure: write through *ast.%s (%s) in %s; the parsed AST is shared across runs — copy the node and modify the copy",
 			tn, id.Name, fn),
 	}}
+}
+
+// --- storesync ------------------------------------------------------------------
+
+// storeSync enforces the store's shard lock discipline: in package
+// xmldb, the shard's raw docs map (the URI → revision state behind the
+// shard mutex) may only be touched by shard.go, whose methods take the
+// lock and publish immutable revisions. Any selector named docs in
+// another file of the package is flagged — scans, commits and handlers
+// must use the shard methods (get/publish/remove/snapshotSorted), which
+// cannot skip the mutex or mutate a published revision. Other packages
+// cannot reach the unexported field, so the compiler already covers
+// them.
+func storeSync(fset *token.FileSet, file *ast.File) []finding {
+	if file.Name.Name != "xmldb" {
+		return nil
+	}
+	if filepath.Base(fset.Position(file.Package).Filename) == "shard.go" {
+		return nil
+	}
+	var out []finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "docs" {
+			out = append(out, finding{
+				pos: fset.Position(sel.Pos()),
+				msg: "storesync: raw shard docs-map access outside shard.go; use the shard methods, which uphold the lock and MVCC publish discipline",
+			})
+		}
+		return true
+	})
+	return out
 }
 
 // --- recovercheck ---------------------------------------------------------------

@@ -160,6 +160,52 @@ func ok(ctx context.Context) {}
 	}
 }
 
+func analyzeNamed(t *testing.T, name, src string, pass func(*token.FileSet, *ast.File) []finding) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pass(fset, f)
+}
+
+func TestStoreSyncFlagsRawMapAccessOutsideShardFile(t *testing.T) {
+	src := `package xmldb
+func (s *Store) sneak(uri string) bool {
+	sh := s.shardFor(uri)
+	_, ok := sh.docs[uri]
+	return ok
+}
+`
+	if got := analyzeNamed(t, "docs.go", src, storeSync); len(got) != 1 {
+		t.Fatalf("findings = %v, want 1", got)
+	}
+}
+
+func TestStoreSyncAllowsShardFileAndOtherPackages(t *testing.T) {
+	shardSrc := `package xmldb
+func (sh *shard) get(uri string) bool { _, ok := sh.docs[uri]; return ok }
+`
+	if got := analyzeNamed(t, "shard.go", shardSrc, storeSync); len(got) != 0 {
+		t.Fatalf("shard.go findings = %v, want none", got)
+	}
+	otherPkg := `package serve
+type q struct{ docs map[string]int }
+func (x *q) n() int { return len(x.docs) }
+`
+	if got := analyzeNamed(t, "pool.go", otherPkg, storeSync); len(got) != 0 {
+		t.Fatalf("other-package findings = %v, want none", got)
+	}
+	// A similarly named field (docsServed) is not the shard map.
+	statsSrc := `package xmldb
+func (s *Store) bump() { s.Stats.docsServed.Add(1) }
+`
+	if got := analyzeNamed(t, "http.go", statsSrc, storeSync); len(got) != 0 {
+		t.Fatalf("docsServed findings = %v, want none", got)
+	}
+}
+
 func TestRecoverCheckFlagsNakedRecover(t *testing.T) {
 	src := `package serve
 func (s *Session) runTurn() (err error) {

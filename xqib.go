@@ -277,6 +277,17 @@ var (
 	// ErrQuarantined matches evaluations refused because the program
 	// panicked QuarantineThreshold times in a row through one cache.
 	ErrQuarantined = xquery.ErrQuarantined
+	// ErrNoCollection matches store reads or writes addressing a
+	// hierarchical collection that does not exist.
+	ErrNoCollection = xmldb.ErrNoCollection
+	// ErrDocNotFound matches store reads of an absent document URI.
+	ErrDocNotFound = xmldb.ErrDocNotFound
+	// ErrStoreClosed matches operations on a closed (or poisoned)
+	// store.
+	ErrStoreClosed = xmldb.ErrStoreClosed
+	// ErrConflict matches an updating query that lost a first-
+	// committer-wins race on its target document.
+	ErrConflict = xmldb.ErrConflict
 )
 
 // --- serving layer --------------------------------------------------------------
@@ -375,10 +386,59 @@ var (
 	NewModuleServerCached = rest.NewModuleServerCached
 )
 
-// XMLStore is the REST-accessible XML database (the paper's XMLDB).
+// --- document store -------------------------------------------------------------
+
+// Store is the persistent sharded collection store (the paper's XMLDB
+// grown into a durable database): hierarchical collections, MVCC
+// reads, snapshot + redo-log durability, and parallel sharded
+// collection scans. StoreOption configures OpenStore; StoreStats is
+// the store's counter snapshot.
+type (
+	Store       = xmldb.Store
+	StoreOption = xmldb.Option
+	StoreStats  = xmldb.StatsSnapshot
+)
+
+// XMLStore is the pre-redesign name for the document store.
+//
+// Deprecated: use Store — the same type, under the storage-API name.
 type XMLStore = xmldb.Store
 
-// NewXMLStore creates an empty store.
+// OpenStore opens (or creates) a document store rooted at dir,
+// recovering state from the snapshot and redo log if present. An empty
+// dir opens an ephemeral in-memory store with no durability.
+var OpenStore = xmldb.Open
+
+// Store options: shard count for parallel collection scans, fsync
+// policy for the redo log, and automatic checkpoint cadence.
+var (
+	WithShards          = xmldb.WithShards
+	WithSyncWrites      = xmldb.WithSyncWrites
+	WithCheckpointEvery = xmldb.WithCheckpointEvery
+)
+
+// WithStore binds a document store to the facade constructors: on an
+// engine (or every script engine of a loaded page) it routes fn:doc
+// and fn:collection through the store — replacing the browser
+// profile's blocked-network fetch with trusted storage reads — and on
+// a serving pool bind the store through PoolConfig.Store instead.
+func WithStore(st *Store) Option {
+	return Option{
+		engine: []xquery.Option{
+			xquery.WithDocResolver(st.Resolver()),
+			xquery.WithCollectionResolver(st.CollectionResolver()),
+			xquery.WithCollectionIterResolver(st.CollectionIterResolver()),
+		},
+		host: []core.Option{
+			core.WithStoreResolvers(st.Resolver(), st.CollectionResolver(), st.CollectionIterResolver()),
+		},
+	}
+}
+
+// NewXMLStore creates an empty in-memory store.
+//
+// Deprecated: use OpenStore — OpenStore("") is the in-memory
+// equivalent, and a directory argument adds durability.
 var NewXMLStore = xmldb.NewStore
 
 // FormatSequence renders a sequence for display: nodes as XML, atomics

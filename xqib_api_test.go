@@ -102,6 +102,89 @@ func TestSentinelErrorsThroughFacade(t *testing.T) {
 	}
 }
 
+// WithStore routes fn:doc and fn:collection through the persistent
+// store on both facade constructors — including page scripts, where
+// the browser profile would otherwise block fn:doc entirely.
+func TestWithStoreBothConstructors(t *testing.T) {
+	st, err := xqib.OpenStore(t.TempDir(), xqib.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.CreateCollection("/db/inv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutXML("/db/inv/a.xml", `<item n="1"/>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutXML("/db/inv/b.xml", `<item n="2"/>`); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := xqib.WithStore(st)
+
+	e := xqib.NewEngine(opt)
+	seq, err := e.EvalQuery(`count(collection("/db/inv"))`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xqib.FormatSequence(seq); got != "2" {
+		t.Errorf("engine collection count = %s, want 2", got)
+	}
+
+	h, err := xqib.LoadPage(`<html><head><script type="text/xquery">
+		browser:alert(string(doc("/db/inv/a.xml")/item/@n))
+	</script></head><body/></html>`, "http://example.com/", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := h.Alerts(); len(a) != 1 || a[0] != "1" {
+		t.Errorf("page alerts = %v", a)
+	}
+}
+
+// OpenStore durability: documents written before Close are readable
+// after reopening the same directory, and the store sentinels are
+// reachable with errors.Is through the facade.
+func TestOpenStoreRecoveryAndSentinels(t *testing.T) {
+	dir := t.TempDir()
+	st, err := xqib.OpenStore(dir, xqib.WithCheckpointEvery(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateCollection("/db"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutXML("/db/x.xml", `<x/>`); err != nil {
+		t.Fatal(err)
+	}
+
+	// ErrDocNotFound / ErrNoCollection on absent targets.
+	if _, err := st.Doc("/db/nope.xml"); !errors.Is(err, xqib.ErrDocNotFound) {
+		t.Errorf("doc err = %v, want ErrDocNotFound", err)
+	}
+	if _, err := st.Collection("/db/nope"); !errors.Is(err, xqib.ErrNoCollection) {
+		t.Errorf("collection err = %v, want ErrNoCollection", err)
+	}
+
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ErrStoreClosed after Close.
+	if err := st.PutXML("/db/y.xml", `<y/>`); !errors.Is(err, xqib.ErrStoreClosed) {
+		t.Errorf("closed err = %v, want ErrStoreClosed", err)
+	}
+
+	st2, err := xqib.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := st2.Doc("/db/x.xml"); err != nil {
+		t.Errorf("after reopen: %v", err)
+	}
+}
+
 // RunConfig.Context and EvalQueryContext thread cancellation through
 // the facade types.
 func TestFacadeContextCancellation(t *testing.T) {
