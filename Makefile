@@ -19,16 +19,22 @@ ci: fmt-check vet vet-invariants build race chaos lint bench-smoke staticcheck g
 # context.Context in a struct, only internal/dom/index reads the
 # per-document index maps / raw cache slots (always behind the version
 # stamp), the optimizer/closure-compiler never mutate shared AST
-# nodes (rewrites must copy), and the store's raw shard state is only
-# touched by shard.go's lock-upholding methods. Stdlib-only stand-ins
-# for the `go vet -vettool` analyzers, which would need
-# golang.org/x/tools.
+# nodes (rewrites must copy), the store's raw shard state is only
+# touched by shard.go's lock-upholding methods, and DOM mutation in the
+# query/serving layers only happens through the pending-update list.
+# Stdlib-only stand-ins for the `go vet -vettool` analyzers, which
+# would need golang.org/x/tools.
 vet-invariants:
 	$(GO) run ./tools/analyzers -check progmutate internal/xquery internal/xquery/runtime
 	$(GO) run ./tools/analyzers -check ctxstruct internal/serve internal/rest
 	$(GO) run ./tools/analyzers -check idxversion internal/dom/index internal/dom internal/xquery/runtime internal/xquery/funclib internal/serve
 	$(GO) run ./tools/analyzers -check planpure internal/xquery/plan internal/xquery/compile
 	$(GO) run ./tools/analyzers -check storesync internal/xmldb
+	$(GO) run ./tools/analyzers -check pulapply internal/serve internal/rest \
+		internal/fulltext internal/xmldb internal/dom/index internal/xdm \
+		internal/xquery internal/xquery/plan internal/xquery/compile \
+		internal/xquery/analysis internal/xquery/funclib internal/xquery/parser \
+		internal/xquery/ast internal/xquery/lexer
 	$(GO) run ./tools/analyzers -check recovercheck $(shell $(GO) list -f '{{.Dir}}' ./...)
 
 # Static analysis of the shipped example programs: every embedded
@@ -82,19 +88,23 @@ bench:
 	$(GO) run ./cmd/benchpath -check -out BENCH_pathindex.json
 	$(GO) run ./cmd/benchcompile -check -out BENCH_compile.json
 	$(GO) run ./cmd/benchstore -check -out BENCH_store.json
+	$(GO) run ./cmd/benchpul -check -out BENCH_pul.json
 
 # Cheap CI gates: one iteration per serving scenario (cache/metrics
 # accounting stays exact), a short fixed-iteration path-index run
 # (indexed //x at least 5x faster than the scan, identical results),
 # the compile-backend gate (FLWOR-heavy compiled runs at least 2x
-# faster than the walker, identical results from both backends), and
-# the store gate (4-shard parallel collection scan at least 2x faster
-# than 1 shard, identical document sets).
+# faster than the walker, identical results from both backends), the
+# store gate (4-shard parallel collection scan at least 2x faster than
+# 1 shard, identical document sets), and the update gate (partitioned
+# parallel PUL apply at least 2x faster than serial, identical
+# documents).
 bench-smoke:
 	$(GO) run ./cmd/benchserve -smoke -out BENCH_serve.json
 	$(GO) run ./cmd/benchpath -smoke -out BENCH_pathindex.json
 	$(GO) run ./cmd/benchcompile -smoke -out BENCH_compile.json
 	$(GO) run ./cmd/benchstore -smoke -out BENCH_store.json
+	$(GO) run ./cmd/benchpul -smoke -out BENCH_pul.json
 
 experiments:
 	$(GO) run ./cmd/experiments

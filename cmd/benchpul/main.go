@@ -1,0 +1,223 @@
+// Command benchpul measures the parallel pending-update-list apply and
+// writes a machine-readable snapshot (BENCH_pul.json by default):
+//
+//	benchpul -out BENCH_pul.json          # full timed run
+//	benchpul -check                       # also assert parallel wins >=2x
+//	benchpul -smoke                       # short fixed-iteration run (CI gate)
+//
+// Scenarios:
+//
+//	apply_serial      one event-dispatch mutation batch applied on the
+//	                  single-goroutine path (PUL.Apply) — the baseline
+//	apply_parallel    the same batch through the FLUX-style partitioner
+//	                  (PUL.ApplyParallel): independent widget subtrees
+//	                  apply on a bounded worker pool
+//
+// The batch models a dispatch turn of a widget-heavy page: every
+// widget's listener queues an insert (event log entry), a replace-value
+// (counter) and a rename (state class) against its own subtree. Each
+// primitive charges a fixed stall (-stall, default 200µs) through the
+// update.apply faultpoint, modelling the per-primitive work a real
+// apply pays — listener bookkeeping, style invalidation, downstream
+// notification. The partitioner proves the widget subtrees disjoint and
+// overlaps those stalls across workers, so the win holds on any
+// machine, single-core CI included; -check and -smoke assert it at
+// >=2x along with byte-identical documents from both paths.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/dom"
+	"repro/internal/faultpoint"
+	"repro/internal/markup"
+	"repro/internal/xquery/update"
+)
+
+// smokeIters is the fixed per-scenario iteration count for -smoke: one
+// op is milliseconds-scale (prims x stall / workers), so a handful of
+// iterations gives a stable ratio without long wall time.
+const smokeIters = 8
+
+type result struct {
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"`
+}
+
+type snapshot struct {
+	Timestamp  string   `json:"timestamp"`
+	GoVersion  string   `json:"go_version"`
+	Smoke      bool     `json:"smoke"`
+	Widgets    int      `json:"widgets"`
+	Primitives int      `json:"primitives"`
+	StallNs    int64    `json:"stall_ns"`
+	Scenarios  []result `json:"scenarios"`
+	Speedup    float64  `json:"speedup"`
+}
+
+// buildPage parses a page with n independent widget subtrees.
+func buildPage(n int) (*dom.Node, error) {
+	src := "<app>"
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf(`<widget id="w%d"><count>0</count><label>idle</label></widget>`, i)
+	}
+	src += "</app>"
+	return markup.Parse(src)
+}
+
+// buildBatch assembles the dispatch turn's PUL: three primitives per
+// widget, each confined to that widget's subtree so the partitioner
+// can prove the groups independent.
+func buildBatch(doc *dom.Node, widgets int) (*update.PUL, error) {
+	app := doc.DocumentElement()
+	pul := &update.PUL{}
+	for i, w := range app.Children() {
+		if i >= widgets {
+			break
+		}
+		var count, label *dom.Node
+		for _, c := range w.Children() {
+			switch c.Name.Local {
+			case "count":
+				count = c
+			case "label":
+				label = c
+			}
+		}
+		for _, pr := range []update.Primitive{
+			{Kind: update.InsertIntoLast, Target: w,
+				Content: []*dom.Node{dom.NewElement(dom.QName{Local: "evt"})}},
+			{Kind: update.ReplaceValue, Target: count, Value: "1"},
+			{Kind: update.Rename, Target: label, Name: dom.QName{Local: "status"}},
+		} {
+			if err := pul.Add(pr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pul, nil
+}
+
+// applyOnce builds a fresh page plus batch and applies it on the given
+// path, returning the post-apply serialization for the correctness
+// gate.
+func applyOnce(widgets int, parallel bool) (string, error) {
+	doc, err := buildPage(widgets)
+	if err != nil {
+		return "", err
+	}
+	pul, err := buildBatch(doc, widgets)
+	if err != nil {
+		return "", err
+	}
+	if parallel {
+		err = pul.ApplyParallel(nil, update.ParallelConfig{})
+	} else {
+		err = pul.Apply(nil)
+	}
+	if err != nil {
+		return "", err
+	}
+	return markup.Serialize(doc), nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pul.json", "snapshot output file")
+	smoke := flag.Bool("smoke", false, "short fixed-iteration run (CI regression gate)")
+	check := flag.Bool("check", false, "assert the parallel apply is >=2x faster than serial")
+	widgets := flag.Int("widgets", 16, "independent widget subtrees in the page")
+	stall := flag.Duration("stall", 200*time.Microsecond, "modelled per-primitive apply cost")
+	flag.Parse()
+
+	// Correctness gate before any timing: both paths must produce the
+	// identical document.
+	serialDoc, err := applyOnce(*widgets, false)
+	if err != nil {
+		fatal(err)
+	}
+	parallelDoc, err := applyOnce(*widgets, true)
+	if err != nil {
+		fatal(err)
+	}
+	if serialDoc != parallelDoc {
+		fatal(fmt.Errorf("documents differ between apply paths:\nserial:   %s\nparallel: %s",
+			serialDoc, parallelDoc))
+	}
+
+	snap := snapshot{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Smoke:      *smoke,
+		Widgets:    *widgets,
+		Primitives: 3 * *widgets,
+		StallNs:    stall.Nanoseconds(),
+	}
+
+	// The stall charges every primitive through the same faultpoint the
+	// chaos suite injects into, on both paths.
+	faultpoint.Enable(faultpoint.PointUpdateApply, faultpoint.Delay(*stall))
+	defer faultpoint.Reset()
+
+	perOp := map[string]int64{}
+	for _, sc := range []struct {
+		name     string
+		parallel bool
+	}{
+		{"apply_serial", false},
+		{"apply_parallel", true},
+	} {
+		var r result
+		if *smoke {
+			start := time.Now()
+			for i := 0; i < smokeIters; i++ {
+				if _, err := applyOnce(*widgets, sc.parallel); err != nil {
+					fatal(fmt.Errorf("%s: %w", sc.name, err))
+				}
+			}
+			r = result{Name: sc.name, Iterations: smokeIters,
+				NsPerOp: time.Since(start).Nanoseconds() / smokeIters}
+		} else {
+			br := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := applyOnce(*widgets, sc.parallel); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			r = result{Name: sc.name, Iterations: br.N, NsPerOp: br.NsPerOp()}
+		}
+		perOp[sc.name] = r.NsPerOp
+		snap.Scenarios = append(snap.Scenarios, r)
+	}
+
+	if perOp["apply_parallel"] > 0 {
+		snap.Speedup = float64(perOp["apply_serial"]) / float64(perOp["apply_parallel"])
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchpul: wrote %s (%d scenarios, parallel apply speedup %.1fx)\n",
+		*out, len(snap.Scenarios), snap.Speedup)
+
+	if (*check || *smoke) && snap.Speedup < 2 {
+		fatal(fmt.Errorf("parallel apply speedup %.2fx over serial, want >= 2x", snap.Speedup))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchpul:", err)
+	os.Exit(1)
+}

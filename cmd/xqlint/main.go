@@ -178,10 +178,18 @@ func parseDiag(err error) analysis.Diagnostic {
 	return d
 }
 
+// hasFailure decides the exit status: errors always fail, warnings fail
+// under -werror, and notes (advisory findings like the XQ0404
+// independence count) never fail.
 func hasFailure(diags []fileDiag, werror bool) bool {
 	for _, d := range diags {
-		if d.Severity == analysis.SevError || werror {
+		switch d.Severity {
+		case analysis.SevError:
 			return true
+		case analysis.SevWarning:
+			if werror {
+				return true
+			}
 		}
 	}
 	return false

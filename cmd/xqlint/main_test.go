@@ -157,3 +157,41 @@ func TestExamplesStayClean(t *testing.T) {
 		t.Errorf("examples lint dirty (exit %d):\n%s", code, out)
 	}
 }
+
+// TestUpdateIndependenceCodes drives the XQ04xx pass through the CLI:
+// dead updates and no-op deletes warn, guaranteed conflicts error, and
+// the independence note reports the group count without ever failing
+// the run — not even under -werror.
+func TestUpdateIndependenceCodes(t *testing.T) {
+	dead := writeFile(t, "dead.xq",
+		"insert node <x/> into /app/cart,\nreplace node /app/cart with <cart/>")
+	if code, out := runLint(t, dead); code != 0 || !strings.Contains(out, "XQ0401") {
+		t.Errorf("dead update: exit = %d, output = %q", code, out)
+	}
+	if code, _ := runLint(t, "-werror", dead); code != 1 {
+		t.Errorf("dead update -werror: exit != 1")
+	}
+
+	deadDel := writeFile(t, "deaddel.xq",
+		"replace node /app/cart with <cart/>,\ndelete node /app/cart")
+	if code, out := runLint(t, deadDel); code != 0 || !strings.Contains(out, "XQ0402") {
+		t.Errorf("dead delete: exit = %d, output = %q", code, out)
+	}
+
+	conflict := writeFile(t, "conflict.xq",
+		"replace value of node /app/title with 'a',\nreplace value of node /app/title with 'b'")
+	if code, out := runLint(t, conflict); code != 1 || !strings.Contains(out, "error XQ0403") {
+		t.Errorf("conflict: exit = %d, output = %q; want exit 1", code, out)
+	}
+
+	groups := writeFile(t, "groups.xq",
+		"replace value of node /app/title with 'x',\nrename node /app/menu as 'nav',\ninsert node <i/> into /app/cart")
+	code, out := runLint(t, groups)
+	if code != 0 || !strings.Contains(out, "note XQ0404: update independence: 3 independent update groups") {
+		t.Errorf("groups: exit = %d, output = %q", code, out)
+	}
+	// Advisory notes must not flip the exit status under -werror.
+	if code, _ := runLint(t, "-werror", groups); code != 0 {
+		t.Errorf("note under -werror: exit = %d, want 0", code)
+	}
+}

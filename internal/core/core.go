@@ -399,17 +399,24 @@ func (h *Host) runMain(pp *pageProgram) error {
 // pending updates, routing window-tree write-backs to the browser. It
 // is the host's evaluation boundary: a panicking query or listener
 // recovers into an error matching xqerr.ErrInternal, and a mid-apply
-// update failure rolls the page back (PUL.Apply is atomic), so the
-// host survives both with a consistent DOM.
+// update failure rolls the page back (the apply is atomic), so the
+// host survives both with a consistent DOM. Applies run through the
+// update-independence partitioner with elimination off: the host keeps
+// long-lived references into the page tree (listener targets, the
+// window tree), so detached subtrees stay exactly as the serial order
+// leaves them.
 func (h *Host) finish(ctx *runtime.Context, eval func() (xdm.Sequence, error)) (val xdm.Sequence, err error) {
 	defer xqerr.RecoverInto(&err, "core.Host.finish")
-	ctx.SnapshotApply = func(pul *update.PUL) error { return pul.Apply(h.onUpdate) }
+	applyBatch := func(pul *update.PUL) error {
+		return pul.ApplyParallel(h.onUpdate, update.ParallelConfig{})
+	}
+	ctx.SnapshotApply = applyBatch
 	val, err = eval()
 	if err != nil {
 		return nil, err
 	}
 	if ctx.PUL != nil && !ctx.PUL.Empty() {
-		if err := ctx.PUL.Apply(h.onUpdate); err != nil {
+		if err := applyBatch(ctx.PUL); err != nil {
 			return nil, err
 		}
 	}

@@ -98,7 +98,12 @@ type Node struct {
 	// matches stampVersion.
 	stamp        uint64
 	stampVersion uint64
-	version      uint64 // on document nodes: bumped on every mutation
+	// version is the root node's mutation counter, bumped on every
+	// mutation of its tree. It is atomic so independent update groups
+	// (internal/xquery/update's parallel apply) may mutate disjoint
+	// subtrees of one tree concurrently: the counter is the only field
+	// those groups share.
+	version atomic.Uint64
 
 	// indexCache holds the version-stamped index of the tree rooted at
 	// this node (see internal/dom/index); meaningful on roots only.

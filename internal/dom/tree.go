@@ -9,7 +9,7 @@ import "fmt"
 
 func (n *Node) bumpVersion() {
 	if r := n.Root(); r != nil {
-		r.version++
+		r.version.Add(1)
 	}
 }
 
@@ -316,7 +316,7 @@ func CompareOrder(a, b *Node) int {
 	}
 	// Same tree: lazily stamp the tree in document order; stamps are
 	// cached until the next mutation.
-	if a.stampVersion != ra.version+1 || b.stampVersion != ra.version+1 {
+	if v := ra.version.Load() + 1; a.stampVersion != v || b.stampVersion != v {
 		stampTree(ra)
 	}
 	switch {
@@ -330,7 +330,7 @@ func CompareOrder(a, b *Node) int {
 }
 
 func stampTree(root *Node) {
-	v := root.version + 1
+	v := root.version.Load() + 1
 	var n uint64
 	var visit func(*Node)
 	visit = func(x *Node) {

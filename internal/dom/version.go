@@ -5,7 +5,7 @@ package dom
 // derivation of the tree (the document-order stamps here, the
 // per-document indexes in internal/dom/index) is valid exactly while
 // the version it was built at still matches.
-func (n *Node) Version() uint64 { return n.Root().version }
+func (n *Node) Version() uint64 { return n.Root().version.Load() }
 
 // versionRestoreHooks run whenever RestoreVersion rewinds a tree's
 // counter. Registered at init time only (internal/dom/index installs
@@ -29,7 +29,7 @@ func OnVersionRestore(f func(root *Node)) {
 // index built during the rolled-back window.
 func (n *Node) RestoreVersion(v uint64) {
 	root := n.Root()
-	root.version = v
+	root.version.Store(v)
 	stampTree(root)
 	for _, f := range versionRestoreHooks {
 		f(root)

@@ -97,6 +97,11 @@ type Metrics struct {
 	// process-wide (internal/dom/index keeps global atomics), not
 	// per-pool: two pools in one process report the same numbers.
 	Index IndexStats `json:"index"`
+	// Updates is the update-independence partitioner's counters
+	// (process-wide, like Index): how many dead primitives were
+	// eliminated, how many independent groups applied, and how many
+	// applies ran groups concurrently.
+	Updates UpdateStats `json:"updates"`
 	// Failures is the resilience layer's snapshot: every degraded-mode
 	// mechanism reports here, so "is the pool absorbing faults" is one
 	// poll away.
@@ -128,6 +133,17 @@ type FailureStats struct {
 	// crashed xquery.QuarantineThreshold times in a row (mirrors
 	// Cache.Quarantined).
 	Quarantined int64 `json:"quarantined"`
+}
+
+// UpdateStats mirrors update.Stats with JSON tags: Eliminated counts
+// dead update primitives dropped before apply, Groups counts
+// independent groups applied (Groups over total applies is the mean
+// partition width), and ParallelApplies counts PUL applications that
+// ran at least two groups concurrently.
+type UpdateStats struct {
+	Eliminated      int64 `json:"eliminated"`
+	Groups          int64 `json:"groups"`
+	ParallelApplies int64 `json:"parallel_applies"`
 }
 
 // IndexStats mirrors index.Stats with JSON tags: Builds counts index

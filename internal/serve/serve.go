@@ -71,6 +71,11 @@ type Config struct {
 	// xquery.ErrAnalysisFailed, never enter the shared program cache,
 	// and are counted in Metrics.QueriesRejected.
 	Strict bool
+	// SerialUpdates applies every query's pending update list strictly
+	// serially, bypassing the update-independence partitioner — the
+	// differential/debugging escape hatch of RunConfig.SerialUpdates,
+	// pool-wide.
+	SerialUpdates bool
 	// MaxQueue bounds each session's event-loop queue: a Do (or
 	// Click/Keyup/Dispatch) arriving while MaxQueue turns are already
 	// running or waiting on that session is shed immediately with
@@ -335,11 +340,12 @@ func (p *Pool) Eval(ctx context.Context, src string, contextDoc *dom.Node) (seq 
 	default:
 	}
 	cfg := xquery.RunConfig{
-		Context:    ctx,
-		Sequential: true,
-		MaxSteps:   p.cfg.MaxSteps,
-		Timeout:    p.cfg.Timeout,
-		Strict:     p.cfg.Strict,
+		Context:       ctx,
+		Sequential:    true,
+		MaxSteps:      p.cfg.MaxSteps,
+		Timeout:       p.cfg.Timeout,
+		Strict:        p.cfg.Strict,
+		SerialUpdates: p.cfg.SerialUpdates,
 	}
 	if st := p.cfg.Store; st != nil {
 		cfg.Docs = st.Resolver()
@@ -418,6 +424,7 @@ func (p *Pool) Metrics() Metrics {
 		Dispatches:       p.dispatches.snapshot(),
 		Cache:            cache,
 		Index:            indexStats(),
+		Updates:          updateStats(),
 		Failures: FailureStats{
 			PanicsRecovered: xqerr.Recovered(),
 			Rollbacks:       update.Rollbacks(),
@@ -432,4 +439,14 @@ func (p *Pool) Metrics() Metrics {
 func indexStats() IndexStats {
 	s := index.Snapshot()
 	return IndexStats{Builds: s.Builds, Hits: s.Hits}
+}
+
+// updateStats snapshots the process-wide update-partition counters.
+func updateStats() UpdateStats {
+	s := update.Snapshot()
+	return UpdateStats{
+		Eliminated:      s.Eliminated,
+		Groups:          s.Groups,
+		ParallelApplies: s.ParallelApplies,
+	}
 }

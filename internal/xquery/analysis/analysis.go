@@ -54,6 +54,14 @@ type Result struct {
 	// runtime budget (runtime.ErrBudgetExceeded fires on MaxSteps of
 	// these).
 	EstimatedSteps int64
+	// UpdateGroups is the update-independence analysis' group count:
+	// the largest number of provably independent update groups any one
+	// snapshot's straight-line updating sequence splits into (0 when no
+	// sequence was summarisable, 1 when no independence was provable).
+	// It feeds the cost picture next to EstimatedSteps: the runtime's
+	// parallel PUL apply overlaps per-primitive stalls across this many
+	// groups (see internal/xquery/update's partitioner).
+	UpdateGroups int
 }
 
 // HasErrors reports whether any diagnostic is error-severity.
@@ -175,6 +183,9 @@ func Analyze(m *ast.Module, cfg Config) *Result {
 			}
 			c.walk(f.Body, fs, upd)
 			c.reportUnused(fs)
+			if f.Updating || f.Sequential {
+				c.checkUpdateSnapshots(f.Body)
+			}
 		}
 	}
 
@@ -183,6 +194,7 @@ func Analyze(m *ast.Module, cfg Config) *Result {
 		c.walk(m.Body, body, updAllowed)
 		c.reportUnused(body)
 		est = satAdd(est, c.estimate(m.Body))
+		c.checkUpdateSnapshots(m.Body)
 	}
 	c.reportUnused(globals)
 
@@ -190,7 +202,7 @@ func Analyze(m *ast.Module, cfg Config) *Result {
 		c.diags = append(c.diags, d)
 	}
 	sortDiags(c.diags)
-	return &Result{Diagnostics: c.diags, EstimatedSteps: est}
+	return &Result{Diagnostics: c.diags, EstimatedSteps: est, UpdateGroups: c.updateGroups}
 }
 
 // checker carries the state shared by the passes.
@@ -203,6 +215,10 @@ type checker struct {
 
 	estMemo map[*ast.FuncDecl]int64
 	estBusy map[*ast.FuncDecl]bool
+
+	// updateGroups is the largest independent-group count any snapshot's
+	// effect analysis proved (see effects.go / Result.UpdateGroups).
+	updateGroups int
 }
 
 func (c *checker) report(code string, sev Severity, at ast.Pos, format string, args ...any) {

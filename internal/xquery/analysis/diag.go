@@ -9,19 +9,25 @@ import (
 // Severity classifies a diagnostic. Errors describe programs that are
 // statically known to fail (or be rejected) at runtime and block
 // admission to the program cache under Strict mode; warnings describe
-// suspicious-but-runnable constructs.
+// suspicious-but-runnable constructs; notes are purely advisory
+// findings (they never fail a lint run, not even under -werror).
 type Severity int
 
-// The two severities.
+// The severities. SevNote is ordered after SevError so the existing
+// warning/error values (and their JSON forms) stay stable.
 const (
 	SevWarning Severity = iota
 	SevError
+	SevNote
 )
 
-// String returns "warning" or "error".
+// String returns "warning", "error" or "note".
 func (s Severity) String() string {
-	if s == SevError {
+	switch s {
+	case SevError:
 		return "error"
+	case SevNote:
+		return "note"
 	}
 	return "warning"
 }
@@ -38,9 +44,12 @@ func (s *Severity) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &str); err != nil {
 		return err
 	}
-	if str == "error" {
+	switch str {
+	case "error":
 		*s = SevError
-	} else {
+	case "note":
+		*s = SevNote
+	default:
 		*s = SevWarning
 	}
 	return nil
@@ -70,6 +79,14 @@ const (
 	CodeWindowUpdateKind = "XQ0204" // non-replace-value update on the window tree
 
 	CodeCostBudget = "XQ0301" // estimated steps exceed the configured budget
+
+	// Update-independence checks (XQ04xx): FLUX-style effect summaries
+	// over straight-line updating sequences with statically stable
+	// target paths (see effects.go).
+	CodeDeadUpdate     = "XQ0401" // update confined to a subtree detached in the same snapshot
+	CodeDeadDelete     = "XQ0402" // delete of a target already replaced/deleted in the same snapshot
+	CodeUpdateConflict = "XQ0403" // guaranteed-conflicting updates on one target path
+	CodeUpdateGroups   = "XQ0404" // advisory: number of independent update groups
 )
 
 // Diagnostic is one analyzer finding, tied to a source position.

@@ -84,6 +84,8 @@ func TestGoldenCoversAllCodes(t *testing.T) {
 		analysis.CodeUpdateInPure, analysis.CodeDocBlocked, analysis.CodePutBlocked,
 		analysis.CodeReadOnlyWindow, analysis.CodeWindowUpdateKind,
 		analysis.CodeCostBudget,
+		analysis.CodeDeadUpdate, analysis.CodeDeadDelete,
+		analysis.CodeUpdateConflict, analysis.CodeUpdateGroups,
 	}
 	files, _ := filepath.Glob(filepath.Join("testdata", "*.diag"))
 	seen := map[string]bool{}

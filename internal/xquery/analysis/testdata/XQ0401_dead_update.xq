@@ -1,0 +1,2 @@
+insert node <item/> into /app/cart,
+replace node /app/cart with <cart/>

@@ -1,0 +1,2 @@
+replace node /app/cart with <cart/>,
+delete node /app/cart

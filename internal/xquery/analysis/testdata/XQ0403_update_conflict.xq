@@ -1,0 +1,2 @@
+replace value of node /app/title with "first",
+replace value of node /app/title with "second"

@@ -1,0 +1,3 @@
+replace value of node /app/title with "t",
+rename node /app/menu as "nav",
+insert node <item/> into /app/cart

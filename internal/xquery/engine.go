@@ -201,6 +201,20 @@ type (
 	Severity   = analysis.Severity
 )
 
+// The analyzer severities and the update-independence diagnostic codes,
+// re-exported alongside Diagnostic so facade callers can filter
+// Result.Diagnostics without importing the analysis package.
+const (
+	SevWarning = analysis.SevWarning
+	SevError   = analysis.SevError
+	SevNote    = analysis.SevNote
+
+	CodeDeadUpdate     = analysis.CodeDeadUpdate
+	CodeDeadDelete     = analysis.CodeDeadDelete
+	CodeUpdateConflict = analysis.CodeUpdateConflict
+	CodeUpdateGroups   = analysis.CodeUpdateGroups
+)
+
 // ErrAnalysisFailed matches (via errors.Is) every *AnalysisError: a
 // program rejected by the static analyzer under Strict mode.
 var ErrAnalysisFailed = errors.New("xquery: static analysis failed")
@@ -350,15 +364,42 @@ type RunConfig struct {
 	// instead of rolling the documents back. Escape hatch for hosts
 	// that relied on the pre-rollback behaviour; see PUL.ApplyNonAtomic.
 	NonAtomicUpdates bool
+	// SerialUpdates applies pending update lists strictly serially,
+	// bypassing the update-independence partitioner (PUL.ApplyParallel).
+	// The serial path is the differential oracle for the parallel one;
+	// results are byte-identical either way, so this is a debugging and
+	// benchmarking escape hatch, not a correctness switch.
+	SerialUpdates bool
 }
 
 // applyPUL applies a pending update list honouring the run's atomicity
-// setting.
+// and parallelism settings.
 func (cfg *RunConfig) applyPUL(pul *update.PUL, onChange func(update.Primitive)) error {
-	if cfg.NonAtomicUpdates {
+	return cfg.applyPULEliminate(pul, onChange, false)
+}
+
+// applyPULEliminate is applyPUL with the observability-gated
+// dead-update elimination switched by the caller: only the final apply
+// of a fresh, non-sequential Run whose result and external variables
+// carry no node items may set eliminate (see finishRun), because
+// elimination changes the state of detached subtrees.
+func (cfg *RunConfig) applyPULEliminate(pul *update.PUL, onChange func(update.Primitive), eliminate bool) error {
+	switch {
+	case cfg.NonAtomicUpdates:
 		return pul.ApplyNonAtomic(onChange)
+	case cfg.SerialUpdates:
+		return pul.Apply(onChange)
 	}
-	return pul.Apply(onChange)
+	var stats update.ApplyStats
+	err := pul.ApplyParallel(onChange, update.ParallelConfig{Eliminate: eliminate, Stats: &stats})
+	if cfg.Profiler != nil {
+		cfg.Profiler.AddUpdates("groups", int64(stats.Groups))
+		cfg.Profiler.AddUpdates("eliminated", int64(stats.Eliminated))
+		if stats.Parallel {
+			cfg.Profiler.AddUpdates("parallel", 1)
+		}
+	}
+	return err
 }
 
 // ErrBudgetExceeded matches (via errors.Is) the error returned when a
@@ -458,7 +499,7 @@ func (p *Program) Run(cfg RunConfig) (*Result, error) {
 			cfg.Profiler.AddRewrites("join", int64(st.Joins))
 		}
 	}
-	res, err := finishRun(ctx, cfg, eval)
+	res, err := finishRun(ctx, cfg, eval, true)
 	if err != nil {
 		return nil, err
 	}
@@ -467,17 +508,20 @@ func (p *Program) Run(cfg RunConfig) (*Result, error) {
 }
 
 // RunWith evaluates using a prepared context (listener dispatch path).
+// The context is reused across calls, so dead-update elimination stays
+// off: earlier calls may have handed out node references the host
+// still holds.
 func RunWith(ctx *runtime.Context, cfg RunConfig, name dom.QName, args []xdm.Sequence) (*Result, error) {
 	return finishRun(ctx, cfg, func() (xdm.Sequence, error) {
 		return ctx.CallFunction(name, args)
-	})
+	}, false)
 }
 
 // finishRun evaluates and applies pending updates behind the engine's
 // panic-isolation boundary: a panic anywhere in evaluation or PUL
 // application recovers into an error matching xqerr.ErrInternal
 // instead of unwinding into the host.
-func finishRun(ctx *runtime.Context, cfg RunConfig, eval func() (xdm.Sequence, error)) (res *Result, err error) {
+func finishRun(ctx *runtime.Context, cfg RunConfig, eval func() (xdm.Sequence, error), fresh bool) (res *Result, err error) {
 	defer xqerr.RecoverInto(&err, "xquery.Run")
 	applied := 0
 	count := func(pr update.Primitive) {
@@ -494,11 +538,39 @@ func finishRun(ctx *runtime.Context, cfg RunConfig, eval func() (xdm.Sequence, e
 		return nil, err
 	}
 	if ctx.PUL != nil && !ctx.PUL.Empty() {
-		if err := cfg.applyPUL(ctx.PUL, count); err != nil {
+		// Dead-update elimination only changes the state of detached
+		// subtrees, so it is gated on nothing observing them after the
+		// run: a fresh (non-reused) context, snapshot semantics off,
+		// and no node items escaping through the result value or in via
+		// external variable bindings.
+		eliminate := fresh && !cfg.Sequential &&
+			!seqHasNodes(val) && !varsHaveNodes(cfg.Variables)
+		if err := cfg.applyPULEliminate(ctx.PUL, count, eliminate); err != nil {
 			return nil, err
 		}
 	}
 	return &Result{Value: val, Updates: applied}, nil
+}
+
+// seqHasNodes reports whether any item of s is a node.
+func seqHasNodes(s xdm.Sequence) bool {
+	for _, it := range s {
+		if _, ok := xdm.IsNode(it); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// varsHaveNodes reports whether any external variable binding carries a
+// node item.
+func varsHaveNodes(vars map[dom.QName]xdm.Sequence) bool {
+	for _, s := range vars {
+		if seqHasNodes(s) {
+			return true
+		}
+	}
+	return false
 }
 
 // EvalQuery is a convenience: compile and run a query against an

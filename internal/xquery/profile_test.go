@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/xdm"
 	"repro/internal/xquery/runtime"
 )
 
@@ -75,5 +76,35 @@ func TestFnID(t *testing.T) {
 		if got != tt.want {
 			t.Errorf("query %q = %q, want %q", tt.q, got, tt.want)
 		}
+	}
+}
+
+// TestProfilerUpdatePartitionCounters drives an updating run with a
+// profiler attached and checks the engine wires the partitioner's
+// statistics through: group counts accumulate and Format renders the
+// update: lines.
+func TestProfilerUpdatePartitionCounters(t *testing.T) {
+	e := New()
+	prog := e.MustCompile(`insert node <x/> into (//library)[1],
+		rename node (//book)[1] as "tome"`)
+	prof := runtime.NewProfiler()
+	if _, err := prog.Run(RunConfig{ContextItem: xdm.NewNode(libraryDoc(t)), Profiler: prof}); err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.UpdatesFor("groups"); got < 1 {
+		t.Errorf("UpdatesFor(groups) = %d, want >= 1", got)
+	}
+	out := prof.Format()
+	if !strings.Contains(out, "update:groups") {
+		t.Errorf("Format output missing update:groups lines:\n%s", out)
+	}
+	// The serial escape hatch bypasses the partitioner, so its counters
+	// must stay untouched.
+	serial := runtime.NewProfiler()
+	if _, err := prog.Run(RunConfig{ContextItem: xdm.NewNode(libraryDoc(t)), Profiler: serial, SerialUpdates: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := serial.UpdatesFor("groups"); got != 0 {
+		t.Errorf("serial UpdatesFor(groups) = %d, want 0", got)
 	}
 }

@@ -18,6 +18,7 @@ type Profiler struct {
 	mu       sync.Mutex
 	entries  map[string]*ProfileEntry
 	rewrites map[string]int64
+	updates  map[string]int64
 }
 
 // ProfileEntry accumulates one expression kind's statistics. Items
@@ -105,6 +106,29 @@ func (p *Profiler) RewritesFor(kind string) int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.rewrites[kind]
+}
+
+// AddUpdates adds to a named update-partition counter. The engine
+// credits each run's PUL partition outcome ("groups", "eliminated",
+// "parallel") here, so a profile reports how the update-independence
+// analysis split and pruned the run's pending updates.
+func (p *Profiler) AddUpdates(kind string, n int64) {
+	if n == 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.updates == nil {
+		p.updates = map[string]int64{}
+	}
+	p.updates[kind] += n
+	p.mu.Unlock()
+}
+
+// UpdatesFor returns a named update-partition counter (see AddUpdates).
+func (p *Profiler) UpdatesFor(kind string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.updates[kind]
 }
 
 // recordItems adds to the items-pulled counter of an expression kind.
@@ -198,6 +222,16 @@ func (p *Profiler) Format() string {
 	sort.Strings(kinds)
 	for _, k := range kinds {
 		fmt.Fprintf(&b, "rewrite:%-12s %10d\n", k, p.RewritesFor(k))
+	}
+	p.mu.Lock()
+	ukinds := make([]string, 0, len(p.updates))
+	for k := range p.updates {
+		ukinds = append(ukinds, k)
+	}
+	p.mu.Unlock()
+	sort.Strings(ukinds)
+	for _, k := range ukinds {
+		fmt.Fprintf(&b, "update:%-13s %10d\n", k, p.UpdatesFor(k))
 	}
 	return b.String()
 }

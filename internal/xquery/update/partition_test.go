@@ -1,0 +1,387 @@
+package update
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/dom/index"
+	"repro/internal/faultpoint"
+	"repro/internal/markup"
+)
+
+func TestAddRejectsNilTarget(t *testing.T) {
+	p := &PUL{}
+	err := p.Add(Primitive{Kind: Delete})
+	if !errors.Is(err, ErrNilTarget) {
+		t.Fatalf("Add(nil target) = %v, want ErrNilTarget", err)
+	}
+	if !p.Empty() {
+		t.Fatal("rejected primitive entered the list")
+	}
+	// Merge validates through Add, so a hand-built list with a nil
+	// target cannot cross into a healthy one.
+	q := &PUL{prims: []Primitive{{Kind: Rename, Name: dom.Name("x")}}}
+	if err := p.Merge(q); !errors.Is(err, ErrNilTarget) {
+		t.Fatalf("Merge(nil target) = %v, want ErrNilTarget", err)
+	}
+}
+
+// prims builds the same primitive list against a document, so serial
+// and parallel applies can run over two parses of one source.
+type primSpec func(t *testing.T, doc *dom.Node, p *PUL)
+
+// runBothApplies parses src twice, applies build's list serially on
+// one tree and in parallel on the other, and asserts identical
+// serialisations, identical error presence and identical onChange
+// sequences (when elimination is off).
+func runBothApplies(t *testing.T, src string, cfg ParallelConfig, build primSpec) (serial, parallel string, stats ApplyStats) {
+	t.Helper()
+	docS, docP := tree(t, src), tree(t, src)
+	ps, pp := &PUL{}, &PUL{}
+	build(t, docS, ps)
+	build(t, docP, pp)
+
+	var seqS, seqP []string
+	errS := ps.Apply(func(pr Primitive) { seqS = append(seqS, pr.Kind.String()) })
+	cfg.Stats = &stats
+	errP := pp.ApplyParallel(func(pr Primitive) { seqP = append(seqP, pr.Kind.String()) }, cfg)
+	if (errS == nil) != (errP == nil) {
+		t.Fatalf("error mismatch: serial %v, parallel %v", errS, errP)
+	}
+	serial, parallel = markup.Serialize(docS), markup.Serialize(docP)
+	if serial != parallel {
+		t.Fatalf("trees diverged:\n serial   %s\n parallel %s", serial, parallel)
+	}
+	if stats.Eliminated == 0 && errS == nil {
+		if fmt.Sprint(seqS) != fmt.Sprint(seqP) {
+			t.Fatalf("onChange order diverged:\n serial   %v\n parallel %v", seqS, seqP)
+		}
+	}
+	return serial, parallel, stats
+}
+
+// TestParallelMatchesSerialDisjoint partitions self-contained updates
+// on disjoint subtrees into independent groups and still produces the
+// serial result.
+func TestParallelMatchesSerialDisjoint(t *testing.T) {
+	const src = `<r><a>one</a><b k="v"><b1/></b><c/><d/></r>`
+	_, _, stats := runBothApplies(t, src, ParallelConfig{MinPrims: 1}, func(t *testing.T, doc *dom.Node, p *PUL) {
+		add := func(pr Primitive) {
+			t.Helper()
+			if err := p.Add(pr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		add(Primitive{Kind: ReplaceValue, Target: el(t, doc, "a"), Value: "two"})
+		add(Primitive{Kind: Rename, Target: el(t, doc, "b1"), Name: dom.Name("bb")})
+		add(Primitive{Kind: InsertInto, Target: el(t, doc, "c"),
+			Content: []*dom.Node{dom.NewElement(dom.Name("x"))}})
+		add(Primitive{Kind: InsertAttributes, Target: el(t, doc, "d"),
+			Content: []*dom.Node{dom.NewAttr(dom.Name("k"), "w")}})
+	})
+	if stats.Groups != 4 {
+		t.Errorf("groups = %d, want 4", stats.Groups)
+	}
+	if !stats.Parallel {
+		t.Error("parallel path did not engage")
+	}
+}
+
+// TestPartitionMergesOverlappingRegions keeps sibling-list edits under
+// one parent in one group: delete and insertBefore around the same
+// parent region on one side, an independent rename on the other.
+func TestPartitionMergesOverlappingRegions(t *testing.T) {
+	const src = `<r><a><a1/><a2/></a><b/></r>`
+	_, _, stats := runBothApplies(t, src, ParallelConfig{MinPrims: 1}, func(t *testing.T, doc *dom.Node, p *PUL) {
+		_ = p.Add(Primitive{Kind: Delete, Target: el(t, doc, "a1")})
+		_ = p.Add(Primitive{Kind: InsertBefore, Target: el(t, doc, "a2"),
+			Content: []*dom.Node{dom.NewElement(dom.Name("m"))}})
+		_ = p.Add(Primitive{Kind: Rename, Target: el(t, doc, "b"), Name: dom.Name("b2")})
+	})
+	if stats.Groups != 2 {
+		t.Errorf("groups = %d, want 2 (a-subtree edits together, b alone)", stats.Groups)
+	}
+}
+
+// TestPartitionAcrossDocuments proves updates on different trees are
+// grouped per tree without any index build.
+func TestPartitionAcrossDocuments(t *testing.T) {
+	doc1 := tree(t, `<r><a>x</a></r>`)
+	doc2 := tree(t, `<q><b>y</b></q>`)
+	p := &PUL{}
+	_ = p.Add(Primitive{Kind: ReplaceValue, Target: el(t, doc1, "a"), Value: "1"})
+	_ = p.Add(Primitive{Kind: ReplaceValue, Target: el(t, doc2, "b"), Value: "2"})
+	var stats ApplyStats
+	if err := p.ApplyParallel(nil, ParallelConfig{Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Groups != 2 || !stats.Parallel {
+		t.Errorf("stats = %+v, want 2 parallel groups", stats)
+	}
+	if got := markup.Serialize(doc1); got != `<r><a>1</a></r>` {
+		t.Errorf("doc1 = %s", got)
+	}
+	if got := markup.Serialize(doc2); got != `<q><b>2</b></q>` {
+		t.Errorf("doc2 = %s", got)
+	}
+}
+
+// TestUnconditionalElimination drops exact no-ops even with Eliminate
+// off: a delete of a replaced target and a duplicate delete.
+func TestUnconditionalElimination(t *testing.T) {
+	const src = `<r><a/><b/></r>`
+	_, _, stats := runBothApplies(t, src, ParallelConfig{MinPrims: 1}, func(t *testing.T, doc *dom.Node, p *PUL) {
+		a, b := el(t, doc, "a"), el(t, doc, "b")
+		_ = p.Add(Primitive{Kind: ReplaceNode, Target: a,
+			Content: []*dom.Node{dom.NewElement(dom.Name("a2"))}})
+		_ = p.Add(Primitive{Kind: Delete, Target: a}) // replace-then-delete: dead
+		_ = p.Add(Primitive{Kind: Delete, Target: b})
+		_ = p.Add(Primitive{Kind: Delete, Target: b}) // duplicate: dead
+	})
+	if stats.Eliminated != 2 {
+		t.Errorf("eliminated = %d, want 2", stats.Eliminated)
+	}
+}
+
+// TestGatedElimination drops an insert whose whole effect lands in a
+// deleted subtree — live tree identical to serial — but only when the
+// caller vouches nothing observes detached nodes.
+func TestGatedElimination(t *testing.T) {
+	const src = `<r><a><a1>t</a1></a><b/></r>`
+	build := func(t *testing.T, doc *dom.Node, p *PUL) {
+		_ = p.Add(Primitive{Kind: InsertInto, Target: el(t, doc, "a1"),
+			Content: []*dom.Node{dom.NewElement(dom.Name("x"))}})
+		_ = p.Add(Primitive{Kind: ReplaceValue, Target: el(t, doc, "a"), Value: "gone"})
+		_ = p.Add(Primitive{Kind: Delete, Target: el(t, doc, "a")})
+		_ = p.Add(Primitive{Kind: Rename, Target: el(t, doc, "b"), Name: dom.Name("b2")})
+	}
+	_, _, off := runBothApplies(t, src, ParallelConfig{MinPrims: 1}, build)
+	if off.Eliminated != 0 {
+		t.Errorf("eliminated without opt-in: %d", off.Eliminated)
+	}
+	_, _, on := runBothApplies(t, src, ParallelConfig{MinPrims: 1, Eliminate: true}, build)
+	// insertInto a1 and replaceValue a both die inside a's deleted
+	// span; the delete itself and the rename survive.
+	if on.Eliminated != 2 {
+		t.Errorf("eliminated = %d, want 2", on.Eliminated)
+	}
+}
+
+// TestEliminationNeverDropsFailingPrimitive pins the guard: a rename
+// of a text node inside a deleted subtree fails the serial apply, so
+// the parallel path must not eliminate it into a success.
+func TestEliminationNeverDropsFailingPrimitive(t *testing.T) {
+	const src = `<r><a>text</a></r>`
+	docS, docP := tree(t, src), tree(t, src)
+	build := func(doc *dom.Node, p *PUL) {
+		a := el(t, doc, "a")
+		_ = p.Add(Primitive{Kind: Rename, Target: a.FirstChild(), Name: dom.Name("x")})
+		_ = p.Add(Primitive{Kind: Delete, Target: a})
+	}
+	ps, pp := &PUL{}, &PUL{}
+	build(docS, ps)
+	build(docP, pp)
+	errS := ps.Apply(nil)
+	errP := pp.ApplyParallel(nil, ParallelConfig{MinPrims: 1, Eliminate: true})
+	if errS == nil || errP == nil {
+		t.Fatalf("renaming a text node must fail both paths: serial %v, parallel %v", errS, errP)
+	}
+	if s, p := markup.Serialize(docS), markup.Serialize(docP); s != p {
+		t.Fatalf("rolled-back trees diverged:\n serial   %s\n parallel %s", s, p)
+	}
+}
+
+// TestParallelRollback fails one group mid-apply and asserts the
+// all-or-nothing contract across all groups: byte-identical documents,
+// restored version counters, intact pending list, silent onChange —
+// then a clean retry.
+func TestParallelRollback(t *testing.T) {
+	defer faultpoint.Reset()
+	const src = `<r><a>one</a><b/><c/><d/></r>`
+	doc := tree(t, src)
+	before := markup.Serialize(doc)
+	v0 := doc.Version()
+	rb0 := Rollbacks()
+
+	p := &PUL{}
+	_ = p.Add(Primitive{Kind: ReplaceValue, Target: el(t, doc, "a"), Value: "two"})
+	_ = p.Add(Primitive{Kind: Rename, Target: el(t, doc, "b"), Name: dom.Name("bb")})
+	_ = p.Add(Primitive{Kind: InsertInto, Target: el(t, doc, "c"),
+		Content: []*dom.Node{dom.NewElement(dom.Name("x"))}})
+	_ = p.Add(Primitive{Kind: InsertInto, Target: el(t, doc, "d"),
+		Content: []*dom.Node{dom.NewElement(dom.Name("y"))}})
+
+	faultpoint.Enable(faultpoint.PointUpdateApply, faultpoint.Nth(3))
+	calls := 0
+	err := p.ApplyParallel(func(Primitive) { calls++ }, ParallelConfig{MinPrims: 1})
+	if !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if calls != 0 {
+		t.Errorf("onChange saw %d primitives of a rolled-back apply", calls)
+	}
+	if got := markup.Serialize(doc); got != before {
+		t.Fatalf("document not restored:\n before %s\n  after %s", before, got)
+	}
+	if v := doc.Version(); v != v0 {
+		t.Errorf("version = %d, want restored %d", v, v0)
+	}
+	if rb := Rollbacks(); rb != rb0+1 {
+		t.Errorf("Rollbacks() = %d, want %d", rb, rb0+1)
+	}
+	if p.Empty() {
+		t.Fatal("failed apply must keep the pending list")
+	}
+
+	faultpoint.Reset()
+	if err := p.ApplyParallel(func(Primitive) { calls++ }, ParallelConfig{MinPrims: 1}); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if calls != 4 {
+		t.Errorf("onChange calls = %d, want 4", calls)
+	}
+	if !p.Empty() {
+		t.Error("successful apply must clear the list")
+	}
+}
+
+// TestParallelRollbackSeededFault drives the seeded chaos trigger
+// through parallel applies and asserts every failed apply restores the
+// pre-apply serialisation exactly (the mid-parallel-apply entry of the
+// chaos matrix, deterministic for a fixed seed).
+func TestParallelRollbackSeededFault(t *testing.T) {
+	defer faultpoint.Reset()
+	const src = `<r><a>one</a><b k="v"/><c><c1/></c><d/></r>`
+	for seed := uint64(1); seed <= 8; seed++ {
+		faultpoint.Enable(faultpoint.PointUpdateApply, faultpoint.Seeded(seed, 0.3))
+		doc := tree(t, src)
+		before := markup.Serialize(doc)
+		p := &PUL{}
+		_ = p.Add(Primitive{Kind: ReplaceValue, Target: el(t, doc, "a"), Value: "two"})
+		_ = p.Add(Primitive{Kind: InsertAttributes, Target: el(t, doc, "b"),
+			Content: []*dom.Node{dom.NewAttr(dom.Name("k"), "w")}})
+		_ = p.Add(Primitive{Kind: Delete, Target: el(t, doc, "c1")})
+		_ = p.Add(Primitive{Kind: InsertInto, Target: el(t, doc, "d"),
+			Content: []*dom.Node{dom.NewElement(dom.Name("x"))}})
+		err := p.ApplyParallel(nil, ParallelConfig{MinPrims: 1})
+		if err != nil {
+			if got := markup.Serialize(doc); got != before {
+				t.Fatalf("seed %d: not restored:\n before %s\n  after %s", seed, before, got)
+			}
+		} else if got := markup.Serialize(doc); got == before {
+			t.Fatalf("seed %d: successful apply changed nothing", seed)
+		}
+		faultpoint.Disable(faultpoint.PointUpdateApply)
+	}
+}
+
+// TestPartitionSkipsIndexForSmallLists pins the build heuristic: below
+// MinPrims with no cached index the partitioner must not pay an index
+// build; with a fresh index already cached it partitions for free.
+func TestPartitionSkipsIndexForSmallLists(t *testing.T) {
+	doc := tree(t, `<r><a>x</a><b>y</b></r>`)
+	builds0 := index.Snapshot().Builds
+	p := &PUL{}
+	_ = p.Add(Primitive{Kind: ReplaceValue, Target: el(t, doc, "a"), Value: "1"})
+	_ = p.Add(Primitive{Kind: ReplaceValue, Target: el(t, doc, "b"), Value: "2"})
+	var stats ApplyStats
+	if err := p.ApplyParallel(nil, ParallelConfig{Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if got := index.Snapshot().Builds; got != builds0 {
+		t.Errorf("small list built an index (%d builds)", got-builds0)
+	}
+	if stats.Groups != 1 {
+		t.Errorf("groups = %d, want 1 (no proof without an index)", stats.Groups)
+	}
+
+	// With a fresh index cached the same list partitions into 2.
+	index.For(doc)
+	p2 := &PUL{}
+	_ = p2.Add(Primitive{Kind: ReplaceValue, Target: el(t, doc, "a"), Value: "3"})
+	_ = p2.Add(Primitive{Kind: ReplaceValue, Target: el(t, doc, "b"), Value: "4"})
+	if err := p2.ApplyParallel(nil, ParallelConfig{Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Groups != 2 {
+		t.Errorf("groups = %d, want 2 with a fresh index", stats.Groups)
+	}
+}
+
+// TestPartitionContentAliasingForcesSerial pins the safety guard: a
+// hand-built list inserting a tree that other primitives target must
+// collapse to one serial group.
+func TestPartitionContentAliasingForcesSerial(t *testing.T) {
+	doc := tree(t, `<r><a/><b/></r>`)
+	frag := dom.NewElement(dom.Name("frag"))
+	x := dom.NewElement(dom.Name("x"))
+	if err := frag.AppendChild(x); err != nil {
+		t.Fatal(err)
+	}
+	p := &PUL{}
+	_ = p.Add(Primitive{Kind: ReplaceValue, Target: x, Value: "w"})
+	_ = p.Add(Primitive{Kind: InsertInto, Target: el(t, doc, "a"), Content: []*dom.Node{frag}})
+	_ = p.Add(Primitive{Kind: Rename, Target: el(t, doc, "b"), Name: dom.Name("b2")})
+	var stats ApplyStats
+	if err := p.ApplyParallel(nil, ParallelConfig{MinPrims: 1, Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Groups != 1 || stats.Parallel {
+		t.Errorf("stats = %+v, want one serial group under content aliasing", stats)
+	}
+}
+
+// TestRenameDuplicateAttributeRollback pins the XUDY0021-style check:
+// a rename that would duplicate an attribute name fails the apply
+// (serial and parallel alike) instead of poisoning the tree with a
+// state the rollback machinery cannot restore.
+func TestRenameDuplicateAttributeRollback(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		doc := tree(t, `<r><b k="v" p="w"/></r>`)
+		before := markup.Serialize(doc)
+		p := &PUL{}
+		_ = p.Add(Primitive{Kind: InsertAttributes, Target: el(t, doc, "b"),
+			Content: []*dom.Node{dom.NewAttr(dom.Name("q"), "x")}})
+		_ = p.Add(Primitive{Kind: Rename, Target: el(t, doc, "b").AttrNode(dom.Name("k")),
+			Name: dom.Name("p")})
+		var err error
+		if parallel {
+			err = p.ApplyParallel(nil, ParallelConfig{MinPrims: 1})
+		} else {
+			err = p.Apply(nil)
+		}
+		if err == nil {
+			t.Fatalf("parallel=%v: duplicate-attribute rename must fail", parallel)
+		}
+		if got := markup.Serialize(doc); got != before {
+			t.Fatalf("parallel=%v: not restored:\n before %s\n  after %s", parallel, before, got)
+		}
+	}
+}
+
+// TestSnapshotCounters asserts the process-wide counters advance.
+func TestSnapshotCounters(t *testing.T) {
+	before := Snapshot()
+	doc := tree(t, `<r><a>x</a><b><b1/></b></r>`)
+	p := &PUL{}
+	_ = p.Add(Primitive{Kind: ReplaceValue, Target: el(t, doc, "a"), Value: "1"})
+	_ = p.Add(Primitive{Kind: Rename, Target: el(t, doc, "b"), Name: dom.Name("bb")})
+	b1 := el(t, doc, "b1")
+	_ = p.Add(Primitive{Kind: Delete, Target: b1})
+	_ = p.Add(Primitive{Kind: Delete, Target: b1})
+	if err := p.ApplyParallel(nil, ParallelConfig{MinPrims: 1}); err != nil {
+		t.Fatal(err)
+	}
+	after := Snapshot()
+	if after.Eliminated != before.Eliminated+1 {
+		t.Errorf("Eliminated delta = %d, want 1", after.Eliminated-before.Eliminated)
+	}
+	if after.Groups <= before.Groups {
+		t.Error("Groups did not advance")
+	}
+	if after.ParallelApplies != before.ParallelApplies+1 {
+		t.Errorf("ParallelApplies delta = %d, want 1", after.ParallelApplies-before.ParallelApplies)
+	}
+}

@@ -64,10 +64,20 @@ func (p *PUL) Len() int { return len(p.prims) }
 // Primitives returns the pending primitives (callers must not mutate).
 func (p *PUL) Primitives() []Primitive { return p.prims }
 
+// ErrNilTarget reports a primitive that names no target node. Add is
+// the single validation point: Merge routes through Add, so a nil
+// target can never enter a list from either path (it used to slip
+// through and only fail — with a panic — deep inside apply).
+var ErrNilTarget = errors.New("update: primitive has no target node")
+
 // Add appends a primitive, enforcing the Update Facility's
 // compatibility rules: at most one rename, one replaceNode and one
-// replaceValue per target node.
+// replaceValue per target node. Primitives without a target are
+// rejected with an error matching ErrNilTarget.
 func (p *PUL) Add(pr Primitive) error {
+	if pr.Target == nil {
+		return fmt.Errorf("%w (%s)", ErrNilTarget, pr.Kind)
+	}
 	for _, q := range p.prims {
 		if q.Target != pr.Target {
 			continue
@@ -163,51 +173,27 @@ func (p *PUL) apply(onChange func(Primitive), atomically bool) error {
 	var versions map[*dom.Node]uint64
 	if atomically {
 		u = &undoLog{}
-		// Snapshot each target tree's version before the first
-		// mutation. Content trees need no entry: nothing caches on a
-		// freshly constructed copy, and inserts bump the target tree.
-		versions = map[*dom.Node]uint64{}
-		for _, pr := range p.prims {
-			if r := pr.Target.Root(); r != nil {
-				if _, ok := versions[r]; !ok {
-					versions[r] = r.Version()
-				}
-			}
-		}
+		versions = snapshotVersions(p.prims)
 	}
 	fail := func(err error) error {
 		if !atomically {
 			return err
 		}
 		rollbacks.Add(1)
-		undoErr := u.undo()
-		for root, v := range versions {
-			if root.Version() != v {
-				root.RestoreVersion(v)
-			}
-		}
-		if undoErr != nil {
-			return errors.Join(err, fmt.Errorf("update: rollback failed: %w", undoErr))
-		}
-		return err
+		return rollback(err, []*undoLog{u}, versions)
 	}
 	var applied []Primitive
-	for _, phase := range applyOrder {
-		for _, pr := range p.prims {
-			if !kindIn(pr.Kind, phase) {
-				continue
-			}
-			if err := faultpoint.Hit(faultpoint.PointUpdateApply); err != nil {
-				return fail(err)
-			}
-			if err := applyOne(pr, u); err != nil {
-				return fail(err)
-			}
-			if atomically {
-				applied = append(applied, pr)
-			} else if onChange != nil {
-				onChange(pr)
-			}
+	for _, pr := range orderedPrims(p.prims) {
+		if err := faultpoint.Hit(faultpoint.PointUpdateApply); err != nil {
+			return fail(err)
+		}
+		if err := applyOne(pr, u); err != nil {
+			return fail(err)
+		}
+		if atomically {
+			applied = append(applied, pr)
+		} else if onChange != nil {
+			onChange(pr)
 		}
 	}
 	if onChange != nil {
@@ -217,6 +203,61 @@ func (p *PUL) apply(onChange func(Primitive), atomically bool) error {
 	}
 	p.Reset()
 	return nil
+}
+
+// orderedPrims returns the primitives in the Update Facility's
+// application order: phase by phase, original list order within a
+// phase.
+func orderedPrims(prims []Primitive) []Primitive {
+	out := make([]Primitive, 0, len(prims))
+	for _, phase := range applyOrder {
+		for _, pr := range prims {
+			if kindIn(pr.Kind, phase) {
+				out = append(out, pr)
+			}
+		}
+	}
+	return out
+}
+
+// snapshotVersions records each target tree's version counter before
+// the first mutation. Content trees need no entry: nothing caches on a
+// freshly constructed copy, and inserts bump the target tree.
+func snapshotVersions(prims []Primitive) map[*dom.Node]uint64 {
+	versions := map[*dom.Node]uint64{}
+	for _, pr := range prims {
+		if r := pr.Target.Root(); r != nil {
+			if _, ok := versions[r]; !ok {
+				versions[r] = r.Version()
+			}
+		}
+	}
+	return versions
+}
+
+// rollback unwinds a failed apply: the undo logs run back to front
+// (last log first, each log in strict reverse), every touched tree's
+// version counter is rewound, and the original error returns — joined
+// with an undo failure if the rollback itself broke. With one log this
+// is exactly the serial rollback; with per-group logs the groups touch
+// disjoint subtrees, so their inverses commute and the reverse
+// group-index order yields the identical (pre-apply) document state.
+func rollback(err error, logs []*undoLog, versions map[*dom.Node]uint64) error {
+	var undoErrs []error
+	for i := len(logs) - 1; i >= 0; i-- {
+		if undoErr := logs[i].undo(); undoErr != nil {
+			undoErrs = append(undoErrs, undoErr)
+		}
+	}
+	for root, v := range versions {
+		if root.Version() != v {
+			root.RestoreVersion(v)
+		}
+	}
+	if len(undoErrs) > 0 {
+		return errors.Join(err, fmt.Errorf("update: rollback failed: %w", errors.Join(undoErrs...)))
+	}
+	return err
 }
 
 // undoLog records, during an atomic apply, the exact inverse of every
@@ -360,6 +401,17 @@ func applyOne(pr Primitive, u *undoLog) error {
 	case Rename:
 		switch t.Type {
 		case dom.ElementNode, dom.AttributeNode, dom.ProcessingInstructionNode:
+			// A duplicate attribute name (XUDY0021) must fail here, not
+			// slip into the tree: the transient duplicate state would
+			// poison a later rollback (RestoreAttrAt rightly refuses to
+			// recreate it).
+			if t.Type == dom.AttributeNode {
+				if owner := t.Parent(); owner != nil {
+					if ex := owner.AttrNode(pr.Name); ex != nil && ex != t {
+						return fmt.Errorf("update: rename would create a duplicate attribute %s", pr.Name.Local)
+					}
+				}
+			}
 			old := t.Name
 			t.Rename(pr.Name)
 			u.add(func() error { t.Rename(old); return nil })

@@ -40,6 +40,17 @@
 //	            handlers) must go through those methods; a stray
 //	            sh.docs[...] elsewhere bypasses the lock.
 //
+//	pulapply    DOM structural mutation stays behind the pending-update
+//	            list: outside internal/dom itself and the PUL applier
+//	            (internal/xquery/update), no code may call the
+//	            child/attribute-mutating dom.Node methods (AppendChild,
+//	            Detach, SetAttr, Rename, ...). A direct call bypasses
+//	            snapshot semantics, the undo log that makes applies
+//	            atomic, and the version stamp the parallel partitioner's
+//	            index spans rely on. DOM-owning hosts (core, browser,
+//	            jsruntime, markup) build trees before queries see them
+//	            and are not scanned.
+//
 //	recovercheck  panic recovery only happens at sanctioned boundaries:
 //	            naked recover() calls are forbidden everywhere except
 //	            package xqerr (which implements RecoverInto), package
@@ -79,10 +90,10 @@ type finding struct {
 }
 
 func main() {
-	check := flag.String("check", "", "pass to run: progmutate, ctxstruct, idxversion, planpure, storesync or recovercheck")
+	check := flag.String("check", "", "pass to run: progmutate, ctxstruct, idxversion, planpure, storesync, recovercheck or pulapply")
 	flag.Parse()
 	if *check == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: analyzers -check {progmutate|ctxstruct|idxversion|planpure|storesync|recovercheck} dir...")
+		fmt.Fprintln(os.Stderr, "usage: analyzers -check {progmutate|ctxstruct|idxversion|planpure|storesync|recovercheck|pulapply} dir...")
 		os.Exit(2)
 	}
 
@@ -108,6 +119,8 @@ func main() {
 				findings = append(findings, storeSync(fset, f)...)
 			case "recovercheck":
 				findings = append(findings, recoverCheck(fset, f)...)
+			case "pulapply":
+				findings = append(findings, pulApply(fset, f)...)
 			default:
 				fmt.Fprintf(os.Stderr, "analyzers: unknown check %q\n", *check)
 				os.Exit(2)
@@ -622,5 +635,72 @@ func recoverCheck(fset *token.FileSet, file *ast.File) []finding {
 			return true
 		})
 	}
+	return out
+}
+
+// --- pulapply -------------------------------------------------------------------
+
+// domMutators are the dom.Node methods that change tree structure,
+// attributes or character data — the operations the pending-update list
+// mediates. The read-side surface (Parent, Children, Walk, ...) and the
+// event-listener registry are deliberately absent.
+var domMutators = map[string]bool{
+	"AppendChild":           true,
+	"PrependChild":          true,
+	"InsertBefore":          true,
+	"InsertAfter":           true,
+	"Detach":                true,
+	"ReplaceChild":          true,
+	"SetAttr":               true,
+	"AddAttrNode":           true,
+	"RestoreChildAt":        true,
+	"RestoreAttrAt":         true,
+	"RemoveAttr":            true,
+	"Rename":                true,
+	"SetData":               true,
+	"ReplaceElementContent": true,
+	"RemoveChildren":        true,
+}
+
+// pulApply reports calls to child/attr-mutating dom methods outside the
+// two packages allowed to make them: dom itself and the PUL applier
+// (package update). Selectors on imported package names are skipped so
+// os.Rename or a kind constant like update.Rename never trip the check;
+// beyond that the match is name-based, like the other passes — the
+// scanned packages hold no unrelated types sharing these method names.
+func pulApply(fset *token.FileSet, file *ast.File) []finding {
+	pkg := file.Name.Name
+	if pkg == "dom" || pkg == "update" {
+		return nil
+	}
+	imported := map[string]bool{}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndexByte(path, '/')+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		imported[name] = true
+	}
+	var out []finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !domMutators[sel.Sel.Name] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && imported[id.Name] {
+			return true // package-qualified function, not a node method
+		}
+		out = append(out, finding{
+			pos: fset.Position(call.Pos()),
+			msg: fmt.Sprintf("pulapply: direct DOM mutation %s in package %s; route the write through a pending-update list (internal/xquery/update) so it stays atomic, undoable and version-stamped",
+				sel.Sel.Name, pkg),
+		})
+		return true
+	})
 	return out
 }

@@ -246,3 +246,51 @@ func sneaky() { _ = recover() }
 		t.Fatalf("findings = %v, want 1", got)
 	}
 }
+
+func TestPulApplyFlagsDirectMutation(t *testing.T) {
+	src := `package serve
+import "repro/internal/dom"
+func hack(n *dom.Node, c *dom.Node) {
+	n.AppendChild(c)
+	n.SetAttr(dom.QName{Local: "x"}, "1")
+	c.Detach()
+}
+`
+	got := analyze(t, src, pulApply)
+	if len(got) != 3 {
+		t.Fatalf("findings = %v, want 3", got)
+	}
+}
+
+func TestPulApplyAllowsSanctionedPackages(t *testing.T) {
+	for _, src := range []string{
+		`package dom
+func (n *Node) helper(c *Node) { n.AppendChild(c) }
+type Node struct{}
+func (n *Node) AppendChild(c *Node) {}
+`,
+		`package update
+func apply(n, c interface{ AppendChild(any) }) { n.AppendChild(c) }
+`,
+	} {
+		if got := analyze(t, src, pulApply); len(got) != 0 {
+			t.Fatalf("findings = %v, want none for %q", got, src[:20])
+		}
+	}
+}
+
+func TestPulApplySkipsPackageQualifiedCalls(t *testing.T) {
+	src := `package serve
+import (
+	"os"
+	"repro/internal/xquery/update"
+)
+func ok() {
+	os.Rename("a", "b")
+	_ = update.Rename
+}
+`
+	if got := analyze(t, src, pulApply); len(got) != 0 {
+		t.Fatalf("findings = %v, want none", got)
+	}
+}

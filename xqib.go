@@ -231,6 +231,21 @@ type (
 // ErrAnalysisFailed under errors.Is.
 type AnalysisError = xquery.AnalysisError
 
+// The analyzer severities and the update-independence diagnostic codes,
+// re-exported so callers can filter Result.Diagnostics (for example,
+// surface only XQ0401 dead-update warnings) without importing internal
+// packages.
+const (
+	SevWarning = xquery.SevWarning
+	SevError   = xquery.SevError
+	SevNote    = xquery.SevNote
+
+	CodeDeadUpdate     = xquery.CodeDeadUpdate
+	CodeDeadDelete     = xquery.CodeDeadDelete
+	CodeUpdateConflict = xquery.CodeUpdateConflict
+	CodeUpdateGroups   = xquery.CodeUpdateGroups
+)
+
 // Module resolution: local in-memory library modules and resolver
 // composition (mix local libraries with remote web services).
 var (

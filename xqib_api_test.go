@@ -207,3 +207,36 @@ func TestFacadeQueryBudgetOnPage(t *testing.T) {
 		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
 	}
 }
+
+// Strict mode surfaces the update-independence analyzer's warnings on
+// the Result: an insert into a subtree the same snapshot detaches must
+// arrive as an XQ0401 dead-update diagnostic through the facade.
+func TestStrictSurfacesDeadUpdateWarning(t *testing.T) {
+	doc, err := xqib.ParseXML(`<app><cart><item/></cart></app>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := xqib.NewEngine()
+	prog, err := e.Compile(`insert node <sku/> into /app/cart,
+replace node /app/cart with <cart/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(xqib.RunConfig{Strict: true, ContextItem: xqib.NewNode(doc)})
+	if err != nil {
+		t.Fatalf("strict run failed: %v", err)
+	}
+	var found *xqib.Diagnostic
+	for i := range res.Diagnostics {
+		if res.Diagnostics[i].Code == xqib.CodeDeadUpdate {
+			found = &res.Diagnostics[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("Diagnostics = %v, want an %s dead-update warning",
+			res.Diagnostics, xqib.CodeDeadUpdate)
+	}
+	if found.Severity != xqib.SevWarning {
+		t.Errorf("severity = %v, want warning", found.Severity)
+	}
+}
