@@ -28,6 +28,7 @@ vet-invariants:
 	$(GO) run ./tools/analyzers -check progmutate internal/xquery internal/xquery/runtime
 	$(GO) run ./tools/analyzers -check ctxstruct internal/serve internal/rest
 	$(GO) run ./tools/analyzers -check idxversion internal/dom/index internal/dom internal/xquery/runtime internal/xquery/funclib internal/serve
+	$(GO) run ./tools/analyzers -check ftversion internal/fulltext/index internal/dom internal/xquery/runtime internal/xquery/funclib internal/xmldb internal/serve
 	$(GO) run ./tools/analyzers -check planpure internal/xquery/plan internal/xquery/compile
 	$(GO) run ./tools/analyzers -check storesync internal/xmldb
 	$(GO) run ./tools/analyzers -check pulapply internal/serve internal/rest \
@@ -89,6 +90,7 @@ bench:
 	$(GO) run ./cmd/benchcompile -check -out BENCH_compile.json
 	$(GO) run ./cmd/benchstore -check -out BENCH_store.json
 	$(GO) run ./cmd/benchpul -check -out BENCH_pul.json
+	$(GO) run ./cmd/benchft -check -out BENCH_ft.json
 
 # Cheap CI gates: one iteration per serving scenario (cache/metrics
 # accounting stays exact), a short fixed-iteration path-index run
@@ -96,15 +98,17 @@ bench:
 # the compile-backend gate (FLWOR-heavy compiled runs at least 2x
 # faster than the walker, identical results from both backends), the
 # store gate (4-shard parallel collection scan at least 2x faster than
-# 1 shard, identical document sets), and the update gate (partitioned
+# 1 shard, identical document sets), the update gate (partitioned
 # parallel PUL apply at least 2x faster than serial, identical
-# documents).
+# documents), and the full-text gate (indexed ftcontains at least 5x
+# faster than the tokenize-and-scan baseline, byte-identical results).
 bench-smoke:
 	$(GO) run ./cmd/benchserve -smoke -out BENCH_serve.json
 	$(GO) run ./cmd/benchpath -smoke -out BENCH_pathindex.json
 	$(GO) run ./cmd/benchcompile -smoke -out BENCH_compile.json
 	$(GO) run ./cmd/benchstore -smoke -out BENCH_store.json
 	$(GO) run ./cmd/benchpul -smoke -out BENCH_pul.json
+	$(GO) run ./cmd/benchft -smoke -out BENCH_ft.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -108,6 +108,12 @@ type Node struct {
 	// indexCache holds the version-stamped index of the tree rooted at
 	// this node (see internal/dom/index); meaningful on roots only.
 	indexCache atomic.Value
+
+	// ftCache holds the version-stamped full-text index of the tree
+	// rooted at this node (see internal/fulltext/index); meaningful on
+	// roots only. A separate slot from indexCache so the two indexes
+	// build and invalidate independently.
+	ftCache atomic.Value
 }
 
 // NewDocument creates an empty document node.

@@ -46,3 +46,14 @@ func (n *Node) LoadIndexCache() any { return n.indexCache.Load() }
 // StoreIndexCache publishes a freshly built index for the tree rooted
 // at n. See LoadIndexCache for the ownership contract.
 func (n *Node) StoreIndexCache(v any) { n.indexCache.Store(v) }
+
+// LoadFTIndexCache returns the opaque per-document full-text index
+// slot stored on this node, or nil. The slot belongs to
+// internal/fulltext/index under the same ownership contract as
+// LoadIndexCache: only that package interprets the value, and only on
+// root nodes.
+func (n *Node) LoadFTIndexCache() any { return n.ftCache.Load() }
+
+// StoreFTIndexCache publishes a freshly built full-text index for the
+// tree rooted at n. See LoadFTIndexCache for the ownership contract.
+func (n *Node) StoreFTIndexCache(v any) { n.ftCache.Store(v) }

@@ -46,6 +46,10 @@ const (
 	// during store recovery (xmldb.Open's snapshot load and log
 	// replay); a fault aborts the open.
 	PointStoreReplay = "store.replay"
+	// PointFTIndexBuild fires in ftindex.Probe before a full-text
+	// index build is attempted; a fault makes the probe report "no
+	// index" so ftcontains falls back to scanning.
+	PointFTIndexBuild = "ftindex.build"
 )
 
 // ErrInjected is the default error a fired point returns; every

@@ -4,41 +4,76 @@
 package fulltext
 
 import (
+	"regexp"
 	"strings"
+	"sync"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Options control token matching.
 type Options struct {
 	Stemming      bool
 	CaseSensitive bool
+	// Wildcards enables the W3C-style wildcard constructs inside query
+	// words: "." (any character), ".?", ".*", ".+" and ".{n,m}". A
+	// query word containing a wildcard is matched as a pattern against
+	// whole tokens; stemming never applies to wildcard words.
+	Wildcards bool
 }
 
-// Tokenize splits text into word tokens: maximal runs of letters and
-// digits (apostrophes inside words are kept, matching common tokenizer
-// behaviour for "don't").
+// Span is a token's byte range in the text it was tokenized from.
+type Span struct {
+	Start, End int
+}
+
+// scanTokens runs the tokenizer over text, calling emit with the byte
+// range of each token: maximal runs of letters and digits (apostrophes
+// inside words are kept, matching common tokenizer behaviour for
+// "don't"). It iterates the string in place — no []rune copy — so
+// tokenizing is allocation-free up to the caller's output slice, and
+// every token is a contiguous substring text[start:end].
+func scanTokens(text string, emit func(start, end int)) {
+	start := -1
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if r == '\'' && start >= 0 {
+			// An apostrophe stays inside a token only when a letter
+			// follows (the '\'' rune is one byte, so i+1 is the next
+			// rune's start).
+			if nr, sz := utf8.DecodeRuneInString(text[i+1:]); sz > 0 && unicode.IsLetter(nr) {
+				continue
+			}
+		}
+		if start >= 0 {
+			emit(start, i)
+			start = -1
+		}
+	}
+	if start >= 0 {
+		emit(start, len(text))
+	}
+}
+
+// Tokenize splits text into word tokens. Each token is a substring of
+// text (zero-copy); only the slice header array is allocated.
 func Tokenize(text string) []string {
 	var tokens []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() > 0 {
-			tokens = append(tokens, cur.String())
-			cur.Reset()
-		}
-	}
-	runes := []rune(text)
-	for i, r := range runes {
-		switch {
-		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			cur.WriteRune(r)
-		case r == '\'' && cur.Len() > 0 && i+1 < len(runes) && unicode.IsLetter(runes[i+1]):
-			cur.WriteRune(r)
-		default:
-			flush()
-		}
-	}
-	flush()
+	scanTokens(text, func(s, e int) { tokens = append(tokens, text[s:e]) })
 	return tokens
+}
+
+// TokenizeSpans is Tokenize returning byte ranges instead of
+// substrings — the form the full-text index builder consumes.
+func TokenizeSpans(text string) []Span {
+	var spans []Span
+	scanTokens(text, func(s, e int) { spans = append(spans, Span{Start: s, End: e}) })
+	return spans
 }
 
 // normalize folds a token per the options.
@@ -52,24 +87,216 @@ func normalize(tok string, o Options) string {
 	return tok
 }
 
+// Normalize folds a token per the options: lower-cased unless
+// case-sensitive, then Porter-stemmed (of the lower-cased form) when
+// stemming is on. Exported for the full-text index, whose posting keys
+// must agree exactly with scan-side matching.
+func Normalize(tok string, o Options) string { return normalize(tok, o) }
+
+// HasWildcard reports whether a query word contains a wildcard
+// construct (only meaningful when Options.Wildcards is set).
+func HasWildcard(w string) bool { return strings.ContainsRune(w, '.') }
+
+// wildcardCache memoises compiled wildcard patterns; scans re-match
+// the same query words against every candidate node.
+var wildcardCache sync.Map // string (regexp source) → *regexp.Regexp
+
+// WildcardRegexp compiles a wildcard query word into an anchored
+// regexp over whole tokens. The wildcard constructs — "." plus an
+// optional "?", "*", "+" or "{n,m}" quantifier — map one-to-one onto
+// regexp syntax; everything else matches literally. A brace group that
+// is not a valid {n,m} quantifier is taken literally, so compilation
+// cannot fail.
+func WildcardRegexp(w string) *regexp.Regexp {
+	var b strings.Builder
+	b.WriteString(`\A(?:`)
+	for i := 0; i < len(w); {
+		r, sz := utf8.DecodeRuneInString(w[i:])
+		if r != '.' {
+			b.WriteString(regexp.QuoteMeta(w[i : i+sz]))
+			i += sz
+			continue
+		}
+		b.WriteByte('.')
+		i++
+		if i < len(w) {
+			switch w[i] {
+			case '?', '*', '+':
+				b.WriteByte(w[i])
+				i++
+			case '{':
+				if j := strings.IndexByte(w[i:], '}'); j >= 0 && validRepeat(w[i:i+j+1]) {
+					b.WriteString(w[i : i+j+1])
+					i += j + 1
+				}
+			}
+		}
+	}
+	b.WriteString(`)\z`)
+	src := b.String()
+	if re, ok := wildcardCache.Load(src); ok {
+		return re.(*regexp.Regexp)
+	}
+	re := regexp.MustCompile(src)
+	wildcardCache.Store(src, re)
+	return re
+}
+
+// WildcardLiterals returns the maximal literal runs of a wildcard
+// query word — the substrings between wildcard constructs, with each
+// "." and its optional quantifier suffix excluded. Every token the
+// pattern matches must contain each run (in order), which is what lets
+// a trigram index narrow wildcard words to vocabulary candidates.
+func WildcardLiterals(w string) []string {
+	var runs []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			runs = append(runs, b.String())
+			b.Reset()
+		}
+	}
+	for i := 0; i < len(w); {
+		r, sz := utf8.DecodeRuneInString(w[i:])
+		if r != '.' {
+			b.WriteString(w[i : i+sz])
+			i += sz
+			continue
+		}
+		flush()
+		i++
+		if i < len(w) {
+			switch w[i] {
+			case '?', '*', '+':
+				i++
+			case '{':
+				if j := strings.IndexByte(w[i:], '}'); j >= 0 && validRepeat(w[i:i+j+1]) {
+					i += j + 1
+				}
+			}
+		}
+	}
+	flush()
+	return runs
+}
+
+// QueryWords splits a query phrase into its match words. Without
+// wildcards this is the document tokenizer; with wildcards enabled,
+// the wildcard constructs — "." plus an optional "?", "*", "+" or
+// "{n,m}" quantifier — count as word characters, so "fish.* reef"
+// yields the pattern word "fish.*" instead of losing the construct to
+// the tokenizer's separator rules. Document tokens never contain
+// wildcard characters (Tokenize drops them), so only query phrases
+// are ever split here.
+func QueryWords(phrase string, o Options) []string {
+	if !o.Wildcards || !strings.ContainsRune(phrase, '.') {
+		return Tokenize(phrase)
+	}
+	var words []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			words = append(words, b.String())
+			b.Reset()
+		}
+	}
+	for i := 0; i < len(phrase); {
+		r, sz := utf8.DecodeRuneInString(phrase[i:])
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteString(phrase[i : i+sz])
+			i += sz
+		case r == '\'' && b.Len() > 0:
+			// Same apostrophe rule as scanTokens: it stays inside a
+			// word only when a letter follows.
+			if nr, nsz := utf8.DecodeRuneInString(phrase[i+1:]); nsz > 0 && unicode.IsLetter(nr) {
+				b.WriteByte('\'')
+				i++
+				continue
+			}
+			flush()
+			i++
+		case r == '.':
+			b.WriteByte('.')
+			i++
+			if i < len(phrase) {
+				switch phrase[i] {
+				case '?', '*', '+':
+					b.WriteByte(phrase[i])
+					i++
+				case '{':
+					if j := strings.IndexByte(phrase[i:], '}'); j >= 0 && validRepeat(phrase[i:i+j+1]) {
+						b.WriteString(phrase[i : i+j+1])
+						i += j + 1
+					}
+				}
+			}
+		default:
+			flush()
+			i += sz
+		}
+	}
+	flush()
+	return words
+}
+
+// validRepeat reports whether s is a {n}, {n,} or {n,m} repeat.
+func validRepeat(s string) bool {
+	body := strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+	n, m, comma := strings.Cut(body, ",")
+	if n == "" || !allDigits(n) {
+		return false
+	}
+	return !comma || m == "" || allDigits(m)
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// WordMatcher returns the predicate one query word denotes under the
+// options: a wildcard pattern match over whole tokens (case folded by
+// lower-casing both sides unless case-sensitive) or normalized
+// equality. Both the scan path and the index's verification path build
+// matchers here, which is what keeps them byte-identical.
+func WordMatcher(w string, o Options) func(tok string) bool {
+	if o.Wildcards && HasWildcard(w) {
+		pat := w
+		if !o.CaseSensitive {
+			pat = strings.ToLower(pat)
+		}
+		re := WildcardRegexp(pat)
+		return func(tok string) bool {
+			if !o.CaseSensitive {
+				tok = strings.ToLower(tok)
+			}
+			return re.MatchString(tok)
+		}
+	}
+	want := normalize(w, o)
+	return func(tok string) bool { return normalize(tok, o) == want }
+}
+
 // ContainsPhrase reports whether the token sequence contains the phrase
 // (consecutive match) under the given options.
 func ContainsPhrase(tokens []string, phrase string, o Options) bool {
-	want := Tokenize(phrase)
+	want := QueryWords(phrase, o)
 	if len(want) == 0 {
 		return false
 	}
-	for i := range want {
-		want[i] = normalize(want[i], o)
+	preds := make([]func(string) bool, len(want))
+	for i, w := range want {
+		preds[i] = WordMatcher(w, o)
 	}
-	norm := make([]string, len(tokens))
-	for i, t := range tokens {
-		norm[i] = normalize(t, o)
-	}
-	for i := 0; i+len(want) <= len(norm); i++ {
+	for i := 0; i+len(preds) <= len(tokens); i++ {
 		ok := true
-		for j := range want {
-			if norm[i+j] != want[j] {
+		for j, p := range preds {
+			if !p(tokens[i+j]) {
 				ok = false
 				break
 			}
@@ -83,7 +310,7 @@ func ContainsPhrase(tokens []string, phrase string, o Options) bool {
 
 // ContainsAnyWord reports whether any single word of phrase occurs.
 func ContainsAnyWord(tokens []string, phrase string, o Options) bool {
-	for _, w := range Tokenize(phrase) {
+	for _, w := range QueryWords(phrase, o) {
 		if ContainsPhrase(tokens, w, o) {
 			return true
 		}
@@ -94,7 +321,7 @@ func ContainsAnyWord(tokens []string, phrase string, o Options) bool {
 // ContainsAllWords reports whether every word of phrase occurs
 // (anywhere, not necessarily consecutive).
 func ContainsAllWords(tokens []string, phrase string, o Options) bool {
-	words := Tokenize(phrase)
+	words := QueryWords(phrase, o)
 	if len(words) == 0 {
 		return false
 	}

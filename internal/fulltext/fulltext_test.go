@@ -213,3 +213,79 @@ func TestPhraseSelfContainmentProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestQueryWords(t *testing.T) {
+	wc := Options{Wildcards: true}
+	cases := []struct {
+		phrase string
+		o      Options
+		want   []string
+	}{
+		// Without wildcards, QueryWords is exactly the tokenizer.
+		{"fish.* reef", Options{}, []string{"fish", "reef"}},
+		// With wildcards, the constructs stay attached to their word.
+		{"fish.* reef", wc, []string{"fish.*", "reef"}},
+		{"r.?ef", wc, []string{"r.?ef"}},
+		{"colo.{0,1}r", wc, []string{"colo.{0,1}r"}},
+		{".*ing", wc, []string{".*ing"}},
+		// A brace group that is not a valid repeat is an ordinary
+		// separator run, same as WildcardRegexp treats it.
+		{"a.{x}b", wc, []string{"a.", "x", "b"}},
+		// The apostrophe rule matches scanTokens.
+		{"don't d.n't", wc, []string{"don't", "d.n't"}},
+		{"a, b.c", wc, []string{"a", "b.c"}},
+	}
+	for _, c := range cases {
+		got := QueryWords(c.phrase, c.o)
+		if len(got) != len(c.want) {
+			t.Errorf("QueryWords(%q, wc=%v) = %v, want %v", c.phrase, c.o.Wildcards, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("QueryWords(%q, wc=%v)[%d] = %q, want %q", c.phrase, c.o.Wildcards, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestTokenizeAllocs pins the tokenizer's allocation behaviour: the
+// scanner iterates the string in place (no []rune copy), so the only
+// allocations are the output slice's growth doublings.
+func TestTokenizeAllocs(t *testing.T) {
+	text := strings.Repeat("the quick brown fox jumps over the lazy dog ", 8)
+	nTokens := len(Tokenize(text))
+	spans := make([]Span, 0, nTokens)
+	avg := testing.AllocsPerRun(100, func() {
+		spans = spans[:0]
+		scanTokens(text, func(s, e int) { spans = append(spans, Span{Start: s, End: e}) })
+	})
+	if avg != 0 {
+		t.Errorf("scanTokens into a preallocated slice allocates %.1f times per run, want 0 (a []rune copy would be ~1 per call)", avg)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	text := strings.Repeat("the quick brown fox jumps over the lazy dog ", 32)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		if len(Tokenize(text)) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+func BenchmarkTokenizeSpansReuse(b *testing.B) {
+	text := strings.Repeat("the quick brown fox jumps over the lazy dog ", 32)
+	var spans []Span
+	b.ReportAllocs()
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		spans = spans[:0]
+		scanTokens(text, func(s, e int) { spans = append(spans, Span{Start: s, End: e}) })
+	}
+	if len(spans) == 0 {
+		b.Fatal("no tokens")
+	}
+}

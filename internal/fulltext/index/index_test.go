@@ -1,0 +1,358 @@
+package index_test
+
+import (
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/fulltext"
+	ftindex "repro/internal/fulltext/index"
+	"repro/internal/markup"
+)
+
+// ftDoc has clean windows, a split token (`anti<b>body</b>` merges to
+// "antibody" in the stream while <b> locally reads "body"), repeated
+// vocabulary for scoring, and wildcard targets.
+func ftDoc(t testing.TB) *dom.Node {
+	t.Helper()
+	d, err := markup.Parse(`<root id="r">
+  <a id="a1">the marlin swims past the coral reef</a>
+  <a id="a2">coral coral reef fishing boats</a>
+  <a id="a3">anti<b id="b1">body</b> research notes</a>
+  <a id="a4">nothing of note here</a>
+</root>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func elem(t *testing.T, root *dom.Node, id string) *dom.Node {
+	t.Helper()
+	var out *dom.Node
+	root.Walk(func(n *dom.Node) bool {
+		if n.Type == dom.ElementNode && n.AttrValue("id") == id {
+			out = n
+			return false
+		}
+		return true
+	})
+	if out == nil {
+		t.Fatalf("no element with id %q", id)
+	}
+	return out
+}
+
+func words(all bool, phrases ...string) ftindex.Words {
+	return ftindex.Words{Phrases: phrases, All: all}
+}
+
+func TestMatchAgreesWithScan(t *testing.T) {
+	doc := ftDoc(t)
+	idx := ftindex.For(doc)
+	sels := []ftindex.Sel{
+		words(false, "marlin"),
+		words(false, "coral reef"),
+		words(true, "coral", "fishing"),
+		ftindex.And{L: words(false, "coral"), R: words(false, "reef")},
+		ftindex.Or{L: words(false, "marlin"), R: words(false, "boats")},
+		ftindex.And{L: words(false, "reef"), R: ftindex.Not{X: words(false, "marlin")}},
+		words(false, ""),
+		words(false, "missing"),
+	}
+	doc.Walk(func(n *dom.Node) bool {
+		if n.Type != dom.ElementNode && n.Type != dom.TextNode {
+			return true
+		}
+		tokens := fulltext.Tokenize(n.StringValue())
+		for _, sel := range sels {
+			want := ftindex.MatchTokens(tokens, sel)
+			got, ok := idx.Match(n, sel)
+			if ok && got != want {
+				t.Errorf("Match(%q, %#v) = %v, scan says %v", n.StringValue(), sel, got, want)
+			}
+		}
+		return true
+	})
+}
+
+// TestMatchRefusesDirtyWindow: <b>body</b> sees only a clipped piece
+// of the stream token "antibody", so the index cannot answer for it
+// and must return ok=false (the caller then scans), for both the
+// joined form and the local piece.
+func TestMatchRefusesDirtyWindow(t *testing.T) {
+	doc := ftDoc(t)
+	idx := ftindex.For(doc)
+	b := elem(t, doc, "b1")
+	for _, w := range []string{"antibody", "body"} {
+		if _, ok := idx.Match(b, words(false, w)); ok {
+			t.Errorf("Match on the split-token node answered %q; must refuse (ok=false)", w)
+		}
+	}
+	// The parent <a> contains the whole merged token: its window is
+	// clean and holds "antibody", not the pieces.
+	a := elem(t, doc, "a3")
+	if m, ok := idx.Match(a, words(false, "antibody")); !ok || !m {
+		t.Errorf(`Match(a3, "antibody") = %v, %v; want true, true`, m, ok)
+	}
+	if m, ok := idx.Match(a, words(false, "body")); !ok || m {
+		t.Errorf(`Match(a3, "body") = %v, %v; want false, true (only the merged form exists)`, m, ok)
+	}
+}
+
+// TestCandidatesSuperset: for every selection, the candidate list must
+// contain every element the scan oracle matches — including <b>body</b>
+// for "body", which only the split-token floor can supply (the postings
+// hold just the merged "antibody").
+func TestCandidatesSuperset(t *testing.T) {
+	doc := ftDoc(t)
+	idx := ftindex.For(doc)
+	root := elem(t, doc, "r")
+	sels := []ftindex.Sel{
+		words(false, "marlin"),
+		words(false, "coral reef"),
+		words(false, "body"),
+		words(false, "antibody"),
+		words(true, "coral", "reef"),
+		ftindex.And{L: words(false, "coral"), R: words(false, "reef")},
+		ftindex.Or{L: words(false, "marlin"), R: words(false, "body")},
+	}
+	for _, sel := range sels {
+		cand, ok := idx.Candidates(root, sel, false)
+		if !ok {
+			t.Fatalf("Candidates(%#v) refused on a fresh index", sel)
+		}
+		in := map[*dom.Node]bool{}
+		for _, n := range cand {
+			in[n] = true
+		}
+		root.Walk(func(n *dom.Node) bool {
+			if n == root || n.Type != dom.ElementNode {
+				return true
+			}
+			if ftindex.MatchTokens(fulltext.Tokenize(n.StringValue()), sel) && !in[n] {
+				t.Errorf("Candidates(%#v) missing matching element id=%q", sel, n.AttrValue("id"))
+			}
+			return true
+		})
+	}
+	// Floor sanity: the split-token node must be a candidate for a word
+	// that only matches its clipped local text.
+	cand, _ := idx.Candidates(root, words(false, "body"), false)
+	found := false
+	for _, n := range cand {
+		if n.AttrValue("id") == "b1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error(`the split-token floor did not supply <b id="b1"> for "body"`)
+	}
+}
+
+// TestCandidatesScoped: candidates stay inside the probe scope, in
+// document order, and exclude the scope itself unless orSelf.
+func TestCandidatesScoped(t *testing.T) {
+	doc := ftDoc(t)
+	idx := ftindex.For(doc)
+	a2 := elem(t, doc, "a2")
+	cand, ok := idx.Candidates(a2, words(false, "coral"), false)
+	if !ok {
+		t.Fatal("Candidates refused")
+	}
+	for _, n := range cand {
+		if n == a2 {
+			t.Error("candidates include the scope without orSelf")
+		}
+		for p := n; p != nil; p = p.Parent() {
+			if p == a2 {
+				return
+			}
+		}
+		t.Errorf("candidate %q escapes the scope", n.StringValue())
+	}
+}
+
+func TestCandidatesWildcards(t *testing.T) {
+	doc := ftDoc(t)
+	idx := ftindex.For(doc)
+	root := elem(t, doc, "r")
+	sel := ftindex.Words{Phrases: []string{"fish.*"}, Opts: fulltext.Options{Wildcards: true}}
+	cand, ok := idx.Candidates(root, sel, false)
+	if !ok {
+		t.Fatal("Candidates refused a wildcard word")
+	}
+	found := false
+	for _, n := range cand {
+		if n.AttrValue("id") == "a2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf(`wildcard "fish.*" candidates missing a2 ("fishing"); got %d candidates`, len(cand))
+	}
+}
+
+func TestScoreAgreesWithScan(t *testing.T) {
+	doc := ftDoc(t)
+	idx := ftindex.For(doc)
+	total, ok := idx.TokenCount()
+	if !ok {
+		t.Fatal("TokenCount refused on a fresh index")
+	}
+	terms := ftindex.ScoreTerms(ftindex.Or{L: words(false, "coral reef"), R: words(false, "marlin")})
+	docTokens := fulltext.Tokenize(doc.StringValue())
+	docCount := func(tm ftindex.Term) int {
+		m := fulltext.WordMatcher(tm.Word, tm.Opts)
+		c := 0
+		for _, tok := range docTokens {
+			if m(tok) {
+				c++
+			}
+		}
+		return c
+	}
+	for _, id := range []string{"a1", "a2", "a4"} {
+		n := elem(t, doc, id)
+		got, ok := idx.Score(n, terms)
+		if !ok {
+			t.Fatalf("Score(%s) refused on a clean window", id)
+		}
+		want := ftindex.ScoreTokens(fulltext.Tokenize(n.StringValue()), total, terms, docCount)
+		if got != want {
+			t.Errorf("Score(%s) = %v, scan says %v", id, got, want)
+		}
+	}
+}
+
+// TestStaleIndexRefuses: after any mutation, a held Doc answers
+// nothing — Match, Candidates, Score, TokenCount and Serialize all
+// report "cannot say".
+func TestStaleIndexRefuses(t *testing.T) {
+	doc := ftDoc(t)
+	idx := ftindex.For(doc)
+	elem(t, doc, "a4").ReplaceElementContent("marlin marlin")
+	if _, ok := idx.Match(elem(t, doc, "a1"), words(false, "marlin")); ok {
+		t.Error("stale Match answered")
+	}
+	if _, ok := idx.Candidates(elem(t, doc, "r"), words(false, "marlin"), false); ok {
+		t.Error("stale Candidates answered")
+	}
+	if _, ok := idx.Score(elem(t, doc, "a1"), []ftindex.Term{{Word: "marlin"}}); ok {
+		t.Error("stale Score answered")
+	}
+	if _, ok := idx.TokenCount(); ok {
+		t.Error("stale TokenCount answered")
+	}
+	if _, ok := idx.Serialize(); ok {
+		t.Error("stale Serialize answered")
+	}
+	// A rebuilt index sees the new text.
+	if m, ok := ftindex.For(doc).Match(elem(t, doc, "a4"), words(false, "marlin")); !ok || !m {
+		t.Errorf("rebuilt Match = %v, %v; want true, true", m, ok)
+	}
+}
+
+func TestSerializeAttachRoundTrip(t *testing.T) {
+	src := ftDoc(t)
+	s, ok := ftindex.For(src).Serialize()
+	if !ok {
+		t.Fatal("Serialize refused a fresh index")
+	}
+
+	dst := ftDoc(t)
+	loadsBefore := ftindex.Snapshot().Loads
+	buildsBefore := ftindex.Snapshot().Builds
+	if err := ftindex.Attach(dst, s); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if d := ftindex.Snapshot().Loads - loadsBefore; d != 1 {
+		t.Errorf("Attach bumped Loads by %d, want 1", d)
+	}
+	idx := ftindex.Fresh(dst)
+	if idx == nil {
+		t.Fatal("Fresh returned nil after Attach")
+	}
+	if d := ftindex.Snapshot().Builds - buildsBefore; d != 0 {
+		t.Errorf("Attach counted %d builds, want 0 (the point of persisting)", d)
+	}
+	// The attached index answers exactly like a built one, split-token
+	// refusals included.
+	for _, c := range []struct {
+		id   string
+		sel  ftindex.Sel
+		want bool
+	}{
+		{"a1", words(false, "marlin"), true},
+		{"a2", words(false, "coral reef"), true},
+		{"a3", words(false, "antibody"), true},
+		{"a4", words(false, "marlin"), false},
+	} {
+		if m, ok := idx.Match(elem(t, dst, c.id), c.sel); !ok || m != c.want {
+			t.Errorf("attached Match(%s) = %v, %v; want %v, true", c.id, m, ok, c.want)
+		}
+	}
+	if _, ok := idx.Match(elem(t, dst, "b1"), words(false, "body")); ok {
+		t.Error("attached index answered for the split-token node; must refuse")
+	}
+}
+
+func TestAttachRejectsCorruptSidecars(t *testing.T) {
+	src := ftDoc(t)
+	good, _ := ftindex.For(src).Serialize()
+	cases := map[string]func(*ftindex.Serialized){
+		"wrong text hash":    func(s *ftindex.Serialized) { s.TextHash++ },
+		"wrong text length":  func(s *ftindex.Serialized) { s.TextLen++ },
+		"short stem table":   func(s *ftindex.Serialized) { s.Stem = s.Stem[:len(s.Stem)-1] },
+		"empty stem":         func(s *ftindex.Serialized) { s.Stem[0] = "" },
+		"span out of bounds": func(s *ftindex.Serialized) { s.TokEnd[len(s.TokEnd)-1] = int32(s.TextLen + 5) },
+		"span inverted":      func(s *ftindex.Serialized) { s.TokEnd[0] = s.TokStart[0] },
+		"split out of range": func(s *ftindex.Serialized) { s.Split = append(s.Split, int32(len(s.TokStart))) },
+	}
+	for name, corrupt := range cases {
+		bad := *good
+		bad.TokStart = append([]int32(nil), good.TokStart...)
+		bad.TokEnd = append([]int32(nil), good.TokEnd...)
+		bad.Stem = append([]string(nil), good.Stem...)
+		bad.Split = append([]int32(nil), good.Split...)
+		corrupt(&bad)
+		dst := ftDoc(t)
+		if err := ftindex.Attach(dst, &bad); err == nil {
+			t.Errorf("%s: Attach accepted a corrupted sidecar", name)
+		}
+		if ftindex.Fresh(dst) != nil {
+			t.Errorf("%s: a rejected Attach still published an index", name)
+		}
+	}
+}
+
+// TestAttachedRoundTripEqualsBuild: a built index and an attached one
+// over the same document agree on every node and selection — the
+// sidecar stores derived data only, never answers.
+func TestAttachedRoundTripEqualsBuild(t *testing.T) {
+	built := ftDoc(t)
+	bIdx := ftindex.For(built)
+	s, _ := bIdx.Serialize()
+	attached := ftDoc(t)
+	if err := ftindex.Attach(attached, s); err != nil {
+		t.Fatal(err)
+	}
+	aIdx := ftindex.Fresh(attached)
+	sels := []ftindex.Sel{
+		words(false, "marlin"),
+		words(false, "coral reef"),
+		words(false, "body"),
+		ftindex.Words{Phrases: []string{"co.*l"}, Opts: fulltext.Options{Wildcards: true}},
+		ftindex.Words{Phrases: []string{"swimming"}, Opts: fulltext.Options{Stemming: true}},
+	}
+	ids := []string{"r", "a1", "a2", "a3", "a4", "b1"}
+	for _, sel := range sels {
+		for _, id := range ids {
+			bm, bok := bIdx.Match(elem(t, built, id), sel)
+			am, aok := aIdx.Match(elem(t, attached, id), sel)
+			if bm != am || bok != aok {
+				t.Errorf("built and attached disagree on (%s, %#v): (%v,%v) vs (%v,%v)",
+					id, sel, bm, bok, am, aok)
+			}
+		}
+	}
+}

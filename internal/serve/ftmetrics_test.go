@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// ftPage runs an ftcontains query on load, so serving it exercises the
+// full-text index layer end to end.
+const ftPage = `<html><head><script type="text/xquery">
+replace value of node //span[@id="hit"]
+with string((//p[. ftcontains "marlin"]/@id)[1])
+</script></head><body>
+<p id="p1">the marlin circles the coral reef</p>
+<p id="p2">no fish here</p>
+<span id="hit"></span>
+</body></html>`
+
+// TestMetricsFullTextCounters: serving a page whose script evaluates
+// ftcontains must advance the pool's FullText metrics — the index
+// layer's builds and probe hits are visible to operators, not just to
+// per-query profilers.
+func TestMetricsFullTextCounters(t *testing.T) {
+	p := NewPool(Config{MaxSessions: 2})
+	before := p.Metrics().FullText
+
+	s, err := p.Load(context.Background(), ftPage, "http://serve.example.com/ft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	after := p.Metrics().FullText
+	if after.Builds <= before.Builds {
+		t.Errorf("FullText.Builds did not grow: %d -> %d", before.Builds, after.Builds)
+	}
+	if after.Hits <= before.Hits {
+		t.Errorf("FullText.Hits did not grow: %d -> %d", before.Hits, after.Hits)
+	}
+	if after.Loads < before.Loads {
+		t.Errorf("FullText.Loads went backwards: %d -> %d", before.Loads, after.Loads)
+	}
+}

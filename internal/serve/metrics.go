@@ -97,6 +97,9 @@ type Metrics struct {
 	// process-wide (internal/dom/index keeps global atomics), not
 	// per-pool: two pools in one process report the same numbers.
 	Index IndexStats `json:"index"`
+	// FullText is the per-document full-text-index layer's counters
+	// (process-wide, like Index).
+	FullText FullTextStats `json:"fulltext"`
 	// Updates is the update-independence partitioner's counters
 	// (process-wide, like Index): how many dead primitives were
 	// eliminated, how many independent groups applied, and how many
@@ -153,4 +156,15 @@ type UpdateStats struct {
 type IndexStats struct {
 	Builds int64 `json:"builds"`
 	Hits   int64 `json:"hits"`
+}
+
+// FullTextStats mirrors the full-text index package's Stats with JSON
+// tags: Builds counts full-text index constructions, Hits counts
+// ftcontains selections and candidate enumerations answered from an
+// index, and Loads counts indexes attached from a store's persisted
+// sidecars instead of built.
+type FullTextStats struct {
+	Builds int64 `json:"builds"`
+	Hits   int64 `json:"hits"`
+	Loads  int64 `json:"loads"`
 }

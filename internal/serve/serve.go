@@ -25,6 +25,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/dom/index"
 	"repro/internal/faultpoint"
+	ftindex "repro/internal/fulltext/index"
 	"repro/internal/xdm"
 	"repro/internal/xmldb"
 	"repro/internal/xqerr"
@@ -424,6 +425,7 @@ func (p *Pool) Metrics() Metrics {
 		Dispatches:       p.dispatches.snapshot(),
 		Cache:            cache,
 		Index:            indexStats(),
+		FullText:         fullTextStats(),
 		Updates:          updateStats(),
 		Failures: FailureStats{
 			PanicsRecovered: xqerr.Recovered(),
@@ -439,6 +441,12 @@ func (p *Pool) Metrics() Metrics {
 func indexStats() IndexStats {
 	s := index.Snapshot()
 	return IndexStats{Builds: s.Builds, Hits: s.Hits}
+}
+
+// fullTextStats snapshots the process-wide full-text-index counters.
+func fullTextStats() FullTextStats {
+	s := ftindex.Snapshot()
+	return FullTextStats{Builds: s.Builds, Hits: s.Hits, Loads: s.Loads}
 }
 
 // updateStats snapshots the process-wide update-partition counters.

@@ -1,0 +1,162 @@
+package xmldb
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	ftindex "repro/internal/fulltext/index"
+)
+
+const ftStoreDoc = `<articles>
+  <article id="a1"><p>The marlin returned to the coral reef at dawn.</p></article>
+  <article id="a2"><p>Coral bleaching spreads across the reef.</p></article>
+  <article id="a3"><p>Nothing notable happened today.</p></article>
+</articles>`
+
+// TestFTPersistAcrossReopen: a checkpoint writes the fresh full-text
+// indexes to per-shard sidecars, and a reopened store attaches them —
+// the first ftcontains after reopen answers without a cold build.
+func TestFTPersistAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutXML("a.xml", ftStoreDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutXML("b.xml", `<notes><n>reef watching</n></notes>`); err != nil {
+		t.Fatal(err)
+	}
+	const q = `//article[. ftcontains "coral reef"]/@id/string()`
+	want, err := s.Query("a.xml", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != "a1" {
+		t.Fatalf("ftcontains before checkpoint = %q, want a1", want)
+	}
+	// The query built the document's index lazily; the checkpoint must
+	// persist it.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	persisted := s.Stats.Snapshot().FTPersisted
+	if persisted == 0 {
+		t.Fatal("checkpoint persisted no full-text indexes")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "ft-*.idx")); len(m) == 0 {
+		t.Fatal("no ft-*.idx sidecars on disk after checkpoint")
+	}
+
+	buildsBefore := ftindex.Snapshot().Builds
+	loadsBefore := ftindex.Snapshot().Loads
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	snap := s2.Stats.Snapshot()
+	if snap.FTLoaded == 0 {
+		t.Error("reopened store loaded no full-text indexes")
+	}
+	if d := ftindex.Snapshot().Loads - loadsBefore; d != snap.FTLoaded {
+		t.Errorf("package Loads grew by %d, store counted %d", d, snap.FTLoaded)
+	}
+	got, err := s2.Query("a.xml", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("ftcontains after reopen = %q, want %q", got, want)
+	}
+	// The attached index answered: no cold build for a.xml's query.
+	if d := ftindex.Snapshot().Builds - buildsBefore; d != 0 {
+		t.Errorf("reopened store rebuilt %d full-text indexes, want 0 (sidecar should answer)", d)
+	}
+
+	// The counters surface at GET /stats for operators.
+	rr := httptest.NewRecorder()
+	s2.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/stats", nil))
+	var stats map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("/stats: %v", err)
+	}
+	if v, ok := stats["ft_loaded"].(float64); !ok || v < 1 {
+		t.Errorf("/stats ft_loaded = %v, want >= 1", stats["ft_loaded"])
+	}
+	if _, ok := stats["ft_persisted"]; !ok {
+		t.Error("/stats missing ft_persisted")
+	}
+}
+
+// TestFTPersistSkipsStaleSidecar: a sidecar whose document changed
+// under it (text hash mismatch) is ignored — the store stays correct
+// and the document lazily rebuilds.
+func TestFTPersistSkipsStaleSidecar(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutXML("a.xml", ftStoreDoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query("a.xml", `count(//article[. ftcontains "marlin"])`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the document after the checkpoint wrote the sidecar, then
+	// checkpoint the new revision WITHOUT its index (no query built
+	// one): the old sidecar now describes stale text.
+	if _, err := s.Update("a.xml", `replace value of node (//article[@id="a3"]/p)[1] with "marlin surprise"`); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the snapshot but keep the stale ft sidecars: simulate a
+	// crash between the data checkpoint and the sidecar write by
+	// restoring the sidecar files from before the update.
+	stale := map[string][]byte{}
+	sidecars, _ := filepath.Glob(filepath.Join(dir, "ft-*.idx"))
+	for _, p := range sidecars {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stale[p] = b
+	}
+	if len(stale) == 0 {
+		t.Fatal("no sidecars to tamper with")
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for p, b := range stale {
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	out, err := s2.Query("a.xml", `count(//article[. ftcontains "marlin"])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "2" {
+		t.Errorf("query over tampered sidecar = %q, want 2 (stale sidecar must not answer)", out)
+	}
+}

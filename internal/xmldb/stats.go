@@ -25,6 +25,10 @@ type Stats struct {
 	walAppends  atomic.Int64
 	walReplays  atomic.Int64
 	checkpoints atomic.Int64
+
+	// Full-text index persistence.
+	ftPersisted atomic.Int64
+	ftLoaded    atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of the counters — a plain value
@@ -56,6 +60,11 @@ type StatsSnapshot struct {
 	WALAppends  int64 `json:"wal_appends"`
 	WALReplays  int64 `json:"wal_replays"`
 	Checkpoints int64 `json:"checkpoints"`
+	// FTPersisted/FTLoaded count full-text indexes written to checkpoint
+	// sidecars and attached back at Open (reopened stores skip those
+	// documents' cold builds).
+	FTPersisted int64 `json:"ft_persisted"`
+	FTLoaded    int64 `json:"ft_loaded"`
 }
 
 // Snapshot copies the counters.
@@ -74,6 +83,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		WALAppends:       s.walAppends.Load(),
 		WALReplays:       s.walReplays.Load(),
 		Checkpoints:      s.checkpoints.Load(),
+		FTPersisted:      s.ftPersisted.Load(),
+		FTLoaded:         s.ftLoaded.Load(),
 	}
 }
 
@@ -83,6 +94,7 @@ func (s *Stats) Reset() {
 		&s.requests, &s.bytesServed, &s.queriesEvaluated, &s.docsServed,
 		&s.puts, &s.gets, &s.deletes, &s.scans, &s.commits, &s.conflicts,
 		&s.walAppends, &s.walReplays, &s.checkpoints,
+		&s.ftPersisted, &s.ftLoaded,
 	} {
 		c.Store(0)
 	}

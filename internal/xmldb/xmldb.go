@@ -153,6 +153,9 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
+	// Attach persisted full-text indexes before the re-checkpoint, so
+	// the checkpoint's sidecar write sees them fresh and re-persists.
+	s.loadFTIndexes()
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	if err := s.checkpointLocked(); err != nil {
@@ -323,6 +326,7 @@ func (s *Store) checkpointLocked() error {
 	if err := wal.WriteSnapshot(filepath.Join(s.dir, snapFile), s.seq, s.snapshotRecords()); err != nil {
 		return fmt.Errorf("xmldb: checkpoint: %w", err)
 	}
+	s.writeFTIndexesLocked()
 	if s.log != nil {
 		s.log.Close()
 	}

@@ -1,0 +1,42 @@
+package analysis
+
+import "testing"
+
+// TestEstimateFTContainsCosts pins the full-text cost model: an
+// ftcontains the planner can turn into an index probe is charged at
+// the post-probe candidate cardinality, while an unindexed ftcontains
+// (dynamic search context, ftnot at the top, non-context scope) is
+// charged a full tokenize-and-scan over the axis expansion.
+func TestEstimateFTContainsCosts(t *testing.T) {
+	probed := estimateOf(t, `//article[. ftcontains "marlin"]`)
+	scanned := estimateOf(t, `//article[. ftcontains ftnot "marlin"]`)
+	if probed >= scanned {
+		t.Errorf("probed ft estimate %d not below scan estimate %d", probed, scanned)
+	}
+	if probed > 100 {
+		t.Errorf("probed ft estimate %d: ftcontains charged at scan cardinality", probed)
+	}
+
+	// Sandwiching in a FLWOR multiplies the per-item cost — the shape
+	// that overran budgets when every ftcontains was costed as a scan.
+	probedLoop := estimateOf(t, `for $q in 1 to 50 return //article[. ftcontains "marlin"]`)
+	scanLoop := estimateOf(t, `for $q in 1 to 50 return //article[. ftcontains ftnot "marlin"]`)
+	if probedLoop >= scanLoop {
+		t.Errorf("looped probe estimate %d not below looped scan estimate %d", probedLoop, scanLoop)
+	}
+}
+
+// TestBudgetDiagnosticFTRegression: the XQ0301 budget warning must
+// stay quiet for an indexed ftcontains page and keep firing for the
+// unindexable form of the same query — the satellite regression for
+// the cost pass.
+func TestBudgetDiagnosticFTRegression(t *testing.T) {
+	probed := estimateOf(t, `//article[. ftcontains "marlin" ftand "reef"]`)
+	if _, warn := BudgetDiagnostic(probed, 200); warn {
+		t.Errorf("XQ0301 fired for planned ftcontains estimate %d under budget 200", probed)
+	}
+	scanned := estimateOf(t, `//article[p ftcontains "marlin"]`)
+	if _, warn := BudgetDiagnostic(scanned, 200); !warn {
+		t.Errorf("XQ0301 silent for unindexed ftcontains estimate %d under budget 200", scanned)
+	}
+}

@@ -201,6 +201,11 @@ func (c *checker) estimate(e ast.Expr) int64 {
 				// charging them at the expanded cardinality made
 				// XQ0301 fire spuriously on indexed pages.
 				t = satAdd(t, card)
+			} else if st.Access == ast.AccessFT {
+				// A full-text probe enumerates candidates from the
+				// document's posting lists — O(matches), like the other
+				// probes — so charge the frontier, not the subtree.
+				t = satAdd(t, card)
 			} else if (st.Axis == ast.AxisDescendant || st.Axis == ast.AxisDescendantOrSelf) &&
 				st.Access == ast.AccessScan {
 				// An unindexed descendant step walks whole subtrees.
@@ -214,7 +219,18 @@ func (c *checker) estimate(e ast.Expr) int64 {
 			if card > cardCap {
 				card = cardCap
 			}
-			for _, pr := range st.Preds {
+			preds := st.Preds
+			if st.Access == ast.AccessFT && len(preds) > 0 {
+				// The planned ftcontains re-applies to the candidates
+				// through the index's token windows — one step per
+				// candidate, not the tokenize-the-subtree cost the
+				// general FTContains estimate charges an unindexed
+				// selection. Without this the probe's own predicate
+				// made XQ0301 fire on indexed full-text pages.
+				t = satAdd(t, card)
+				preds = preds[1:]
+			}
+			for _, pr := range preds {
 				t = satAdd(t, satMul(card, c.estimate(pr)))
 			}
 		}
@@ -275,7 +291,13 @@ func (c *checker) estimate(e ast.Expr) int64 {
 	case ast.GetStyle:
 		return satAdd(1, satAdd(c.estimate(x.Prop), c.estimate(x.Target)))
 	case ast.FTContains:
-		return satAdd(unknownCard, c.estimate(x.X))
+		// An unindexed ftcontains tokenizes every input item's whole
+		// string value — a full subtree scan per item, same unit as an
+		// unindexed descendant step. (Selections planned into an
+		// AccessFT probe are charged post-probe by the Path branch
+		// above, which never reaches this case for the probed
+		// predicate.)
+		return satAdd(satMul(c.cardOf(x.X), descScanCard), c.estimate(x.X))
 	default:
 		return 1
 	}

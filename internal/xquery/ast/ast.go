@@ -347,6 +347,11 @@ const (
 	// step's first predicate pins @id to the string literal recorded
 	// in AccessID.
 	AccessIndexID
+	// AccessFT probes the per-document full-text index: the step's
+	// first predicate is an ftcontains over the context item with
+	// all-literal sources, and candidates come from posting-list
+	// intersection/union instead of a subtree walk.
+	AccessFT
 )
 
 // String returns the access-method name (profiler/debug output).
@@ -356,6 +361,8 @@ func (a AccessMethod) String() string {
 		return "index-name"
 	case AccessIndexID:
 		return "index-id"
+	case AccessFT:
+		return "index-ft"
 	default:
 		return "scan"
 	}
@@ -578,6 +585,9 @@ type FTNot struct{ X FTSelection }
 type FTOptions struct {
 	Stemming      bool
 	CaseSensitive bool
+	// Wildcards enables the W3C wildcard constructs ("." with optional
+	// "?", "*", "+" or "{n,m}" quantifier) in query words.
+	Wildcards bool
 }
 
 func (FTWords) ftNode() {}

@@ -1,0 +1,170 @@
+package funclib
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/fulltext"
+	"repro/internal/xdm"
+	"repro/internal/xquery/parser"
+	"repro/internal/xquery/runtime"
+)
+
+// The full-text helper functions (§3.1-style library extensions for
+// the full-text subsystem): ft:score exposes the TF-IDF relevance the
+// most recent matching ftcontains recorded for a node — usable in
+// order by clauses — and kwic:summarize renders keyword-in-context
+// snippets around phrase occurrences.
+
+func ftName(local string) dom.QName {
+	return dom.QName{Space: parser.FTNamespace, Prefix: "ft", Local: local}
+}
+
+func kwicName(local string) dom.QName {
+	return dom.QName{Space: parser.KWICNamespace, Prefix: "kwic", Local: local}
+}
+
+func registerFullText(reg *runtime.Registry) {
+	// ft:score($node as node()?) as xs:double — the TF-IDF score the
+	// most recent matching ftcontains evaluation recorded for the node,
+	// 0 when it never matched. Scores are query-lifetime state, so
+	// `for $p in //p[. ftcontains "x"] order by ft:score($p) descending`
+	// ranks the matches.
+	reg.Register(&runtime.Function{
+		Name: ftName("score"), MinArgs: 1, MaxArgs: 1,
+		Invoke: func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			it, err := args[0].AtMostOne()
+			if err != nil {
+				return nil, err
+			}
+			if it == nil {
+				return xdm.Singleton(xdm.Double(0)), nil
+			}
+			n, ok := xdm.IsNode(it)
+			if !ok {
+				return nil, fmt.Errorf("ft:score: argument must be a node")
+			}
+			return xdm.Singleton(xdm.Double(ctx.FTScoreFor(n))), nil
+		},
+	})
+
+	// ft:tokenize($input as xs:string?) as xs:string* — the word tokens
+	// of a string under the full-text tokenizer, in order.
+	reg.Register(&runtime.Function{
+		Name: ftName("tokenize"), MinArgs: 1, MaxArgs: 1,
+		Invoke: func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			s, err := stringArg(args[0])
+			if err != nil {
+				return nil, err
+			}
+			toks := fulltext.Tokenize(s)
+			out := make(xdm.Sequence, len(toks))
+			for i, t := range toks {
+				out[i] = xdm.String(t)
+			}
+			return out, nil
+		},
+	})
+
+	// kwic:summarize($node as node()?, $phrase as xs:string) — and a
+	// third $width argument giving the context radius in characters
+	// (default 40). Returns one snippet string per non-overlapping
+	// occurrence of the phrase in the node's string value, each clipped
+	// to the radius and ellipsised where text was cut.
+	reg.Register(&runtime.Function{
+		Name: kwicName("summarize"), MinArgs: 2, MaxArgs: 3,
+		Invoke: func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+			it, err := args[0].AtMostOne()
+			if err != nil || it == nil {
+				return nil, err
+			}
+			n, ok := xdm.IsNode(it)
+			if !ok {
+				return nil, fmt.Errorf("kwic:summarize: first argument must be a node")
+			}
+			phrase, err := stringArg(args[1])
+			if err != nil {
+				return nil, err
+			}
+			width := int64(40)
+			if len(args) == 3 {
+				if width, err = intArg(args[2]); err != nil {
+					return nil, err
+				}
+				if width < 0 {
+					width = 0
+				}
+			}
+			snips := kwicSnippets(n.StringValue(), phrase, int(width))
+			out := make(xdm.Sequence, len(snips))
+			for i, s := range snips {
+				out[i] = xdm.String(s)
+			}
+			return out, nil
+		},
+	})
+}
+
+// kwicSnippets finds the non-overlapping occurrences of phrase in text
+// (case-insensitive whole-token matching, like a plain ftcontains) and
+// returns one context snippet per occurrence.
+func kwicSnippets(text, phrase string, width int) []string {
+	want := fulltext.Tokenize(phrase)
+	if len(want) == 0 {
+		return nil
+	}
+	preds := make([]func(string) bool, len(want))
+	for i, w := range want {
+		preds[i] = fulltext.WordMatcher(w, fulltext.Options{})
+	}
+	spans := fulltext.TokenizeSpans(text)
+	var out []string
+	for i := 0; i+len(want) <= len(spans); i++ {
+		match := true
+		for j, p := range preds {
+			s := spans[i+j]
+			if !p(text[s.Start:s.End]) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		out = append(out, kwicClip(text, spans[i].Start, spans[i+len(want)-1].End, width))
+		i += len(want) - 1 // non-overlapping: resume after this occurrence
+	}
+	return out
+}
+
+// kwicClip cuts the context window around [start, end), snapping the
+// cuts to rune boundaries and marking clipped sides with an ellipsis.
+func kwicClip(text string, start, end, width int) string {
+	lo := start - width
+	if lo < 0 {
+		lo = 0
+	}
+	for lo > 0 && !isRuneStart(text[lo]) {
+		lo--
+	}
+	hi := end + width
+	if hi > len(text) {
+		hi = len(text)
+	}
+	for hi < len(text) && !isRuneStart(text[hi]) {
+		hi++
+	}
+	var b strings.Builder
+	if lo > 0 {
+		b.WriteString("…")
+	}
+	b.WriteString(text[lo:hi])
+	if hi < len(text) {
+		b.WriteString("…")
+	}
+	return b.String()
+}
+
+// isRuneStart reports whether b can begin a UTF-8 sequence.
+func isRuneStart(b byte) bool { return b&0xC0 != 0x80 }

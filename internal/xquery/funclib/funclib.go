@@ -32,6 +32,7 @@ func Register(reg *runtime.Registry) error {
 	registerDocs(reg)
 	registerContext(reg)
 	registerConstructors(reg)
+	registerFullText(reg)
 	// Last: attaches lazy Stream entry points to the functions above.
 	return registerStreaming(reg)
 }

@@ -21,6 +21,10 @@ const (
 	LocalNamespace   = "http://www.w3.org/2005/xquery-local-functions"
 	BrowserNamespace = "http://www.example.com/browser" // paper §4.2
 	XMLNamespace     = "http://www.w3.org/XML/1998/namespace"
+	// FTNamespace hosts the full-text helper functions (ft:score,
+	// ft:tokenize); KWICNamespace hosts keyword-in-context snippets.
+	FTNamespace   = "http://www.example.com/fulltext"
+	KWICNamespace = "http://www.example.com/kwic"
 )
 
 // Error is a syntax error with line/column information (both 1-based;
@@ -79,6 +83,8 @@ func newParser(src string) *Parser {
 			"local":   LocalNamespace,
 			"browser": BrowserNamespace,
 			"xml":     XMLNamespace,
+			"ft":      FTNamespace,
+			"kwic":    KWICNamespace,
 		},
 		defaultFnNS: FnNamespace,
 	}

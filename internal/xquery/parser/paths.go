@@ -618,6 +618,16 @@ func (p *Parser) parseFTOptions() (ast.FTOptions, bool) {
 			p.next()
 			o.Stemming = false
 			any = true
+		case t.IsName("with") && p.peekAt(1).IsName("wildcards"):
+			p.next()
+			p.next()
+			o.Wildcards = true
+			any = true
+		case t.IsName("without") && p.peekAt(1).IsName("wildcards"):
+			p.next()
+			p.next()
+			o.Wildcards = false
+			any = true
 		case t.IsName("case") && (p.peekAt(1).IsName("sensitive") || p.peekAt(1).IsName("insensitive")):
 			p.next()
 			o.CaseSensitive = p.next().Local == "sensitive"
@@ -648,6 +658,7 @@ func mergeFTOptions(inner, outer ast.FTOptions) ast.FTOptions {
 	return ast.FTOptions{
 		Stemming:      inner.Stemming || outer.Stemming,
 		CaseSensitive: inner.CaseSensitive || outer.CaseSensitive,
+		Wildcards:     inner.Wildcards || outer.Wildcards,
 	}
 }
 

@@ -1,0 +1,92 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/xquery/ast"
+	"repro/internal/xquery/parser"
+)
+
+// ftPlanned parses a single-path query, runs the //-rewrite the
+// evaluator runs, and returns the merged steps' access annotations.
+func ftPlanned(t *testing.T, src string) []ast.Step {
+	t.Helper()
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	Annotate(m)
+	p, ok := m.Body.(ast.Path)
+	if !ok {
+		t.Fatalf("body of %q is %T, want Path", src, m.Body)
+	}
+	return RewriteDescendantSteps(p.Steps)
+}
+
+func TestPlanStepFTProbe(t *testing.T) {
+	cases := []struct {
+		src  string
+		want ast.AccessMethod
+	}{
+		// The canonical probed shape: descendant step, context-item
+		// ftcontains, literal words.
+		{`//article[. ftcontains "marlin"]`, ast.AccessFT},
+		// Phrases, sequences, and boolean combinations of literals
+		// still plan; ftnot at the top bounds nothing and scans — the
+		// element-name index still answers the step itself.
+		{`//article[. ftcontains "coral reef"]`, ast.AccessFT},
+		{`//article[. ftcontains { ("a", "b") } any]`, ast.AccessFT},
+		{`//article[. ftcontains "a" ftand "b"]`, ast.AccessFT},
+		{`//article[. ftcontains "a" ftor "b"]`, ast.AccessFT},
+		{`//article[. ftcontains ftnot "a"]`, ast.AccessIndexName},
+		// Dynamic sources must wait for evaluation.
+		{`//article[. ftcontains { string(@q) }]`, ast.AccessIndexName},
+		// A non-context search context is an ordinary predicate.
+		{`//article[p ftcontains "a"]`, ast.AccessIndexName},
+	}
+	for _, c := range cases {
+		steps := ftPlanned(t, c.src)
+		if len(steps) != 1 {
+			t.Fatalf("%q merged to %d steps, want 1", c.src, len(steps))
+		}
+		if steps[0].Access != c.want {
+			t.Errorf("%q planned %v, want %v", c.src, steps[0].Access, c.want)
+		}
+	}
+}
+
+func TestPlanStepFTProbeKindTests(t *testing.T) {
+	// text() and element() tests may probe; node() and comment() match
+	// kinds the index never ranges and must scan.
+	for src, want := range map[string]ast.AccessMethod{
+		`//text()[. ftcontains "a"]`:    ast.AccessFT,
+		`//node()[. ftcontains "a"]`:    ast.AccessScan,
+		`//comment()[. ftcontains "a"]`: ast.AccessScan,
+	} {
+		steps := ftPlanned(t, src)
+		if steps[0].Access != want {
+			t.Errorf("%q planned %v, want %v", src, steps[0].Access, want)
+		}
+	}
+}
+
+func TestFTProbeSelectionRoundTrip(t *testing.T) {
+	steps := ftPlanned(t, `//article[. ftcontains { ("b", "c") } ftand "a"]`)
+	if steps[0].Access != ast.AccessFT {
+		t.Fatalf("planned %v, want AccessFT", steps[0].Access)
+	}
+	sel, ok := FTProbeSelection(steps[0].Preds[0])
+	if !ok {
+		t.Fatal("FTProbeSelection rejected the planned predicate")
+	}
+	and, ok := sel.(ast.FTAnd)
+	if !ok {
+		t.Fatalf("selection is %T, want FTAnd", sel)
+	}
+	if ph, _ := FTStaticPhrases(and.L.(ast.FTWords).Source); len(ph) != 2 {
+		t.Errorf("left phrases = %v, want [b c]", ph)
+	}
+	if ph, _ := FTStaticPhrases(and.R.(ast.FTWords).Source); len(ph) != 1 || ph[0] != "a" {
+		t.Errorf("right phrases = %v, want [a]", ph)
+	}
+}

@@ -485,8 +485,57 @@ func rewriteForPushdown(e ast.Expr, v dom.QName) (ast.Expr, bool) {
 			}
 		}
 		return ast.Path{Absolute: false, Steps: steps}, true
+	case ast.FTContains:
+		// `$v ftcontains S` becomes `. ftcontains S` over the candidate
+		// node. Rewriting matters beyond generality: the planned
+		// predicate is exactly the shape PlanStep upgrades to an
+		// AccessFT posting-list probe when the sources are literals.
+		cx, ok := rewriteForPushdown(x.X, v)
+		if !ok {
+			return nil, false
+		}
+		sel, ok := rewriteFTForPushdown(x.Sel, v)
+		if !ok {
+			return nil, false
+		}
+		return ast.FTContains{X: cx, Sel: sel}, true
 	}
 	return nil, false
+}
+
+// rewriteFTForPushdown rewrites the word sources of a full-text
+// selection for predicate pushdown (see rewriteForPushdown).
+func rewriteFTForPushdown(sel ast.FTSelection, v dom.QName) (ast.FTSelection, bool) {
+	switch s := sel.(type) {
+	case ast.FTWords:
+		src, ok := rewriteForPushdown(s.Source, v)
+		if !ok {
+			return nil, false
+		}
+		return ast.FTWords{Source: src, AnyAll: s.AnyAll, Opts: s.Opts}, true
+	case ast.FTAnd:
+		l, ok1 := rewriteFTForPushdown(s.L, v)
+		r, ok2 := rewriteFTForPushdown(s.R, v)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return ast.FTAnd{L: l, R: r}, true
+	case ast.FTOr:
+		l, ok1 := rewriteFTForPushdown(s.L, v)
+		r, ok2 := rewriteFTForPushdown(s.R, v)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return ast.FTOr{L: l, R: r}, true
+	case ast.FTNot:
+		x, ok := rewriteFTForPushdown(s.X, v)
+		if !ok {
+			return nil, false
+		}
+		return ast.FTNot{X: x}, true
+	default:
+		return nil, false
+	}
 }
 
 // hoistLets wraps loop-invariant let bindings (pure, independent of

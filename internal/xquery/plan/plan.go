@@ -66,6 +66,10 @@ func PlanStep(s *ast.Step) {
 			s.Access, s.AccessID = ast.AccessIndexID, id
 			return
 		}
+		if sel, ok := ftProbePred(s.Preds[0]); ok && ftSelAnswerable(sel) && ftProbeTestOK(s.Test) {
+			s.Access = ast.AccessFT
+			return
+		}
 	}
 	if _, _, ok := ProbeName(s.Test); ok {
 		s.Access = ast.AccessIndexName

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/dom"
-	"repro/internal/fulltext"
 	"repro/internal/xdm"
 	"repro/internal/xquery/ast"
 )
@@ -769,68 +768,17 @@ func (ctx *Context) evalFTContains(x ast.FTContains) (xdm.Sequence, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Word sources resolve once, eagerly — before any item is matched
+	// and identically on the index and scan paths, so indexed and
+	// scan-only runs surface the same errors in the same order.
+	sel, err := ctx.resolveFTSelection(x.Sel)
+	if err != nil {
+		return nil, err
+	}
 	for _, it := range s {
-		tokens := fulltext.Tokenize(xdm.Atomize(it).String())
-		ok, err := ctx.matchFTSelection(tokens, x.Sel)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
+		if ctx.ftMatchItem(it, sel) {
 			return xdm.Singleton(xdm.Boolean(true)), nil
 		}
 	}
 	return xdm.Singleton(xdm.Boolean(false)), nil
-}
-
-func (ctx *Context) matchFTSelection(tokens []string, sel ast.FTSelection) (bool, error) {
-	switch s := sel.(type) {
-	case ast.FTWords:
-		phrases, err := ctx.Eval(s.Source)
-		if err != nil {
-			return false, err
-		}
-		opts := fulltext.Options{Stemming: s.Opts.Stemming, CaseSensitive: s.Opts.CaseSensitive}
-		if len(phrases) == 0 {
-			return false, nil
-		}
-		// Each string item is a phrase; "any" (default) means any item
-		// may match; "all" requires all items; "any word"/"all words"
-		// split items into single words; "phrase" is consecutive.
-		match := func(phrase string) bool {
-			switch s.AnyAll {
-			case "all":
-				return fulltext.ContainsAllWords(tokens, phrase, opts)
-			default:
-				return fulltext.ContainsPhrase(tokens, phrase, opts)
-			}
-		}
-		anyMode := s.AnyAll != "all"
-		for _, p := range phrases {
-			ok := match(xdm.Atomize(p).String())
-			if ok && anyMode {
-				return true, nil
-			}
-			if !ok && !anyMode {
-				return false, nil
-			}
-		}
-		return !anyMode, nil
-	case ast.FTAnd:
-		l, err := ctx.matchFTSelection(tokens, s.L)
-		if err != nil || !l {
-			return false, err
-		}
-		return ctx.matchFTSelection(tokens, s.R)
-	case ast.FTOr:
-		l, err := ctx.matchFTSelection(tokens, s.L)
-		if err != nil || l {
-			return l, err
-		}
-		return ctx.matchFTSelection(tokens, s.R)
-	case ast.FTNot:
-		ok, err := ctx.matchFTSelection(tokens, s.X)
-		return !ok, err
-	default:
-		return false, fmt.Errorf("xquery: unknown full-text selection %T", sel)
-	}
 }

@@ -3,6 +3,7 @@ package runtime
 import (
 	"repro/internal/dom"
 	"repro/internal/dom/index"
+	ftindex "repro/internal/fulltext/index"
 	"repro/internal/xdm"
 	"repro/internal/xquery/ast"
 	"repro/internal/xquery/plan"
@@ -30,6 +31,9 @@ func (ctx *Context) probeIndex(n *dom.Node, step *ast.Step) ([]*dom.Node, bool) 
 		return nil, false
 	}
 	orSelf := step.Axis == ast.AxisDescendantOrSelf
+	if step.Access == ast.AccessFT {
+		return ctx.probeFTIndex(n, step, orSelf)
+	}
 	idx := index.Probe(n)
 	if idx == nil {
 		return nil, false
@@ -52,6 +56,46 @@ func (ctx *Context) probeIndex(n *dom.Node, step *ast.Step) ([]*dom.Node, bool) 
 		return nil, false
 	}
 	if ctx.Profiler != nil {
+		ctx.Profiler.recordIndexHits("Path", 1)
+	}
+	return cand, true
+}
+
+// probeFTIndex answers an AccessFT step's candidates from the
+// full-text index: the planner guaranteed the first predicate is
+// ". ftcontains <literal selection>", so the posting lists bound the
+// nodes that can match it — intersected for ftand, unioned for ftor —
+// and the evaluator re-applies the node test and every predicate (the
+// ftcontains included) to each candidate, exactly as for the other
+// probes. ok is false whenever the index cannot answer; the caller
+// then scans the axis.
+func (ctx *Context) probeFTIndex(n *dom.Node, step *ast.Step, orSelf bool) ([]*dom.Node, bool) {
+	if len(step.Preds) == 0 {
+		return nil, false
+	}
+	selAST, okSel := plan.FTProbeSelection(step.Preds[0])
+	if !okSel {
+		return nil, false
+	}
+	sel, err := ctx.resolveFTSelection(selAST)
+	if err != nil {
+		// Literal sources cannot fail to evaluate; treat a failure as
+		// "cannot answer" and let the scan surface it.
+		return nil, false
+	}
+	idx, built := ftindex.Probe(n)
+	if built && ctx.Profiler != nil {
+		ctx.Profiler.AddFT("builds", 1)
+	}
+	if idx == nil {
+		return nil, false
+	}
+	cand, okC := idx.Candidates(n, sel, orSelf)
+	if !okC {
+		return nil, false
+	}
+	if ctx.Profiler != nil {
+		ctx.Profiler.AddFT("probes", 1)
 		ctx.Profiler.recordIndexHits("Path", 1)
 	}
 	return cand, true

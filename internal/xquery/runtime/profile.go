@@ -19,6 +19,7 @@ type Profiler struct {
 	entries  map[string]*ProfileEntry
 	rewrites map[string]int64
 	updates  map[string]int64
+	ft       map[string]int64
 }
 
 // ProfileEntry accumulates one expression kind's statistics. Items
@@ -131,6 +132,30 @@ func (p *Profiler) UpdatesFor(kind string) int64 {
 	return p.updates[kind]
 }
 
+// AddFT adds to a named full-text counter. The evaluator credits
+// "probes" for ftcontains selections answered from a full-text index
+// and "builds" for index constructions its probes triggered, so a
+// profile shows whether a full-text workload ran indexed or kept
+// falling back to scans.
+func (p *Profiler) AddFT(kind string, n int64) {
+	if n == 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.ft == nil {
+		p.ft = map[string]int64{}
+	}
+	p.ft[kind] += n
+	p.mu.Unlock()
+}
+
+// FTFor returns a named full-text counter (see AddFT).
+func (p *Profiler) FTFor(kind string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ft[kind]
+}
+
 // recordItems adds to the items-pulled counter of an expression kind.
 func (p *Profiler) recordItems(kind string, n int64) {
 	p.mu.Lock()
@@ -232,6 +257,16 @@ func (p *Profiler) Format() string {
 	sort.Strings(ukinds)
 	for _, k := range ukinds {
 		fmt.Fprintf(&b, "update:%-13s %10d\n", k, p.UpdatesFor(k))
+	}
+	p.mu.Lock()
+	fkinds := make([]string, 0, len(p.ft))
+	for k := range p.ft {
+		fkinds = append(fkinds, k)
+	}
+	p.mu.Unlock()
+	sort.Strings(fkinds)
+	for _, k := range fkinds {
+		fmt.Fprintf(&b, "ft:%-17s %10d\n", k, p.FTFor(k))
 	}
 	return b.String()
 }

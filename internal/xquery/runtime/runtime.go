@@ -392,6 +392,12 @@ type Context struct {
 	// the oracle side of the index differential tests.
 	NoIndex bool
 
+	// ft carries full-text scoring state (the scores ftcontains
+	// recorded, the scan side's per-document statistics cache). A
+	// pointer so every context copy shares one state per query
+	// invocation, like PUL and Budget.
+	ft *ftState
+
 	env     *env
 	globals *env
 	depth   int
@@ -399,7 +405,7 @@ type Context struct {
 
 // NewContext builds a root context for the program.
 func NewContext(p *Program) *Context {
-	ctx := &Context{Prog: p, Now: time.Now(), PUL: &update.PUL{}}
+	ctx := &Context{Prog: p, Now: time.Now(), PUL: &update.PUL{}, ft: newFTState()}
 	ctx.env = nil
 	ctx.globals = nil
 	return ctx

@@ -22,6 +22,14 @@
 //	            through index.For/index.Fresh, which are the only
 //	            places allowed to compare the stamp.
 //
+//	ftversion   the same stamp discipline for the full-text index layer
+//	            (internal/fulltext/index): inside the package, functions
+//	            reading the posting/trigram/range maps (post, stemPost,
+//	            gram, rng) must consult fresh()/version unless they are
+//	            the builder; outside, nobody calls the raw slot
+//	            accessors Node.LoadFTIndexCache/StoreFTIndexCache —
+//	            access goes through index.For/Probe/Fresh/Attach.
+//
 //	planpure    the optimizer and the closure compiler never mutate the
 //	            shared AST: a parsed module is cached and compiled once
 //	            but read by every run, so plan/compile rewrites must
@@ -90,10 +98,10 @@ type finding struct {
 }
 
 func main() {
-	check := flag.String("check", "", "pass to run: progmutate, ctxstruct, idxversion, planpure, storesync, recovercheck or pulapply")
+	check := flag.String("check", "", "pass to run: progmutate, ctxstruct, idxversion, ftversion, planpure, storesync, recovercheck or pulapply")
 	flag.Parse()
 	if *check == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: analyzers -check {progmutate|ctxstruct|idxversion|planpure|storesync|recovercheck|pulapply} dir...")
+		fmt.Fprintln(os.Stderr, "usage: analyzers -check {progmutate|ctxstruct|idxversion|ftversion|planpure|storesync|recovercheck|pulapply} dir...")
 		os.Exit(2)
 	}
 
@@ -113,6 +121,8 @@ func main() {
 				findings = append(findings, ctxStruct(fset, f)...)
 			case "idxversion":
 				findings = append(findings, idxVersion(fset, f)...)
+			case "ftversion":
+				findings = append(findings, ftVersion(fset, f)...)
 			case "planpure":
 				findings = append(findings, planPure(fset, f)...)
 			case "storesync":
@@ -411,6 +421,93 @@ func idxVersionOutside(fset *token.FileSet, file *ast.File) []finding {
 			out = append(out, finding{
 				pos: fset.Position(call.Pos()),
 				msg: fmt.Sprintf("idxversion: %s called outside internal/dom/index; use index.For/index.Fresh, which check the version stamp",
+					sel.Sel.Name),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// --- ftversion ------------------------------------------------------------------
+
+// ftIndexMaps are the full-text Doc fields whose contents are only
+// meaningful for the document version the index was built at: the
+// posting maps (exact and stemmed), the trigram map backing wildcard
+// narrowing, and the per-node token-range map.
+var ftIndexMaps = map[string]bool{
+	"post":     true,
+	"stemPost": true,
+	"gram":     true,
+	"rng":      true,
+}
+
+// ftVersion is idxversion's twin for the full-text index layer
+// (internal/fulltext/index). Inside the package, every non-builder
+// function reading a posting/range map must mention the freshness guard
+// in its body; outside, calls to the raw dom cache slot accessors
+// LoadFTIndexCache/StoreFTIndexCache are flagged — all access goes
+// through index.For/index.Probe/index.Fresh/index.Attach, which own the
+// version-stamp comparison.
+func ftVersion(fset *token.FileSet, file *ast.File) []finding {
+	if file.Name.Name == "index" {
+		return ftVersionInside(fset, file)
+	}
+	return ftVersionOutside(fset, file)
+}
+
+func ftVersionInside(fset *token.FileSet, file *ast.File) []finding {
+	var out []finding
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || idxBuilderName.MatchString(fd.Name.Name) {
+			continue
+		}
+		var readsMap, checksVersion bool
+		var firstRead token.Pos
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if ftIndexMaps[x.Sel.Name] && !readsMap {
+					readsMap = true
+					firstRead = x.Pos()
+				}
+				if x.Sel.Name == "fresh" || x.Sel.Name == "version" {
+					checksVersion = true
+				}
+			case *ast.Ident:
+				if x.Name == "fresh" || x.Name == "version" {
+					checksVersion = true
+				}
+			}
+			return true
+		})
+		if readsMap && !checksVersion {
+			out = append(out, finding{
+				pos: fset.Position(firstRead),
+				msg: fmt.Sprintf("ftversion: %s reads a full-text index map without checking the version stamp (call fresh() first)",
+					fd.Name.Name),
+			})
+		}
+	}
+	return out
+}
+
+func ftVersionOutside(fset *token.FileSet, file *ast.File) []finding {
+	var out []finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "LoadFTIndexCache" || sel.Sel.Name == "StoreFTIndexCache" {
+			out = append(out, finding{
+				pos: fset.Position(call.Pos()),
+				msg: fmt.Sprintf("ftversion: %s called outside internal/fulltext/index; use index.For/index.Probe/index.Fresh, which check the version stamp",
 					sel.Sel.Name),
 			})
 		}

@@ -103,6 +103,49 @@ func (n *Node) StoreIndexCache(v any) {}
 	}
 }
 
+func TestFTVersionFlagsUncheckedPostingRead(t *testing.T) {
+	src := `package index
+type Doc struct{ post map[string][]int32; rng map[int]int }
+func (d *Doc) posting(w string) []int32 { return d.post[w] }
+func (d *Doc) rangeOf(n int) int        { return d.rng[n] }
+`
+	got := analyze(t, src, ftVersion)
+	if len(got) != 2 {
+		t.Fatalf("findings = %v, want 2", got)
+	}
+}
+
+func TestFTVersionAllowsGuardedReadAndBuilder(t *testing.T) {
+	src := `package index
+type Doc struct{ post map[string][]int32; version uint64 }
+func (d *Doc) fresh() bool { return d.version == 0 }
+func (d *Doc) posting(w string) []int32 {
+	if !d.fresh() {
+		return nil
+	}
+	return d.post[w]
+}
+func buildTables(d *Doc) { d.post["x"] = nil }
+`
+	if got := analyze(t, src, ftVersion); len(got) != 0 {
+		t.Fatalf("findings = %v, want none", got)
+	}
+}
+
+func TestFTVersionFlagsRawCacheAccessOutsidePackage(t *testing.T) {
+	src := `package runtime
+func peek(n *Node) any { return n.LoadFTIndexCache() }
+func poke(n *Node)     { n.StoreFTIndexCache(nil) }
+type Node struct{}
+func (n *Node) LoadFTIndexCache() any { return nil }
+func (n *Node) StoreFTIndexCache(v any) {}
+`
+	got := analyze(t, src, ftVersion)
+	if len(got) != 2 {
+		t.Fatalf("findings = %v, want 2", got)
+	}
+}
+
 func TestPlanPureFlagsPointerWrites(t *testing.T) {
 	src := `package plan
 import "repro/internal/xquery/ast"
