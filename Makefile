@@ -26,12 +26,12 @@ ci: fmt-check vet vet-invariants build race chaos lint bench-smoke staticcheck g
 # would need golang.org/x/tools.
 vet-invariants:
 	$(GO) run ./tools/analyzers -check progmutate internal/xquery internal/xquery/runtime
-	$(GO) run ./tools/analyzers -check ctxstruct internal/serve internal/rest
+	$(GO) run ./tools/analyzers -check ctxstruct internal/serve internal/rest internal/fed
 	$(GO) run ./tools/analyzers -check idxversion internal/dom/index internal/dom internal/xquery/runtime internal/xquery/funclib internal/serve
 	$(GO) run ./tools/analyzers -check ftversion internal/fulltext/index internal/dom internal/xquery/runtime internal/xquery/funclib internal/xmldb internal/serve
 	$(GO) run ./tools/analyzers -check planpure internal/xquery/plan internal/xquery/compile
 	$(GO) run ./tools/analyzers -check storesync internal/xmldb
-	$(GO) run ./tools/analyzers -check pulapply internal/serve internal/rest \
+	$(GO) run ./tools/analyzers -check pulapply internal/serve internal/rest internal/fed \
 		internal/fulltext internal/xmldb internal/dom/index internal/xdm \
 		internal/xquery internal/xquery/plan internal/xquery/compile \
 		internal/xquery/analysis internal/xquery/funclib internal/xquery/parser \
@@ -71,15 +71,18 @@ race:
 
 # Fault-injection suite: drives the faultpoint matrix (dispatch panics,
 # mid-apply update faults, resolver failures, index-build faults, load
-# shedding, torn store commits and aborted store recoveries)
+# shedding, torn store commits and aborted store recoveries, plus the
+# federation matrix: flaky/torn/hung backends, injected fed.call /
+# fed.merge faults, suppressed hedges and caller cancellation)
 # race-enabled and checks the pool stays serviceable with atomic
-# documents, the store recovers byte-identical state, and the failure
-# counters advance.
+# documents, the store recovers byte-identical state, federated queries
+# return byte-identical results or typed errors without goroutine
+# leaks, and the failure counters advance.
 chaos:
 	$(GO) test -race -count=1 ./internal/faultpoint
 	$(GO) test -race -count=1 -run 'Chaos|Rollback|Fault|Restore' \
 		./internal/serve ./internal/xquery/update ./internal/dom/index \
-		./internal/xmldb
+		./internal/xmldb ./internal/fed ./internal/rest
 
 # Full serving-layer benchmark: asserts the program cache wins >=5x over
 # compile-per-request and writes the BENCH_serve.json snapshot.
@@ -91,6 +94,7 @@ bench:
 	$(GO) run ./cmd/benchstore -check -out BENCH_store.json
 	$(GO) run ./cmd/benchpul -check -out BENCH_pul.json
 	$(GO) run ./cmd/benchft -check -out BENCH_ft.json
+	$(GO) run ./cmd/benchfed -check -out BENCH_fed.json
 
 # Cheap CI gates: one iteration per serving scenario (cache/metrics
 # accounting stays exact), a short fixed-iteration path-index run
@@ -101,7 +105,9 @@ bench:
 # 1 shard, identical document sets), the update gate (partitioned
 # parallel PUL apply at least 2x faster than serial, identical
 # documents), and the full-text gate (indexed ftcontains at least 5x
-# faster than the tokenize-and-scan baseline, byte-identical results).
+# faster than the tokenize-and-scan baseline, byte-identical results),
+# and the federation gate (hedged p99 at least 2x better than unhedged
+# with one stalled backend of four, identical merged results).
 bench-smoke:
 	$(GO) run ./cmd/benchserve -smoke -out BENCH_serve.json
 	$(GO) run ./cmd/benchpath -smoke -out BENCH_pathindex.json
@@ -109,6 +115,7 @@ bench-smoke:
 	$(GO) run ./cmd/benchstore -smoke -out BENCH_store.json
 	$(GO) run ./cmd/benchpul -smoke -out BENCH_pul.json
 	$(GO) run ./cmd/benchft -smoke -out BENCH_ft.json
+	$(GO) run ./cmd/benchfed -smoke -out BENCH_fed.json
 
 experiments:
 	$(GO) run ./cmd/experiments

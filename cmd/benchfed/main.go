@@ -1,0 +1,279 @@
+// Command benchfed measures the federated scatter-gather executor
+// under a slow backend and writes a machine-readable snapshot
+// (BENCH_fed.json by default):
+//
+//	benchfed -out BENCH_fed.json          # full timed run
+//	benchfed -check                       # also assert the hedged p99 wins >=2x
+//	benchfed -smoke                       # short fixed-iteration run (CI gate)
+//
+// Topology: 4 shards, each with a primary and a replica backend. One
+// primary is stalled (-stall, default 40ms) — the tail-latency straggler
+// hedging exists for. Scenarios:
+//
+//	unhedged    DisableHedge: every query waits out the stalled
+//	            primary — the straggler sets the latency floor
+//	hedged      a hedge fires after -hedge-delay and the healthy
+//	            replica answers; first success wins, the straggler
+//	            is cancelled
+//
+// Both scenarios must return byte-identical merged results (asserted
+// before any timing); -check and -smoke assert the hedged p99 is
+// >=2x better than unhedged.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dom"
+	"repro/internal/fed"
+	"repro/internal/markup"
+	"repro/internal/rest"
+	"repro/internal/xdm"
+)
+
+// smokeIters is the fixed per-scenario query count for -smoke: the
+// unhedged op costs one stall (~40ms), so this keeps the smoke run
+// a few seconds while leaving p99 two samples deep.
+const smokeIters = 50
+
+// fullIters is the per-scenario query count for the full run.
+const fullIters = 200
+
+type scenario struct {
+	Name       string    `json:"name"`
+	Iterations int       `json:"iterations"`
+	P50Ns      int64     `json:"p50_ns"`
+	P95Ns      int64     `json:"p95_ns"`
+	P99Ns      int64     `json:"p99_ns"`
+	MeanNs     int64     `json:"mean_ns"`
+	Counters   fed.Stats `json:"counters"`
+}
+
+type snapshot struct {
+	Timestamp       string     `json:"timestamp"`
+	GoVersion       string     `json:"go_version"`
+	Smoke           bool       `json:"smoke"`
+	Shards          int        `json:"shards"`
+	DocsPerShard    int        `json:"docs_per_shard"`
+	StallNs         int64      `json:"stall_ns"`
+	HedgeDelayNs    int64      `json:"hedge_delay_ns"`
+	Scenarios       []scenario `json:"scenarios"`
+	HedgedSpeedup99 float64    `json:"hedged_p99_speedup"`
+}
+
+// startBackend serves one shard's documents through the stock shard
+// module; stall > 0 delays every call (the straggler).
+func startBackend(docs []*dom.Node, stall time.Duration) (*httptest.Server, error) {
+	srv, err := rest.NewModuleServer(fed.ShardModule, nil)
+	if err != nil {
+		return nil, err
+	}
+	srv.Collections = func(uri string) ([]*dom.Node, error) { return docs, nil }
+	h := http.Handler(srv.Handler())
+	if stall > 0 {
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(stall)
+			inner.ServeHTTP(w, r)
+		})
+	}
+	return httptest.NewServer(h), nil
+}
+
+// buildTopology starts nShards shard groups of {primary, replica};
+// shard 0's primary is stalled. Returns the endpoint groups and a
+// close-all func.
+func buildTopology(nShards, docsPerShard int, stall time.Duration) ([][]string, func(), error) {
+	var servers []*httptest.Server
+	closeAll := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	var shards [][]string
+	for s := 0; s < nShards; s++ {
+		var docs []*dom.Node
+		for i := 0; i < docsPerShard; i++ {
+			// Interleave URIs across shards so the k-way merge works.
+			uri := fmt.Sprintf("doc-%04d", i*nShards+s)
+			d, err := markup.Parse(fmt.Sprintf(`<doc uri="%s" shard="%d"/>`, uri, s))
+			if err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			d.BaseURI = uri
+			docs = append(docs, d)
+		}
+		var group []string
+		for r := 0; r < 2; r++ {
+			st := time.Duration(0)
+			if s == 0 && r == 0 {
+				st = stall
+			}
+			ts, err := startBackend(docs, st)
+			if err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			servers = append(servers, ts)
+			group = append(group, ts.URL)
+		}
+		shards = append(shards, group)
+	}
+	return shards, closeAll, nil
+}
+
+// flatten serializes a merged sequence for the correctness gate.
+func flatten(seq xdm.Sequence) string {
+	var b strings.Builder
+	for _, it := range seq {
+		if n, ok := xdm.IsNode(it); ok {
+			b.WriteString(markup.Serialize(n))
+		} else {
+			b.WriteString(it.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// percentile picks the p-th percentile from sorted samples.
+func percentile(sorted []time.Duration, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx].Nanoseconds()
+}
+
+// run executes iters federated collection queries and returns the
+// latency samples plus the flattened first result.
+func run(x *fed.Executor, iters int) ([]time.Duration, string, error) {
+	ctx := context.Background()
+	var first string
+	samples := make([]time.Duration, 0, iters)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		seq, err := x.Collection(ctx, "/")
+		if err != nil {
+			return nil, "", err
+		}
+		samples = append(samples, time.Since(start))
+		if i == 0 {
+			first = flatten(seq)
+		}
+	}
+	return samples, first, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_fed.json", "snapshot output file")
+	smoke := flag.Bool("smoke", false, "short fixed-iteration run (CI regression gate)")
+	check := flag.Bool("check", false, "assert the hedged p99 is >=2x better than unhedged")
+	nShards := flag.Int("fed-shards", 4, "shard count (each with a primary and a replica)")
+	docs := flag.Int("docs", 8, "documents per shard")
+	stall := flag.Duration("stall", 40*time.Millisecond, "stall on the straggler primary")
+	hedgeDelay := flag.Duration("hedge-delay", 3*time.Millisecond, "fixed hedge delay")
+	flag.Parse()
+
+	shards, closeAll, err := buildTopology(*nShards, *docs, *stall)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeAll()
+
+	iters := fullIters
+	if *smoke {
+		iters = smokeIters
+	}
+
+	snap := snapshot{
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		Smoke:        *smoke,
+		Shards:       *nShards,
+		DocsPerShard: *docs,
+		StallNs:      stall.Nanoseconds(),
+		HedgeDelayNs: hedgeDelay.Nanoseconds(),
+	}
+	p99 := map[string]int64{}
+	firsts := map[string]string{}
+
+	for _, sc := range []struct {
+		name string
+		cfg  fed.Config
+	}{
+		{"unhedged", fed.Config{Shards: shards, DisableHedge: true}},
+		{"hedged", fed.Config{Shards: shards, HedgeDelay: *hedgeDelay}},
+	} {
+		x, err := fed.New(sc.cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fed.ResetStats()
+		samples, first, err := run(x, iters)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", sc.name, err))
+		}
+		counters := fed.Snapshot()
+		firsts[sc.name] = first
+
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		var total time.Duration
+		for _, s := range samples {
+			total += s
+		}
+		r := scenario{
+			Name:       sc.name,
+			Iterations: iters,
+			P50Ns:      percentile(samples, 50),
+			P95Ns:      percentile(samples, 95),
+			P99Ns:      percentile(samples, 99),
+			MeanNs:     (total / time.Duration(iters)).Nanoseconds(),
+			Counters:   counters,
+		}
+		p99[sc.name] = r.P99Ns
+		snap.Scenarios = append(snap.Scenarios, r)
+	}
+
+	// Correctness gate: hedging must not change the merged stream.
+	if firsts["hedged"] != firsts["unhedged"] || firsts["hedged"] == "" {
+		fatal(fmt.Errorf("hedged and unhedged merged results differ"))
+	}
+	if p99["hedged"] > 0 {
+		snap.HedgedSpeedup99 = float64(p99["unhedged"]) / float64(p99["hedged"])
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchfed: wrote %s (hedged p99 %.1fms vs unhedged %.1fms, speedup %.1fx)\n",
+		*out, float64(p99["hedged"])/1e6, float64(p99["unhedged"])/1e6, snap.HedgedSpeedup99)
+
+	if (*check || *smoke) && snap.HedgedSpeedup99 < 2 {
+		fatal(fmt.Errorf("hedged p99 speedup %.2fx over unhedged, want >= 2x", snap.HedgedSpeedup99))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfed:", err)
+	os.Exit(1)
+}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dom"
+	"repro/internal/fed"
 	"repro/internal/markup"
 	"repro/internal/serve"
 	"repro/internal/xmldb"
@@ -45,6 +46,9 @@ func main() {
 	stats := flag.Bool("stats", false, "print the serving metrics snapshot as JSON (pool mode)")
 	storeDir := flag.String("store", "", "document store directory: routes fn:doc/fn:collection through the persistent store (empty = no store)")
 	shards := flag.Int("shards", 0, "store shard count for parallel collection scans (0 = default)")
+	fedSpec := flag.String("fed", "", `federated shard backends: comma-separated shard groups, "|"-separated replicas within a group (e.g. "http://a|http://a2,http://b"); routes fn:collection through the scatter-gather executor (-store wins if both are set)`)
+	fedPartial := flag.Bool("fed-partial", false, "degrade federated queries to partial results (with a fed:incomplete diagnostic) instead of failing when a shard is down")
+	fedNoHedge := flag.Bool("fed-no-hedge", false, "disable hedged federated requests (one attempt per backend at a time)")
 	flag.Parse()
 
 	if *pageFile == "" {
@@ -66,9 +70,20 @@ func main() {
 		}
 		defer st.Close()
 	}
+	var fx *fed.Executor
+	if *fedSpec != "" {
+		fx, err = fed.New(fed.Config{
+			Shards:         parseFedSpec(*fedSpec),
+			PartialResults: *fedPartial,
+			DisableHedge:   *fedNoHedge,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
 	if *sessions > 1 {
 		servePool(string(data), *href, *script, *sessions, *maxSessions,
-			*budget, *timeout, *stats, st)
+			*budget, *timeout, *stats, st, fx)
 		return
 	}
 	var opts []core.Option
@@ -77,6 +92,9 @@ func main() {
 	}
 	if st != nil {
 		opts = append(opts, core.WithStoreResolvers(st.Resolver(), st.CollectionResolver(), st.CollectionIterResolver()))
+	} else if fx != nil {
+		ctx := context.Background()
+		opts = append(opts, core.WithStoreResolvers(nil, fx.CollectionResolver(ctx), fx.CollectionIterResolver(ctx)))
 	}
 	h, err := core.LoadPage(string(data), *href, opts...)
 	if err != nil {
@@ -114,7 +132,7 @@ func main() {
 // servePool runs the pool mode: load the page as n concurrent
 // sessions, replay the interaction script on each session's event
 // loop, and report aggregate results.
-func servePool(page, href, script string, n, maxSessions int, budget int64, timeout time.Duration, stats bool, st *xmldb.Store) {
+func servePool(page, href, script string, n, maxSessions int, budget int64, timeout time.Duration, stats bool, st *xmldb.Store, fx *fed.Executor) {
 	if maxSessions <= 0 {
 		maxSessions = n
 	}
@@ -123,6 +141,7 @@ func servePool(page, href, script string, n, maxSessions int, budget int64, time
 		MaxSteps:    budget,
 		Timeout:     timeout,
 		Store:       st,
+		Fed:         fx,
 	})
 	ctx := context.Background()
 
@@ -191,6 +210,28 @@ func servePool(page, href, script string, n, maxSessions int, budget int64, time
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// parseFedSpec splits a -fed value into shard groups: commas separate
+// shards, "|" separates replica endpoints within a shard.
+func parseFedSpec(spec string) [][]string {
+	var shards [][]string
+	for _, group := range strings.Split(spec, ",") {
+		group = strings.TrimSpace(group)
+		if group == "" {
+			continue
+		}
+		var eps []string
+		for _, ep := range strings.Split(group, "|") {
+			if ep = strings.TrimSpace(ep); ep != "" {
+				eps = append(eps, ep)
+			}
+		}
+		if len(eps) > 0 {
+			shards = append(shards, eps)
+		}
+	}
+	return shards
 }
 
 func apply(h *core.Host, step string) error {

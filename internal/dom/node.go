@@ -119,6 +119,18 @@ type Node struct {
 // NewDocument creates an empty document node.
 func NewDocument() *Node { return &Node{Type: DocumentNode} }
 
+// NewDocumentOf creates a document node with the given base URI and
+// adopts the (detached) children into it — the constructor transport
+// layers use to rebuild a document identity around a deserialized
+// root element.
+func NewDocumentOf(baseURI string, children ...*Node) *Node {
+	d := &Node{Type: DocumentNode, BaseURI: baseURI}
+	for _, c := range children {
+		_ = d.AppendChild(c)
+	}
+	return d
+}
+
 // NewElement creates a detached element node.
 func NewElement(name QName) *Node { return &Node{Type: ElementNode, Name: name} }
 

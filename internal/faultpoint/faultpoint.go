@@ -50,6 +50,19 @@ const (
 	// index build is attempted; a fault makes the probe report "no
 	// index" so ftcontains falls back to scanning.
 	PointFTIndexBuild = "ftindex.build"
+	// PointFedCall fires before each federation sub-request attempt
+	// (one hit per HTTP attempt, hedges and retries included); a fault
+	// fails the attempt like a transport error, so it drives breakers
+	// and the retry machinery.
+	PointFedCall = "fed.call"
+	// PointFedMerge fires on every step of the federation k-way result
+	// merge; a fault surfaces as a typed mid-stream error to the
+	// consumer.
+	PointFedMerge = "fed.merge"
+	// PointFedHedge fires when a hedge timer elapses, before the
+	// hedged attempt launches; a fault suppresses the hedge (the
+	// primary attempt keeps running alone).
+	PointFedHedge = "fed.hedge"
 )
 
 // ErrInjected is the default error a fired point returns; every

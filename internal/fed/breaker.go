@@ -1,0 +1,133 @@
+package fed
+
+import (
+	"sync"
+	"time"
+)
+
+// outcome classifies an attempt for the breaker: ok closes, fail
+// counts toward opening, neutral says nothing about backend health (a
+// cancelled loser of a hedge race, a caller mistake the backend
+// rejected correctly) and only releases a half-open probe reservation.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeFail
+	outcomeNeutral
+)
+
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// breaker is a per-backend circuit breaker:
+//
+//	closed    — all calls pass; K consecutive failures open it
+//	open      — all calls rejected until the cooldown elapses
+//	half-open — exactly one in-flight probe; its success closes the
+//	            breaker, its failure re-opens it for another cooldown
+//
+// Allow reserves the half-open probe slot, so concurrent callers
+// cannot stampede a recovering backend: between probes a dead backend
+// sees at most one call per cooldown window. Record must be called
+// exactly once for every Allow()==true attempt — the probe reservation
+// leaks otherwise.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open duration before a probe is admitted
+	now       func() time.Time
+
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool // half-open probe reservation held
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether an attempt may be issued. A true return in the
+// half-open state reserves the single probe slot; the caller must
+// Record the attempt's outcome to release it.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record resolves an attempt admitted by Allow.
+func (b *breaker) Record(o outcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		switch o {
+		case outcomeOK:
+			b.fails = 0
+		case outcomeFail:
+			b.fails++
+			if b.fails >= b.threshold {
+				b.openLocked()
+			}
+		}
+	case stateHalfOpen:
+		b.probing = false
+		switch o {
+		case outcomeOK:
+			b.state = stateClosed
+			b.fails = 0
+		case outcomeFail:
+			b.openLocked()
+		}
+		// neutral: stay half-open, the probe slot is free again.
+	case stateOpen:
+		// A straggler from before the breaker opened; nothing to learn.
+	}
+}
+
+func (b *breaker) openLocked() {
+	b.state = stateOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.probing = false
+	cBreakerOpens.Add(1)
+}
+
+// State reports the current state (tests and diagnostics).
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

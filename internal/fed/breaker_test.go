@@ -1,0 +1,169 @@
+package fed
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(3, time.Second, clk.now)
+
+	// Closed: failures below K keep it closed; an ok resets the streak.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker must allow")
+		}
+		b.Record(outcomeFail)
+	}
+	b.Allow()
+	b.Record(outcomeOK)
+	for i := 0; i < 2; i++ {
+		b.Allow()
+		b.Record(outcomeFail)
+	}
+	if b.State() != stateClosed {
+		t.Fatal("streak was reset; breaker must still be closed")
+	}
+
+	// The K-th consecutive failure opens it.
+	b.Allow()
+	b.Record(outcomeFail)
+	if b.State() != stateOpen {
+		t.Fatal("K consecutive failures must open the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must reject")
+	}
+
+	// After the cooldown: exactly one half-open probe.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed; probe must be admitted")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe must be rejected")
+	}
+	// A neutral outcome (cancelled attempt) releases the reservation
+	// without resolving the state.
+	b.Record(outcomeNeutral)
+	if b.State() != stateHalfOpen {
+		t.Fatal("neutral outcome must keep the breaker half-open")
+	}
+	if !b.Allow() {
+		t.Fatal("released probe slot must be reusable")
+	}
+	// A failed probe re-opens for another full cooldown.
+	b.Record(outcomeFail)
+	if b.State() != stateOpen || b.Allow() {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+	clk.advance(time.Second)
+	b.Allow()
+	b.Record(outcomeOK)
+	if b.State() != stateClosed {
+		t.Fatal("successful probe must close the breaker")
+	}
+}
+
+// TestFaultBreakerBoundsCallsToDeadBackend asserts the acceptance
+// criterion directly: a dead backend sees at most K calls to open the
+// breaker and then at most one probe per cooldown window, no matter
+// how many queries arrive.
+func TestFaultBreakerBoundsCallsToDeadBackend(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	const k = 3
+	cooldown := 200 * time.Millisecond
+	x := newFed(t, Config{
+		Shards:           [][]string{{ts.URL}},
+		MaxRetries:       -1,
+		BreakerThreshold: k,
+		BreakerCooldown:  cooldown,
+		DisableHedge:     true,
+	})
+
+	// Hammer the dead backend with far more queries than K within one
+	// cooldown window.
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		if _, err := x.Collection(context.Background(), "/"); !errors.Is(err, ErrBackendDown) {
+			t.Fatalf("query %d: want ErrBackendDown, got %v", i, err)
+		}
+	}
+	if time.Since(start) > cooldown {
+		t.Skip("50 failing queries outlasted the cooldown window; timing too coarse to assert")
+	}
+	if got := calls.Load(); got > k+1 {
+		t.Errorf("dead backend saw %d calls within one window, want <= %d", got, k+1)
+	}
+	if s := Snapshot(); s.BreakerSkips == 0 {
+		t.Error("want breaker skips recorded")
+	}
+
+	// After the cooldown, exactly one probe goes through per window.
+	before := calls.Load()
+	time.Sleep(cooldown + 20*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		_, _ = x.Collection(context.Background(), "/")
+	}
+	if probed := calls.Load() - before; probed > 1 {
+		t.Errorf("probe window admitted %d calls, want <= 1", probed)
+	}
+}
+
+// TestBreakerRecoversThroughProbe: a backend that heals is readmitted
+// by a successful half-open probe.
+func TestBreakerRecoversThroughProbe(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	docs := map[string]string{"doc-a": `<d/>`}
+	ts := startShard(t, docs, func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if failing.Load() {
+				http.Error(w, "boom", http.StatusInternalServerError)
+				return
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	cooldown := 50 * time.Millisecond
+	x := newFed(t, Config{
+		Shards:           [][]string{{ts.URL}},
+		MaxRetries:       -1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  cooldown,
+		DisableHedge:     true,
+	})
+	for i := 0; i < 4; i++ {
+		_, _ = x.Collection(context.Background(), "/")
+	}
+	if x.breakerFor(ts.URL).State() != stateOpen {
+		t.Fatal("breaker should be open against the failing backend")
+	}
+	failing.Store(false)
+	time.Sleep(cooldown + 10*time.Millisecond)
+	seq, err := x.Collection(context.Background(), "/")
+	if err != nil || len(seq) != 1 {
+		t.Fatalf("healed backend: got %d items, err %v", len(seq), err)
+	}
+	if x.breakerFor(ts.URL).State() != stateClosed {
+		t.Error("successful probe must close the breaker")
+	}
+}

@@ -1,0 +1,396 @@
+// Package fed is the federated scatter-gather executor: the
+// "mediator" architecture the paper's related work (Tout-XML style
+// XML mediation) distributes an XQuery over — a set of REST module
+// servers (internal/rest.ModuleServer), each owning a shard of the
+// document space, queried concurrently and merged back into one
+// URI-ordered sequence.
+//
+// The robustness core wraps every sub-request in the full degraded-
+// mode stack:
+//
+//   - per-backend circuit breakers (closed → open after K consecutive
+//     transient failures, half-open single probe after a cooldown), so
+//     a dead backend costs at most one probe per cooldown window;
+//   - hedged requests: when the primary replica outlives its own
+//     tracked p95, a second attempt races against a replica and the
+//     first success wins, losers cancelled through the context;
+//   - jittered exponential backoff retries, for idempotent reads only;
+//   - graceful degradation: under Config.PartialResults a failed shard
+//     yields the available shards plus a <fed:incomplete> diagnostic
+//     instead of failing the query; otherwise a typed ErrBackendDown.
+//
+// Fault points fed.call / fed.merge / fed.hedge (internal/faultpoint)
+// thread through the pipeline for the chaos suite.
+package fed
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dom"
+	"repro/internal/rest"
+	"repro/internal/xdm"
+	"repro/internal/xquery/ast"
+	"repro/internal/xquery/runtime"
+)
+
+// Namespace is the fed: namespace of the diagnostics this package
+// emits (the <fed:incomplete> element of a degraded gather).
+const Namespace = "urn:xqib:fed"
+
+// ShardNamespace is the module namespace every federated backend
+// serves its shard under (see ShardModule).
+const ShardNamespace = "urn:xqib:fed:shard"
+
+// EndpointsHint is the location hint that routes a module import to
+// the federation instead of a single server:
+//
+//	import module namespace s = "urn:some:svc" at "fed:endpoints";
+//
+// The executor fetches the service description from the first healthy
+// backend and registers one scatter-gather proxy per function.
+const EndpointsHint = "fed:endpoints"
+
+// ShardModule is the library module a federated backend serves: it
+// exposes the backend's share of the document space ("" selects the
+// default collection) through the web-service machinery of
+// internal/rest. Wire a store shard into the ModuleServer's
+// Collections/CollectionsIter and serve this source.
+const ShardModule = `module namespace shard = "` + ShardNamespace + `";
+declare option fn:webservice "true";
+declare function shard:collection($uri) {
+  if ($uri = "") then fn:collection() else fn:collection($uri)
+};`
+
+// DefaultCollectionFn is the shard-module function Collection calls.
+const DefaultCollectionFn = "collection"
+
+// Defaults for the zero Config fields.
+const (
+	DefaultAttemptTimeout   = 2 * time.Second
+	DefaultMaxRetries       = 2
+	DefaultRetryBase        = 10 * time.Millisecond
+	DefaultHedgeDelay       = 20 * time.Millisecond // adaptive fallback while the p95 window is empty
+	DefaultHedgeMin         = 5 * time.Millisecond
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = time.Second
+)
+
+// ErrBackendDown reports a shard whose replicas are all unavailable —
+// open breakers, exhausted retries against transient failures, or hung
+// backends cut off by the per-attempt timeout.
+var ErrBackendDown = errors.New("fed: backend down")
+
+// Config describes a federation.
+type Config struct {
+	// Shards lists the backends: one replica group per shard of the
+	// document space, each replica a base URL of a ModuleServer serving
+	// ShardModule (or a module of the same shape). Order within a group
+	// is preference order; the first healthy replica is the primary.
+	Shards [][]string
+
+	// HTTP is the transport (nil: http.DefaultClient).
+	HTTP *http.Client
+
+	// CollectionFn is the shard-module function Collection invokes
+	// ("" = DefaultCollectionFn).
+	CollectionFn string
+
+	// AttemptTimeout bounds each individual sub-request (0 =
+	// DefaultAttemptTimeout, negative = unbounded). This is what cuts
+	// off a hung backend.
+	AttemptTimeout time.Duration
+
+	// MaxRetries is how many extra rounds an idempotent call may take
+	// after the first fails transiently (0 = DefaultMaxRetries,
+	// negative = no retries).
+	MaxRetries int
+
+	// RetryBase seeds the jittered exponential backoff between rounds
+	// (0 = DefaultRetryBase).
+	RetryBase time.Duration
+
+	// HedgeDelay, when positive, is a fixed delay before the hedged
+	// attempt launches. Zero selects the adaptive delay: the primary
+	// endpoint's tracked p95 latency, never below HedgeMin.
+	HedgeDelay time.Duration
+
+	// HedgeMin floors the adaptive hedge delay (0 = DefaultHedgeMin).
+	HedgeMin time.Duration
+
+	// DisableHedge turns hedged requests off entirely.
+	DisableHedge bool
+
+	// BreakerThreshold is K: consecutive transient failures that open a
+	// backend's breaker (0 = DefaultBreakerThreshold).
+	BreakerThreshold int
+
+	// BreakerCooldown is how long an open breaker rejects before
+	// admitting a half-open probe (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+
+	// PartialResults selects graceful degradation: when some (not all)
+	// shards fail, return the available ones plus a <fed:incomplete>
+	// diagnostic element instead of a typed error.
+	PartialResults bool
+
+	// MaxBody caps each sub-response body (0 = rest.DefaultMaxBody,
+	// negative = unlimited).
+	MaxBody int64
+
+	// Idempotent marks module functions safe to retry and hedge (reads
+	// with no effects). The collection function is always idempotent.
+	Idempotent map[string]bool
+}
+
+// Executor evaluates federated calls over a Config. Safe for
+// concurrent use; breakers and latency windows are per-endpoint and
+// shared across all calls.
+type Executor struct {
+	cfg  Config
+	http *http.Client
+
+	mu       sync.Mutex
+	breakers map[string]*breaker
+	lats     map[string]*latWindow
+}
+
+// New builds an executor, filling Config defaults.
+func New(cfg Config) (*Executor, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("fed: no shards configured")
+	}
+	for i, eps := range cfg.Shards {
+		if len(eps) == 0 {
+			return nil, fmt.Errorf("fed: shard %d has no endpoints", i)
+		}
+	}
+	if cfg.CollectionFn == "" {
+		cfg.CollectionFn = DefaultCollectionFn
+	}
+	if cfg.AttemptTimeout == 0 {
+		cfg.AttemptTimeout = DefaultAttemptTimeout
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = DefaultRetryBase
+	}
+	if cfg.HedgeMin <= 0 {
+		cfg.HedgeMin = DefaultHedgeMin
+	}
+	h := cfg.HTTP
+	if h == nil {
+		h = http.DefaultClient
+	}
+	return &Executor{
+		cfg:      cfg,
+		http:     h,
+		breakers: map[string]*breaker{},
+		lats:     map[string]*latWindow{},
+	}, nil
+}
+
+// Shards reports the configured shard count.
+func (x *Executor) Shards() int { return len(x.cfg.Shards) }
+
+// shardOut is one shard's gather input.
+type shardOut struct {
+	idx   int
+	items []keyedItem
+	err   error
+}
+
+// scatter fans the call out to every shard concurrently and waits for
+// all of them (each bounded by its own retry/timeout budget, so the
+// wait is bounded too).
+func (x *Executor) scatter(ctx context.Context, fn, argsXML string, idempotent bool) []shardOut {
+	cScatters.Add(1)
+	outs := make([]shardOut, len(x.cfg.Shards))
+	var wg sync.WaitGroup
+	for i, eps := range x.cfg.Shards {
+		wg.Add(1)
+		go func(i int, eps []string) {
+			defer wg.Done()
+			items, err := x.callShard(ctx, i, eps, fn, argsXML, idempotent)
+			outs[i] = shardOut{idx: i, items: items, err: err}
+		}(i, eps)
+	}
+	wg.Wait()
+	return outs
+}
+
+// gather turns the shard outputs into one merged stream, applying the
+// degradation policy: strict mode propagates the first failure as a
+// typed error; PartialResults returns the available shards plus a
+// <fed:incomplete> diagnostic — unless every shard failed, which is an
+// error under either policy.
+func (x *Executor) gather(outs []shardOut) (xdm.Iter, error) {
+	parts := make([][]keyedItem, 0, len(outs))
+	var failed []int
+	var errs []error
+	for _, o := range outs {
+		if o.err != nil {
+			failed = append(failed, o.idx)
+			errs = append(errs, o.err)
+			continue
+		}
+		parts = append(parts, o.items)
+	}
+	if len(failed) == 0 {
+		return newMerger(parts, nil), nil
+	}
+	if !x.cfg.PartialResults || len(failed) == len(outs) {
+		return nil, wrapShardErr(failed[0], errs[0])
+	}
+	cPartials.Add(1)
+	return newMerger(parts, xdm.Sequence{incompleteDiagnostic(failed, errs)}), nil
+}
+
+// wrapShardErr types a shard failure: availability-class failures
+// (transport, retryable statuses, hung-backend timeouts) surface as
+// ErrBackendDown; terminal caller-side errors propagate as themselves.
+func wrapShardErr(i int, err error) error {
+	if errors.Is(err, ErrBackendDown) {
+		return fmt.Errorf("fed: shard %d: %w", i, err)
+	}
+	if rest.Retryable(err) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: shard %d: %w", ErrBackendDown, i, err)
+	}
+	return fmt.Errorf("fed: shard %d: %w", i, err)
+}
+
+// CollectionIter evaluates fn:collection over the federation: every
+// shard contributes its share of the collection (uri "" selects each
+// backend's default collection) and the shares merge in document-URI
+// order, streamed through the returned iterator.
+func (x *Executor) CollectionIter(ctx context.Context, uri string) (xdm.Iter, error) {
+	argsXML := rest.EncodeArgs([]xdm.Sequence{xdm.Singleton(xdm.String(uri))})
+	return x.gather(x.scatter(ctx, x.cfg.CollectionFn, argsXML, true))
+}
+
+// Collection is CollectionIter materialized.
+func (x *Executor) Collection(ctx context.Context, uri string) (xdm.Sequence, error) {
+	it, err := x.CollectionIter(ctx, uri)
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Materialize(it)
+}
+
+// CollectionResolver adapts the executor to the engine's
+// fn:collection hook. The resolver types carry no context, so the
+// caller binds one here (the session or request context in serve; the
+// per-call IOContext is not reachable from this seam).
+func (x *Executor) CollectionResolver(ctx context.Context) runtime.CollectionResolver {
+	return func(uri string) ([]*dom.Node, error) {
+		seq, err := x.Collection(ctx, uri)
+		if err != nil {
+			return nil, err
+		}
+		docs := make([]*dom.Node, 0, len(seq))
+		for _, it := range seq {
+			if n, ok := xdm.IsNode(it); ok {
+				docs = append(docs, n)
+			}
+		}
+		return docs, nil
+	}
+}
+
+// CollectionIterResolver is the streaming form of CollectionResolver.
+func (x *Executor) CollectionIterResolver(ctx context.Context) runtime.CollectionIterResolver {
+	return func(uri string) (xdm.Iter, error) {
+		return x.CollectionIter(ctx, uri)
+	}
+}
+
+// Call scatter-gathers a module function across every shard and
+// concatenates the results in shard order (URI order when all results
+// are documents). Only functions marked Idempotent (or the collection
+// function) retry, hedge and fail over; anything else gets exactly one
+// attempt against one replica, because re-executing a call with
+// effects could double-apply them.
+func (x *Executor) Call(ctx context.Context, fn string, args []xdm.Sequence) (xdm.Sequence, error) {
+	it, err := x.gather(x.scatter(ctx, fn, rest.EncodeArgs(args), x.idempotent(fn)))
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Materialize(it)
+}
+
+func (x *Executor) idempotent(fn string) bool {
+	return fn == x.cfg.CollectionFn || x.cfg.Idempotent[fn]
+}
+
+// Resolver materialises `import module namespace p = "uri" at
+// "fed:endpoints"` by fetching the service description from the first
+// healthy backend and registering one scatter-gather proxy per
+// declared function. ctx bounds the description fetch (imports resolve
+// at compile time); proxy calls run under each evaluation's own
+// context.
+func (x *Executor) Resolver(ctx context.Context) runtime.ModuleResolver {
+	return func(imp ast.ModuleImport, reg *runtime.Registry) error {
+		if len(imp.Hints) == 0 || imp.Hints[0] != EndpointsHint {
+			return fmt.Errorf("fed: import of %q: expected location hint %q", imp.URI, EndpointsHint)
+		}
+		ns, fns, err := x.fetchDescription(ctx)
+		if err != nil {
+			return err
+		}
+		if ns != imp.URI {
+			return fmt.Errorf("fed: service namespace %q does not match import %q", ns, imp.URI)
+		}
+		for _, f := range fns {
+			name, arity := f.Name, f.Arity
+			reg.Register(&runtime.Function{
+				Name:    dom.QName{Space: ns, Local: name},
+				MinArgs: arity, MaxArgs: arity,
+				Invoke: func(rctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
+					return x.Call(rctx.IOContext(), name, args)
+				},
+			})
+		}
+		return nil
+	}
+}
+
+// fetchDescription asks the backends, in shard/preference order, for
+// the service description, through the breakers: a federation with a
+// dead first backend still resolves its imports.
+func (x *Executor) fetchDescription(ctx context.Context) (string, []rest.ServiceFunc, error) {
+	var lastErr error
+	for _, eps := range x.cfg.Shards {
+		for _, ep := range eps {
+			br := x.breakerFor(ep)
+			if !br.Allow() {
+				cBreakerSkips.Add(1)
+				continue
+			}
+			ns, fns, err := rest.FetchDescription(ctx, x.http, strings.TrimSuffix(ep, "/"), x.cfg.MaxBody)
+			switch {
+			case err == nil:
+				br.Record(outcomeOK)
+				return ns, fns, nil
+			case rest.Retryable(err):
+				br.Record(outcomeFail)
+			default:
+				br.Record(outcomeNeutral)
+			}
+			lastErr = err
+		}
+	}
+	if lastErr == nil {
+		return "", nil, fmt.Errorf("%w: every backend has an open circuit breaker", ErrBackendDown)
+	}
+	return "", nil, fmt.Errorf("%w: no backend produced a service description: %w", ErrBackendDown, lastErr)
+}

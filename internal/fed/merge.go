@@ -1,0 +1,96 @@
+package fed
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/faultpoint"
+	"repro/internal/markup"
+	"repro/internal/xdm"
+)
+
+// fedMerger streams the gathered shard payloads as one sequence,
+// k-way-merging by document URI (the xmldb shard-merge shape: each
+// part arrives sorted, one merge step per Next). When any item lacks a
+// URI key — module calls returning computed values, not documents —
+// the merge degrades to shard-order concatenation, which is still
+// deterministic. Trailing items (the fed:incomplete diagnostic of a
+// degraded gather) come last.
+type fedMerger struct {
+	parts    [][]keyedItem
+	pos      []int
+	keyed    bool // k-way merge by key vs shard-order concat
+	trailing xdm.Sequence
+	ti       int
+}
+
+func newMerger(parts [][]keyedItem, trailing xdm.Sequence) *fedMerger {
+	keyed := true
+	for _, p := range parts {
+		for i, it := range p {
+			if it.key == "" || (i > 0 && p[i-1].key > it.key) {
+				keyed = false
+				break
+			}
+		}
+		if !keyed {
+			break
+		}
+	}
+	return &fedMerger{parts: parts, pos: make([]int, len(parts)), keyed: keyed, trailing: trailing}
+}
+
+func (m *fedMerger) Next() (xdm.Item, bool, error) {
+	if err := faultpoint.Hit(faultpoint.PointFedMerge); err != nil {
+		return nil, false, fmt.Errorf("fed: merge: %w", err)
+	}
+	best := -1
+	for i := range m.parts {
+		if m.pos[i] >= len(m.parts[i]) {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		if m.keyed && m.parts[i][m.pos[i]].key < m.parts[best][m.pos[best]].key {
+			best = i
+		}
+	}
+	if best >= 0 {
+		it := m.parts[best][m.pos[best]]
+		m.pos[best]++
+		return it.item, true, nil
+	}
+	if m.ti < len(m.trailing) {
+		it := m.trailing[m.ti]
+		m.ti++
+		return it, true, nil
+	}
+	return nil, false, nil
+}
+
+// incompleteDiagnostic builds the <fed:incomplete> element a
+// PartialResults gather appends: which shards are missing and why, as
+// data the query (or the user above it) can inspect.
+func incompleteDiagnostic(failed []int, errs []error) xdm.Item {
+	var idx []string
+	for _, i := range failed {
+		idx = append(idx, strconv.Itoa(i))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<fed:incomplete xmlns:fed="%s" shards="%s">`,
+		markup.EscapeAttr(Namespace), markup.EscapeAttr(strings.Join(idx, " ")))
+	for n, i := range failed {
+		fmt.Fprintf(&b, `<fed:shard index="%d">%s</fed:shard>`, i, markup.EscapeText(errs[n].Error()))
+	}
+	b.WriteString(`</fed:incomplete>`)
+	doc, err := markup.Parse(b.String())
+	if err != nil || doc.DocumentElement() == nil {
+		// Unreachable with escaped content; degrade to a plain string
+		// rather than losing the signal.
+		return xdm.String("fed:incomplete shards " + strings.Join(idx, " "))
+	}
+	return xdm.NewNode(doc.DocumentElement())
+}

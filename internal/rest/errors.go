@@ -1,0 +1,104 @@
+package rest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/xqerr"
+	"repro/internal/xquery"
+)
+
+// The retryable-vs-terminal error taxonomy of the REST transport. The
+// federation layer (internal/fed) keys its retry, hedging and
+// circuit-breaker decisions off these classifications, so the client
+// and server must agree on what each HTTP status means:
+//
+//	400  malformed call (bad args, unknown function)   terminal
+//	413  request body over the server's MaxBody cap    terminal
+//	500  evaluation panic (xqerr.ErrInternal)          retryable
+//	503  server overloaded / program quarantined       retryable
+//	504  budget exhausted or request cancelled         retryable
+var (
+	// ErrBodyTooLarge reports a peer response exceeding the client's
+	// MaxBody cap. Terminal: the same document will be oversized on
+	// every retry.
+	ErrBodyTooLarge = errors.New("rest: response body exceeds size limit")
+	// ErrMalformedPayload reports a wire payload that failed to parse
+	// or decode — a torn response, truncated proxy body or a
+	// non-conforming peer. Classified retryable: a re-fetch can heal
+	// transport damage, and the retry budget bounds the attempts when
+	// it cannot.
+	ErrMalformedPayload = errors.New("rest: malformed payload")
+	// ErrOverloaded reports a server refusing a call because its
+	// MaxConcurrent gate is saturated (HTTP 503).
+	ErrOverloaded = errors.New("rest: server overloaded")
+)
+
+// StatusError is a non-200 response from a peer, preserving the status
+// code so callers can classify the failure.
+type StatusError struct {
+	URL    string
+	Status int
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("rest: %s: %d %s: %s", e.URL, e.Status, http.StatusText(e.Status), e.Msg)
+}
+
+// Retryable reports whether the status indicates a transient server
+// condition (5xx except 501, plus 429) rather than a caller mistake.
+func (e *StatusError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests ||
+		(e.Status >= 500 && e.Status != http.StatusNotImplemented)
+}
+
+// Retryable classifies an error from a rest client call for the
+// federation retry/breaker machinery:
+//
+//   - caller cancellation (context.Canceled / DeadlineExceeded) and
+//     terminal statuses (4xx) are NOT retryable — repeating the call
+//     cannot succeed, and they say nothing bad about backend health;
+//   - retryable statuses (5xx, 429), malformed payloads and anything
+//     else (connection refused, resets, torn bodies — the transport
+//     error soup) ARE retryable.
+//
+// Callers imposing a per-attempt deadline must special-case their own
+// deadline before consulting this, since it surfaces as
+// context.DeadlineExceeded too.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Retryable()
+	}
+	if errors.Is(err, ErrBodyTooLarge) {
+		return false
+	}
+	return true
+}
+
+// statusFor maps a CallContext error onto the HTTP status the
+// taxonomy above promises. Order matters: a panic that also exhausted
+// the budget should report as the panic.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, xqerr.ErrInternal):
+		return http.StatusInternalServerError // 500
+	case errors.Is(err, xquery.ErrBudgetExceeded),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout // 504
+	case errors.Is(err, xquery.ErrQuarantined), errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable // 503
+	default:
+		return http.StatusBadRequest // 400
+	}
+}

@@ -6,15 +6,23 @@
 // synchronous GET the implementation section notes Zorba shipped first
 // (§5.1), with the whole-document client cache the Elsevier migration
 // relies on (§6.1).
+//
+// The package is also the transport substrate of the federation layer
+// (internal/fed): errors.go defines the retryable-vs-terminal taxonomy
+// over HTTP statuses that retries and circuit breakers key off, and
+// the sequence wire format carries an optional per-item document URI
+// so scattered partial results can merge in URI order.
 package rest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dom"
@@ -22,7 +30,6 @@ import (
 	"repro/internal/xdm"
 	"repro/internal/xqerr"
 	"repro/internal/xquery"
-	"repro/internal/xquery/ast"
 	"repro/internal/xquery/runtime"
 )
 
@@ -73,10 +80,27 @@ type ModuleServer struct {
 	docs  runtime.DocResolver
 	Stats ServerStats
 
+	// Collections / CollectionsIter, when set, resolve fn:collection
+	// inside service functions — how a backend exposes its shard of
+	// the document space to the federation layer.
+	Collections     runtime.CollectionResolver
+	CollectionsIter runtime.CollectionIterResolver
+
 	// MaxSteps / Timeout bound every call's evaluation (<= 0:
 	// unlimited), on top of the request context's cancellation.
 	MaxSteps int64
 	Timeout  time.Duration
+
+	// MaxBody caps request bodies, in bytes; 0 uses DefaultMaxBody,
+	// negative disables the cap. Oversized requests fail with 413.
+	MaxBody int64
+
+	// MaxConcurrent, when > 0, bounds concurrently evaluating calls;
+	// excess requests are shed immediately with 503 (the retryable
+	// overload signal of the federation taxonomy) instead of piling
+	// onto a saturated evaluator.
+	MaxConcurrent int
+	inflight      atomic.Int64
 }
 
 // NewModuleServer compiles a library module for serving. The module
@@ -123,6 +147,12 @@ func (s *ModuleServer) Port() int { return s.prog.Module().Port }
 //	GET  /wsdl         — the service description (functions + arities)
 //	POST /call/{name}  — invoke a function; the body is an <args>
 //	                     element with one <arg> per parameter
+//
+// Call errors map onto the status taxonomy federation clients key
+// their retry and breaker decisions off: 400 for malformed calls, 413
+// for oversized request bodies, 500 for evaluation panics, 503 for
+// overload or quarantine, 504 for exhausted budgets and cancelled
+// requests.
 func (s *ModuleServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /wsdl", func(w http.ResponseWriter, r *http.Request) {
@@ -132,16 +162,40 @@ func (s *ModuleServer) Handler() http.Handler {
 		s.Stats.count(n, false)
 	})
 	mux.HandleFunc("POST /call/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if mc := s.MaxConcurrent; mc > 0 {
+			if s.inflight.Add(1) > int64(mc) {
+				s.inflight.Add(-1)
+				s.Stats.count(0, false)
+				http.Error(w, ErrOverloaded.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			defer s.inflight.Add(-1)
+		}
 		name := r.PathValue("name")
-		body, err := io.ReadAll(r.Body)
+		max := s.MaxBody
+		if max == 0 {
+			max = DefaultMaxBody
+		}
+		var body []byte
+		var err error
+		if max > 0 {
+			body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, max))
+		} else {
+			body, err = io.ReadAll(r.Body)
+		}
 		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		out, err := s.CallContext(r.Context(), name, string(body))
 		if err != nil {
 			s.Stats.count(0, true)
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			http.Error(w, err.Error(), statusFor(err))
 			return
 		}
 		w.Header().Set("Content-Type", "application/xml")
@@ -184,11 +238,13 @@ func (s *ModuleServer) CallContext(reqCtx context.Context, name, argsXML string)
 		return "", err
 	}
 	ctx := s.prog.NewContext(xquery.RunConfig{
-		Context:    reqCtx,
-		Docs:       s.docs,
-		Sequential: true,
-		MaxSteps:   s.MaxSteps,
-		Timeout:    s.Timeout,
+		Context:         reqCtx,
+		Docs:            s.docs,
+		Collections:     s.Collections,
+		CollectionsIter: s.CollectionsIter,
+		Sequential:      true,
+		MaxSteps:        s.MaxSteps,
+		Timeout:         s.Timeout,
 	})
 	if err := ctx.InitGlobals(); err != nil {
 		return "", err
@@ -204,12 +260,19 @@ func (s *ModuleServer) CallContext(reqCtx context.Context, name, argsXML string)
 
 // EncodeSequence serializes an XDM sequence for transport: each item is
 // an <item> carrying either a typed lexical value or a node payload.
+// Document nodes additionally record their base URI in a uri
+// attribute, so the document identity (and the federation layer's
+// URI-ordered merge key) survives the wire.
 func EncodeSequence(s xdm.Sequence) string {
 	var b strings.Builder
 	b.WriteString("<result>")
 	for _, it := range s {
 		if n, ok := xdm.IsNode(it); ok {
-			b.WriteString(`<item kind="node">`)
+			if n.Type == dom.DocumentNode && n.BaseURI != "" {
+				fmt.Fprintf(&b, `<item kind="node" uri="%s">`, markup.EscapeAttr(n.BaseURI))
+			} else {
+				b.WriteString(`<item kind="node">`)
+			}
 			b.WriteString(markup.Serialize(n))
 			b.WriteString(`</item>`)
 			continue
@@ -223,33 +286,48 @@ func EncodeSequence(s xdm.Sequence) string {
 
 // DecodeSequence parses the wire format back into a sequence.
 func DecodeSequence(src string) (xdm.Sequence, error) {
+	seq, _, err := DecodeSequenceKeyed(src)
+	return seq, err
+}
+
+// DecodeSequenceKeyed parses the wire format returning, alongside each
+// item, the document URI it was encoded with ("" for non-document
+// items) — the sort key the federation merge orders scattered partial
+// results by.
+func DecodeSequenceKeyed(src string) (xdm.Sequence, []string, error) {
 	doc, err := markup.Parse(src)
 	if err != nil {
-		return nil, fmt.Errorf("rest: malformed result payload: %w", err)
+		return nil, nil, fmt.Errorf("%w: malformed result: %w", ErrMalformedPayload, err)
 	}
 	root := doc.DocumentElement()
 	if root == nil || root.Name.Local != "result" {
-		return nil, fmt.Errorf("rest: unexpected result payload")
+		return nil, nil, fmt.Errorf("%w: unexpected result payload", ErrMalformedPayload)
 	}
 	var out xdm.Sequence
+	var keys []string
 	for _, item := range root.Children() {
 		if item.Type != dom.ElementNode || item.Name.Local != "item" {
 			continue
 		}
 		it, err := decodeItem(item)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, it)
+		keys = append(keys, item.AttrValue("uri"))
 	}
-	return out, nil
+	return out, keys, nil
 }
 
 func decodeItem(item *dom.Node) (xdm.Item, error) {
 	if item.AttrValue("kind") == "node" {
+		uri := item.AttrValue("uri")
 		for _, c := range item.Children() {
 			if c.Type == dom.ElementNode {
 				cp := c.Clone()
+				if uri != "" {
+					return xdm.NewNode(dom.NewDocumentOf(uri, cp)), nil
+				}
 				return xdm.NewNode(cp), nil
 			}
 		}
@@ -264,7 +342,7 @@ func decodeItem(item *dom.Node) (xdm.Item, error) {
 	}
 	v, err := xdm.Cast(xdm.String(text), t)
 	if err != nil {
-		return nil, fmt.Errorf("rest: cannot decode %s %q: %w", typeName, text, err)
+		return nil, fmt.Errorf("%w: cannot decode %s %q: %w", ErrMalformedPayload, typeName, text, err)
 	}
 	return v, nil
 }
@@ -286,11 +364,11 @@ func EncodeArgs(args []xdm.Sequence) string {
 func DecodeArgs(src string) ([]xdm.Sequence, error) {
 	doc, err := markup.Parse(src)
 	if err != nil {
-		return nil, fmt.Errorf("rest: malformed args payload: %w", err)
+		return nil, fmt.Errorf("%w: malformed args: %w", ErrMalformedPayload, err)
 	}
 	root := doc.DocumentElement()
 	if root == nil || root.Name.Local != "args" {
-		return nil, fmt.Errorf("rest: unexpected args payload")
+		return nil, fmt.Errorf("%w: unexpected args payload", ErrMalformedPayload)
 	}
 	var out []xdm.Sequence
 	for _, arg := range root.Children() {
@@ -311,206 +389,4 @@ func DecodeArgs(src string) ([]xdm.Sequence, error) {
 		out = append(out, seq)
 	}
 	return out, nil
-}
-
-// --- client ---------------------------------------------------------------------------
-
-// Client issues REST calls from the engine, with an optional
-// whole-document cache: "whole XML documents can be cached in the
-// browser so that most user requests can be processed without any
-// interaction with the Elsevier server" (§6.1).
-type Client struct {
-	HTTP *http.Client
-
-	mu       sync.Mutex
-	caching  bool
-	cache    map[string]*dom.Node
-	Fetches  int // network requests actually issued
-	CacheHit int
-}
-
-// NewClient builds a client around an http.Client (nil uses the
-// default).
-func NewClient(h *http.Client) *Client {
-	if h == nil {
-		h = http.DefaultClient
-	}
-	return &Client{HTTP: h, cache: map[string]*dom.Node{}}
-}
-
-// EnableCache switches the whole-document cache on or off.
-func (c *Client) EnableCache(on bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.caching = on
-	if !on {
-		c.cache = map[string]*dom.Node{}
-	}
-}
-
-// ClearCache drops all cached documents.
-func (c *Client) ClearCache() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cache = map[string]*dom.Node{}
-}
-
-// Get fetches a URI and parses the body as XML, serving repeated
-// fetches from the cache when enabled.
-func (c *Client) Get(uri string) (*dom.Node, error) {
-	c.mu.Lock()
-	if c.caching {
-		if doc, ok := c.cache[uri]; ok {
-			c.CacheHit++
-			c.mu.Unlock()
-			return doc, nil
-		}
-	}
-	c.mu.Unlock()
-
-	resp, err := c.HTTP.Get(uri)
-	if err != nil {
-		return nil, fmt.Errorf("rest: GET %s: %w", uri, err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("rest: GET %s: %s: %s", uri, resp.Status, strings.TrimSpace(string(body)))
-	}
-	doc, err := markup.Parse(string(body))
-	if err != nil {
-		return nil, fmt.Errorf("rest: GET %s: parsing body: %w", uri, err)
-	}
-	doc.BaseURI = uri
-
-	c.mu.Lock()
-	c.Fetches++
-	if c.caching {
-		c.cache[uri] = doc
-	}
-	c.mu.Unlock()
-	return doc, nil
-}
-
-// RegisterFunctions installs the rest: client functions:
-//
-//	rest:get($uri)        — synchronous GET returning the document (§5.1)
-//	rest:get-text($uri)   — synchronous GET returning the raw body
-func (c *Client) RegisterFunctions(reg *runtime.Registry) {
-	name := func(local string) dom.QName {
-		return dom.QName{Space: Namespace, Prefix: "rest", Local: local}
-	}
-	reg.Register(&runtime.Function{
-		Name: name("get"), MinArgs: 1, MaxArgs: 1,
-		Invoke: func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
-			it, err := xdm.AtomizeSequence(args[0]).One()
-			if err != nil {
-				return nil, err
-			}
-			doc, err := c.Get(it.String())
-			if err != nil {
-				return nil, err
-			}
-			return xdm.Singleton(xdm.NewNode(doc)), nil
-		},
-	})
-	reg.Register(&runtime.Function{
-		Name: name("get-text"), MinArgs: 1, MaxArgs: 1,
-		Invoke: func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
-			it, err := xdm.AtomizeSequence(args[0]).One()
-			if err != nil {
-				return nil, err
-			}
-			resp, err := c.HTTP.Get(it.String())
-			if err != nil {
-				return nil, err
-			}
-			defer resp.Body.Close()
-			body, err := io.ReadAll(resp.Body)
-			if err != nil {
-				return nil, err
-			}
-			c.mu.Lock()
-			c.Fetches++
-			c.mu.Unlock()
-			return xdm.Singleton(xdm.String(string(body))), nil
-		},
-	})
-}
-
-// Resolver returns a module resolver that materialises
-// `import module namespace p = "uri" at "http://host/wsdl"` by fetching
-// the service description and registering one proxy function per
-// declared function — the paper's client side of §3.4. Each proxy call
-// POSTs the arguments and decodes the result sequence.
-func (c *Client) Resolver() runtime.ModuleResolver {
-	return func(imp ast.ModuleImport, reg *runtime.Registry) error {
-		if len(imp.Hints) == 0 {
-			return fmt.Errorf("rest: import of %q needs an \"at\" location hint", imp.URI)
-		}
-		base := strings.TrimSuffix(imp.Hints[0], "/wsdl")
-		resp, err := c.HTTP.Get(base + "/wsdl")
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		body, err := io.ReadAll(resp.Body)
-		if err != nil {
-			return err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("rest: %s/wsdl: %s", base, resp.Status)
-		}
-		desc, err := markup.Parse(string(body))
-		if err != nil {
-			return fmt.Errorf("rest: parsing service description: %w", err)
-		}
-		root := desc.DocumentElement()
-		if root == nil || root.Name.Local != "service" {
-			return fmt.Errorf("rest: %s/wsdl is not a service description", base)
-		}
-		ns := root.AttrValue("namespace")
-		if ns != imp.URI {
-			return fmt.Errorf("rest: service namespace %q does not match import %q", ns, imp.URI)
-		}
-		for _, f := range root.Children() {
-			if f.Type != dom.ElementNode || f.Name.Local != "function" {
-				continue
-			}
-			fname := f.AttrValue("name")
-			arity := 0
-			fmt.Sscanf(f.AttrValue("arity"), "%d", &arity)
-			callURL := base + "/call/" + fname
-			reg.Register(&runtime.Function{
-				Name:    dom.QName{Space: ns, Local: fname},
-				MinArgs: arity, MaxArgs: arity,
-				Invoke: func(ctx *runtime.Context, args []xdm.Sequence) (xdm.Sequence, error) {
-					return c.invoke(callURL, args)
-				},
-			})
-		}
-		return nil
-	}
-}
-
-func (c *Client) invoke(callURL string, args []xdm.Sequence) (xdm.Sequence, error) {
-	resp, err := c.HTTP.Post(callURL, "application/xml", strings.NewReader(EncodeArgs(args)))
-	if err != nil {
-		return nil, fmt.Errorf("rest: calling %s: %w", callURL, err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	c.Fetches++
-	c.mu.Unlock()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("rest: %s: %s: %s", callURL, resp.Status, strings.TrimSpace(string(body)))
-	}
-	return DecodeSequence(string(body))
 }

@@ -1,0 +1,290 @@
+package rest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dom"
+	"repro/internal/xqerr"
+	"repro/internal/xquery"
+)
+
+// --- error taxonomy -------------------------------------------------------------
+
+func TestStatusForMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("wrap: %w", xqerr.ErrInternal), http.StatusInternalServerError},
+		{fmt.Errorf("wrap: %w", xquery.ErrBudgetExceeded), http.StatusGatewayTimeout},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, http.StatusGatewayTimeout},
+		{ErrOverloaded, http.StatusServiceUnavailable},
+		{errors.New("unknown function"), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if got := statusFor(c.err); got != c.want {
+			t.Errorf("statusFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{&StatusError{Status: 400}, false},
+		{&StatusError{Status: 413}, false},
+		{&StatusError{Status: 404}, false},
+		{&StatusError{Status: 501}, false},
+		{&StatusError{Status: 429}, true},
+		{&StatusError{Status: 500}, true},
+		{&StatusError{Status: 503}, true},
+		{&StatusError{Status: 504}, true},
+		{fmt.Errorf("cap: %w", ErrBodyTooLarge), false},
+		{fmt.Errorf("parse: %w", ErrMalformedPayload), true},
+		{errors.New("connection refused"), true},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestHandlerStatusTaxonomy exercises the HTTP-visible half of the
+// mapping: budget exhaustion is 504, malformed calls stay 400,
+// oversized bodies are 413.
+func TestHandlerStatusTaxonomy(t *testing.T) {
+	srv, err := NewModuleServer(`module namespace x = "urn:x";
+declare option fn:webservice "true";
+declare function x:spin($n) { count((1 to $n)[. mod 2 = 0]) };
+declare function x:id($v) { $v };`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.MaxSteps = 500
+	srv.MaxBody = 256
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	post := func(name, body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/call/"+name, "application/xml", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	intArg := func(n int) string {
+		return fmt.Sprintf(`<args><arg><item type="xs:integer">%d</item></arg></args>`, n)
+	}
+	if got := post("id", intArg(7)); got != http.StatusOK {
+		t.Errorf("healthy call: %d", got)
+	}
+	if got := post("spin", intArg(1000000)); got != http.StatusGatewayTimeout {
+		t.Errorf("budget exhaustion: %d, want 504", got)
+	}
+	if got := post("nope", intArg(1)); got != http.StatusBadRequest {
+		t.Errorf("unknown function: %d, want 400", got)
+	}
+	if got := post("id", "<args><arg"); got != http.StatusBadRequest {
+		t.Errorf("malformed args: %d, want 400", got)
+	}
+	big := `<args><arg><item type="xs:string">` + strings.Repeat("x", 1024) + `</item></arg></args>`
+	if got := post("id", big); got != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: %d, want 413", got)
+	}
+}
+
+// TestHandlerShedsOverload: with MaxConcurrent saturated by a slow
+// call, further calls get 503 immediately.
+func TestHandlerShedsOverload(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	srv, err := NewModuleServer(`module namespace x = "urn:x";
+declare option fn:webservice "true";
+declare function x:get($u) { doc($u) };`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.docs = func(uri string) (*dom.Node, error) {
+		started <- struct{}{}
+		<-release
+		return nil, errors.New("released")
+	}
+	srv.MaxConcurrent = 1
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL+"/call/get", "application/xml",
+			strings.NewReader(`<args><arg><item type="xs:string">u</item></arg></args>`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started // the slow call holds the only slot
+
+	resp, err := http.Post(ts.URL+"/call/get", "application/xml",
+		strings.NewReader(`<args><arg><item type="xs:string">u</item></arg></args>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("overloaded call: %d, want 503", resp.StatusCode)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// --- client body cap and cache --------------------------------------------------
+
+func TestClientBodyCap(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "<d>%s</d>", strings.Repeat("x", 4096))
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(nil)
+	c.MaxBody = 128
+	if _, err := c.Get(ts.URL); !errors.Is(err, ErrBodyTooLarge) {
+		t.Errorf("want ErrBodyTooLarge, got %v", err)
+	}
+	c.MaxBody = 8192
+	if _, err := c.Get(ts.URL); err != nil {
+		t.Errorf("body under the cap must fetch: %v", err)
+	}
+}
+
+func TestClientCacheLRUEviction(t *testing.T) {
+	var mu sync.Mutex
+	served := map[string]int{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		served[r.URL.Path]++
+		mu.Unlock()
+		fmt.Fprintf(w, "<d path=%q/>", r.URL.Path)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(nil)
+	c.EnableCache(true)
+	c.SetCacheCapacity(2)
+	get := func(p string) {
+		t.Helper()
+		if _, err := c.Get(ts.URL + p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("/a")
+	get("/b")
+	get("/a") // refresh /a: now /b is the LRU entry
+	get("/c") // evicts /b
+	get("/a") // still cached
+	get("/b") // refetched
+
+	mu.Lock()
+	defer mu.Unlock()
+	if served["/a"] != 1 {
+		t.Errorf("/a fetched %d times, want 1 (LRU refresh should have kept it)", served["/a"])
+	}
+	if served["/b"] != 2 {
+		t.Errorf("/b fetched %d times, want 2 (evicted as LRU)", served["/b"])
+	}
+	st := c.CacheStats()
+	if st.Size != 2 || st.Capacity != 2 || !st.Enabled {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Evictions == 0 || st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("counter snapshot looks wrong: %+v", st)
+	}
+}
+
+// TestChaosClientCacheRace hammers Get / EnableCache / ClearCache /
+// SetCacheCapacity / CacheStats concurrently; run under -race.
+func TestChaosClientCacheRace(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "<d path=%q/>", r.URL.Path)
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(nil)
+	c.EnableCache(true)
+	c.SetCacheCapacity(4)
+
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(300 * time.Millisecond)
+	done := func() bool { return time.Now().After(deadline) }
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; !done(); j++ {
+				if _, err := c.Get(fmt.Sprintf("%s/doc-%d", ts.URL, (i+j)%8)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !done(); i++ {
+			switch i % 4 {
+			case 0:
+				c.EnableCache(i%8 == 0)
+			case 1:
+				c.ClearCache()
+			case 2:
+				c.SetCacheCapacity(1 + i%5)
+			case 3:
+				_ = c.CacheStats()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+}
+
+// --- resolver arity validation --------------------------------------------------
+
+func TestFetchDescriptionRejectsBadArity(t *testing.T) {
+	for _, arity := range []string{"zork", "", "-2", "3x"} {
+		desc := fmt.Sprintf(`<service namespace="urn:x"><function name="f" arity="%s"/></service>`, arity)
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, desc)
+		}))
+		_, _, err := FetchDescription(context.Background(), nil, ts.URL, 0)
+		ts.Close()
+		if !errors.Is(err, ErrMalformedPayload) {
+			t.Errorf("arity %q: want ErrMalformedPayload, got %v", arity, err)
+		}
+	}
+	// A well-formed description still resolves.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<service namespace="urn:x"><function name="f" arity="2"/></service>`)
+	}))
+	t.Cleanup(ts.Close)
+	ns, fns, err := FetchDescription(context.Background(), nil, ts.URL, 0)
+	if err != nil || ns != "urn:x" || len(fns) != 1 || fns[0].Arity != 2 {
+		t.Errorf("ns=%q fns=%v err=%v", ns, fns, err)
+	}
+}

@@ -1,0 +1,203 @@
+package rest
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/markup"
+	"repro/internal/xdm"
+)
+
+// atomicPool lists, per atomic type, lexical values that survive the
+// wire (the decoder casts the transported lexical form back, so any
+// value whose String() re-casts to itself round-trips).
+var atomicPool = map[string][]string{
+	"xs:untypedAtomic":     {"", "plain", "white  space", "<&>\"'", "ünïcode ☃"},
+	"xs:string":            {"", "hello", "a<b&c>d", "tab\tand\nnewline", "]]>"},
+	"xs:anyURI":            {"http://example.com/a?b=c&d=e", "urn:x"},
+	"xs:boolean":           {"true", "false"},
+	"xs:integer":           {"0", "42", "-7", "9223372036854775807"},
+	"xs:decimal":           {"3.14", "-0.5", "100"},
+	"xs:double":            {"1.5E3", "-2.25", "0.5"},
+	"xs:date":              {"2024-01-15", "1999-12-31"},
+	"xs:time":              {"12:30:45", "00:00:00"},
+	"xs:dateTime":          {"2024-01-15T12:30:45", "2000-02-29T23:59:59"},
+	"xs:duration":          {"P1Y2M3DT4H5M6S", "PT0S"},
+	"xs:yearMonthDuration": {"P2Y3M", "P1M"},
+	"xs:dayTimeDuration":   {"P1DT2H", "PT3.5S"},
+	"xs:QName":             {"local", "pre:fixed"},
+}
+
+// randomAtomic builds one typed atomic item from the pool.
+func randomAtomic(t *testing.T, rng *rand.Rand) xdm.Item {
+	t.Helper()
+	names := make([]string, 0, len(atomicPool))
+	for n := range atomicPool {
+		names = append(names, n)
+	}
+	// Map iteration order is random; sort for reproducible rng use.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	name := names[rng.Intn(len(names))]
+	lex := atomicPool[name][rng.Intn(len(atomicPool[name]))]
+	typ, ok := xdm.AtomicTypeByName(strings.TrimPrefix(name, "xs:"))
+	if !ok {
+		t.Fatalf("unknown type %s", name)
+	}
+	v, err := xdm.Cast(xdm.String(lex), typ)
+	if err != nil {
+		t.Fatalf("pool value %q is not a valid %s: %v", lex, name, err)
+	}
+	return v
+}
+
+// randomNode builds a node item: an element with attributes and
+// namespaces, or a document node carrying a base URI.
+func randomNode(t *testing.T, rng *rand.Rand) xdm.Item {
+	t.Helper()
+	srcs := []string{
+		`<r/>`,
+		`<r id="1" class="x y"><c a="&lt;&amp;&gt;"/>text</r>`,
+		`<a:root xmlns:a="urn:a" xmlns:b="urn:b"><b:kid b:attr="v"/></a:root>`,
+		`<r>mixed <em>content</em> tail</r>`,
+	}
+	doc, err := markup.Parse(srcs[rng.Intn(len(srcs))])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rng.Intn(2) == 0 {
+		doc.BaseURI = "urn:doc-" + string(rune('a'+rng.Intn(26)))
+		return xdm.NewNode(doc)
+	}
+	return xdm.NewNode(doc.DocumentElement())
+}
+
+// itemEq compares a decoded item against its original: nodes by
+// serialization (plus document identity), atomics by type and lexical
+// value.
+func itemEq(t *testing.T, orig, got xdm.Item) bool {
+	t.Helper()
+	on, oIsNode := xdm.IsNode(orig)
+	gn, gIsNode := xdm.IsNode(got)
+	if oIsNode != gIsNode {
+		return false
+	}
+	if oIsNode {
+		if markup.Serialize(on) != markup.Serialize(gn) {
+			return false
+		}
+		if on.Type == dom.DocumentNode && on.BaseURI != "" {
+			return gn.Type == dom.DocumentNode && gn.BaseURI == on.BaseURI
+		}
+		return true
+	}
+	return orig.Type() == got.Type() && orig.String() == got.String()
+}
+
+// TestWireRoundTripProperty: DecodeSequence(EncodeSequence(s)) == s
+// over generated sequences of every atomic type, nodes with
+// attributes and namespaces, documents with URIs, and the empty
+// sequence.
+func TestWireRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(8) // includes the empty sequence
+		seq := make(xdm.Sequence, 0, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				seq = append(seq, randomNode(t, rng))
+			} else {
+				seq = append(seq, randomAtomic(t, rng))
+			}
+		}
+		wire := EncodeSequence(seq)
+		back, err := DecodeSequence(wire)
+		if err != nil {
+			t.Fatalf("trial %d: decode failed: %v\nwire: %s", trial, err, wire)
+		}
+		if len(back) != len(seq) {
+			t.Fatalf("trial %d: %d items in, %d out\nwire: %s", trial, len(seq), len(back), wire)
+		}
+		for i := range seq {
+			if !itemEq(t, seq[i], back[i]) {
+				t.Fatalf("trial %d item %d: %v (%v) != %v (%v)\nwire: %s",
+					trial, i, seq[i], seq[i].Type(), back[i], back[i].Type(), wire)
+			}
+		}
+		// Keys line up with document items.
+		_, keys, err := DecodeSequenceKeyed(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			wantKey := ""
+			if n, ok := xdm.IsNode(seq[i]); ok && n.Type == dom.DocumentNode {
+				wantKey = n.BaseURI
+			}
+			if keys[i] != wantKey {
+				t.Fatalf("trial %d item %d: key %q, want %q", trial, i, keys[i], wantKey)
+			}
+		}
+	}
+}
+
+// TestArgsRoundTrip covers the <args> framing around the item format.
+func TestArgsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	args := []xdm.Sequence{
+		{},
+		{randomAtomic(t, rng)},
+		{randomAtomic(t, rng), randomNode(t, rng), randomAtomic(t, rng)},
+	}
+	back, err := DecodeArgs(EncodeArgs(args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(args) {
+		t.Fatalf("%d args in, %d out", len(args), len(back))
+	}
+	for i := range args {
+		if len(back[i]) != len(args[i]) {
+			t.Fatalf("arg %d: %d items in, %d out", i, len(args[i]), len(back[i]))
+		}
+		for j := range args[i] {
+			if !itemEq(t, args[i][j], back[i][j]) {
+				t.Fatalf("arg %d item %d differs", i, j)
+			}
+		}
+	}
+}
+
+// FuzzDecodeSequence: arbitrary bytes must decode or error, never
+// panic, and anything that decodes must re-encode and decode again
+// stably.
+func FuzzDecodeSequence(f *testing.F) {
+	f.Add("<result></result>")
+	f.Add(`<result><item type="xs:integer">42</item></result>`)
+	f.Add(`<result><item kind="node" uri="u"><d/></item></result>`)
+	f.Add(`<result><item kind="node"><a b="c">t</a></item></result>`)
+	f.Add(`<result><item type="xs:zork">?</item></result>`)
+	f.Add(`<result><item `)
+	f.Add(`<nonsense/>`)
+	f.Add("")
+	f.Add(string([]byte{0xff, 0xfe, '<', 'r', '>'}))
+	f.Fuzz(func(t *testing.T, src string) {
+		seq, err := DecodeSequence(src)
+		if err != nil {
+			return
+		}
+		wire := EncodeSequence(seq)
+		again, err := DecodeSequence(wire)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded %q failed: %v (wire %q)", src, err, wire)
+		}
+		if len(again) != len(seq) {
+			t.Fatalf("re-decode changed length: %d -> %d (src %q)", len(seq), len(again), src)
+		}
+	})
+}

@@ -136,6 +136,17 @@ type FailureStats struct {
 	// crashed xquery.QuarantineThreshold times in a row (mirrors
 	// Cache.Quarantined).
 	Quarantined int64 `json:"quarantined"`
+	// FedRetries, FedHedges, FedBreakerOpens, FedBreakerSkips and
+	// FedPartials mirror the federation layer's process-wide counters
+	// (internal/fed): sub-requests retried after transient failures,
+	// hedged attempts launched, circuit breakers opened, attempts
+	// skipped on open breakers, and gathers degraded to partial
+	// results.
+	FedRetries      int64 `json:"fed_retries"`
+	FedHedges       int64 `json:"fed_hedges"`
+	FedBreakerOpens int64 `json:"fed_breaker_opens"`
+	FedBreakerSkips int64 `json:"fed_breaker_skips"`
+	FedPartials     int64 `json:"fed_partials"`
 }
 
 // UpdateStats mirrors update.Stats with JSON tags: Eliminated counts

@@ -25,6 +25,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/dom/index"
 	"repro/internal/faultpoint"
+	"repro/internal/fed"
 	ftindex "repro/internal/fulltext/index"
 	"repro/internal/xdm"
 	"repro/internal/xmldb"
@@ -92,6 +93,13 @@ type Config struct {
 	// the §4.2.1 browser profile from session engines (trusted storage
 	// instead of blocked network fetch); fn:put stays blocked.
 	Store *xmldb.Store
+	// Fed, when non-nil, is the pool's federated document source:
+	// fn:collection scatter-gathers over its backends in every session
+	// script and Eval call, and its counters join Metrics.Failures. A
+	// local Store wins over Fed for the resolvers both provide (fn:doc
+	// is always store-or-default: the federation serves collections,
+	// not single-document fetches).
+	Fed *fed.Executor
 }
 
 // Pool is the serving subsystem: a bounded set of live page sessions
@@ -193,6 +201,11 @@ func (p *Pool) Load(ctx context.Context, pageSrc, href string, opts ...core.Opti
 	if st := p.cfg.Store; st != nil {
 		hostOpts = append(hostOpts,
 			core.WithStoreResolvers(st.Resolver(), st.CollectionResolver(), st.CollectionIterResolver()))
+	} else if fx := p.cfg.Fed; fx != nil {
+		// Collections resolve over the federation, bounded by the
+		// session's lifetime context.
+		hostOpts = append(hostOpts,
+			core.WithStoreResolvers(nil, fx.CollectionResolver(sctx), fx.CollectionIterResolver(sctx)))
 	}
 	hostOpts = append(hostOpts, p.cfg.HostOptions...)
 	hostOpts = append(hostOpts, opts...)
@@ -352,6 +365,9 @@ func (p *Pool) Eval(ctx context.Context, src string, contextDoc *dom.Node) (seq 
 		cfg.Docs = st.Resolver()
 		cfg.Collections = st.CollectionResolver()
 		cfg.CollectionsIter = st.CollectionIterResolver()
+	} else if fx := p.cfg.Fed; fx != nil {
+		cfg.Collections = fx.CollectionResolver(ctx)
+		cfg.CollectionsIter = fx.CollectionIterResolver(ctx)
 	}
 	if contextDoc != nil {
 		cfg.ContextItem = xdm.NewNode(contextDoc)
@@ -427,13 +443,25 @@ func (p *Pool) Metrics() Metrics {
 		Index:            indexStats(),
 		FullText:         fullTextStats(),
 		Updates:          updateStats(),
-		Failures: FailureStats{
-			PanicsRecovered: xqerr.Recovered(),
-			Rollbacks:       update.Rollbacks(),
-			ResolverRetries: runtime.ResolverRetries(),
-			Shed:            p.shed.Load(),
-			Quarantined:     cache.Quarantined,
-		},
+		Failures:         failureStats(p, cache),
+	}
+}
+
+// failureStats assembles the resilience snapshot, folding in the
+// process-wide federation counters.
+func failureStats(p *Pool, cache xquery.CacheStats) FailureStats {
+	fs := fed.Snapshot()
+	return FailureStats{
+		PanicsRecovered: xqerr.Recovered(),
+		Rollbacks:       update.Rollbacks(),
+		ResolverRetries: runtime.ResolverRetries(),
+		Shed:            p.shed.Load(),
+		Quarantined:     cache.Quarantined,
+		FedRetries:      fs.Retries,
+		FedHedges:       fs.Hedges,
+		FedBreakerOpens: fs.BreakerOpens,
+		FedBreakerSkips: fs.BreakerSkips,
+		FedPartials:     fs.Partials,
 	}
 }
 

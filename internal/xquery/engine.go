@@ -437,6 +437,7 @@ func (p *Program) NewContext(cfg RunConfig) *runtime.Context {
 	}
 	ctx.Profiler = cfg.Profiler
 	ctx.Budget = runtime.NewBudgetContext(cfg.Context, cfg.MaxSteps, cfg.Timeout)
+	ctx.IO = cfg.Context
 	ctx.NoStream = cfg.DisableStreaming
 	ctx.NoIndex = cfg.DisableIndexes
 	ctx.Docs = cfg.Docs

@@ -10,6 +10,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -380,6 +381,13 @@ type Context struct {
 	// behind-call goroutines: one budget per query invocation.
 	Budget *Budget
 
+	// IO, when non-nil, is the run's cancellation context for outbound
+	// I/O performed by host functions (REST calls, federation
+	// sub-requests): cancelling the run stops those calls from burning
+	// sockets, not just the evaluation loop. Program.NewContext sets it
+	// from RunConfig.Context; hosts read it through IOContext.
+	IO context.Context
+
 	// NoStream forces the materializing evaluator everywhere: EvalIter
 	// degrades to a deferred Eval and streaming built-ins use their
 	// eager Invoke. Used as the baseline in benchmarks and as an
@@ -409,6 +417,19 @@ func NewContext(p *Program) *Context {
 	ctx.env = nil
 	ctx.globals = nil
 	return ctx
+}
+
+// IOContext returns the run's context for outbound I/O (never nil):
+// the RunConfig.Context the evaluation was started under, or
+// context.Background() when the run is unbounded. Host functions that
+// issue network calls (rest:get, remote proxies, federation scatters)
+// build their requests with it so a cancelled query stops burning
+// sockets.
+func (ctx *Context) IOContext() context.Context {
+	if ctx == nil || ctx.IO == nil {
+		return context.Background()
+	}
+	return ctx.IO
 }
 
 // Bind adds a variable binding (used by the host to inject external

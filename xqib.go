@@ -40,6 +40,7 @@ import (
 	"repro/internal/browser"
 	"repro/internal/core"
 	"repro/internal/dom"
+	"repro/internal/fed"
 	"repro/internal/jsruntime"
 	"repro/internal/markup"
 	"repro/internal/rest"
@@ -455,6 +456,56 @@ func WithStore(st *Store) Option {
 // Deprecated: use OpenStore — OpenStore("") is the in-memory
 // equivalent, and a directory argument adds durability.
 var NewXMLStore = xmldb.NewStore
+
+// --- federation -----------------------------------------------------------------
+
+// Federation is the scatter-gather mediation executor: each backend in
+// FederationConfig.Shards is a rest module server owning one shard of
+// the document space, and fn:collection fans out to all of them
+// concurrently, merging the shard streams in URI order. It degrades
+// rather than amplifies failures: per-backend circuit breakers, hedged
+// requests against replicas, bounded retries for idempotent reads, and
+// (optionally) partial results with a fed:incomplete diagnostic.
+type (
+	Federation       = fed.Executor
+	FederationConfig = fed.Config
+)
+
+// NewFederation validates a FederationConfig and builds the executor;
+// ErrBackendDown is the typed error federated calls return when a
+// shard has no reachable backend.
+var (
+	NewFederation  = fed.New
+	ErrBackendDown = fed.ErrBackendDown
+)
+
+// FedShardModule is a ready-made shard-side service module: serve it
+// with NewModuleServer on each backend (with ModuleServer.Collections
+// bound to the shard's documents) and the federation's collection
+// calls work out of the box.
+const FedShardModule = fed.ShardModule
+
+// WithFederation binds a federation to the facade constructors: on an
+// engine (or every script engine of a loaded page) it routes
+// fn:collection through the scatter-gather executor and resolves
+// "fed:endpoints" module imports to federated remote proxies. The
+// resolvers are bound to the background context — per-attempt
+// timeouts, retry budgets and breakers still bound each call; for
+// caller-scoped cancellation use the serving layer (PoolConfig.Fed),
+// which threads each request's context through.
+func WithFederation(x *Federation) Option {
+	bg := context.Background()
+	return Option{
+		engine: []xquery.Option{
+			xquery.WithCollectionResolver(x.CollectionResolver(bg)),
+			xquery.WithCollectionIterResolver(x.CollectionIterResolver(bg)),
+			xquery.WithModuleResolver(x.Resolver(bg)),
+		},
+		host: []core.Option{
+			core.WithStoreResolvers(nil, x.CollectionResolver(bg), x.CollectionIterResolver(bg)),
+		},
+	}
+}
 
 // FormatSequence renders a sequence for display: nodes as XML, atomics
 // by their lexical form, separated by spaces.

@@ -1,0 +1,84 @@
+package xqib_test
+
+import (
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	xqib "repro"
+)
+
+func startShardBackend(t *testing.T, docs map[string]string) *httptest.Server {
+	t.Helper()
+	var nodes []*xqib.Node
+	for uri, src := range docs {
+		d, err := xqib.ParseXML(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.BaseURI = uri
+		nodes = append(nodes, d)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].BaseURI < nodes[j].BaseURI })
+	srv, err := xqib.NewModuleServer(xqib.FedShardModule, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Collections = func(uri string) ([]*xqib.Node, error) { return nodes, nil }
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// The facade wires a federation into both constructors: fn:collection
+// on a bare engine and on a loaded page scatter-gathers over the
+// shard backends, merged in URI order.
+func TestWithFederationBothConstructors(t *testing.T) {
+	a := startShardBackend(t, map[string]string{"doc-1": `<d n="1"/>`, "doc-3": `<d n="3"/>`})
+	b := startShardBackend(t, map[string]string{"doc-2": `<d n="2"/>`, "doc-4": `<d n="4"/>`})
+	x, err := xqib.NewFederation(xqib.FederationConfig{Shards: [][]string{{a.URL}, {b.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := xqib.WithFederation(x)
+
+	e := xqib.NewEngine(opt)
+	seq, err := e.EvalQuery(`for $d in fn:collection("/") return fn:base-uri($d)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xqib.FormatSequence(seq); got != "doc-1 doc-2 doc-3 doc-4" {
+		t.Errorf("engine collection order = %q", got)
+	}
+
+	h, err := xqib.LoadPage(`<html><head><script type="text/xquery">
+		browser:alert(fn:string-join(for $d in fn:collection("/") return fn:base-uri($d), ","))
+	</script></head><body/></html>`, "http://example.com/", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alerts := h.Alerts(); len(alerts) != 1 || alerts[0] != "doc-1,doc-2,doc-3,doc-4" {
+		t.Errorf("page alerts = %v", alerts)
+	}
+}
+
+// The same option also resolves "fed:endpoints" module imports into
+// federated remote proxies.
+func TestWithFederationModuleImport(t *testing.T) {
+	a := startShardBackend(t, map[string]string{"a": `<d/>`})
+	b := startShardBackend(t, map[string]string{"b": `<d/>`})
+	x, err := xqib.NewFederation(xqib.FederationConfig{Shards: [][]string{{a.URL}, {b.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := xqib.NewEngine(xqib.WithFederation(x))
+	seq, err := e.EvalQuery(`import module namespace shard = "urn:xqib:fed:shard" at "fed:endpoints";
+		for $d in shard:collection("/") return fn:base-uri($d)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xqib.FormatSequence(seq); !strings.Contains(got, "a") || !strings.Contains(got, "b") {
+		t.Errorf("federated module call result = %q", got)
+	}
+}
