@@ -128,6 +128,53 @@ func TestFaultBreakerBoundsCallsToDeadBackend(t *testing.T) {
 	}
 }
 
+// TestRoundDoesNotReserveUnlaunchedReplicas: a backup replica whose
+// breaker is past its cooldown must not have its half-open probe slot
+// reserved by a round that never launches an attempt against it —
+// regression for breaker admission happening at candidate-list time
+// instead of launch time, which leaked the reservation and wedged the
+// breaker (every later Allow returned false) whenever the primary won
+// before the backup was needed.
+func TestRoundDoesNotReserveUnlaunchedReplicas(t *testing.T) {
+	docs := map[string]string{"doc-a": `<d/>`}
+	fast := startShard(t, docs, nil)
+	backup := startShard(t, docs, nil)
+	cooldown := time.Millisecond
+	x := newFed(t, Config{
+		Shards:           [][]string{{fast.URL, backup.URL}},
+		BreakerThreshold: 1,
+		BreakerCooldown:  cooldown,
+		DisableHedge:     true,
+	})
+	br := x.breakerFor(backup.URL)
+	br.Allow()
+	br.Record(outcomeFail) // threshold 1: breaker opens
+	time.Sleep(2 * cooldown)
+
+	// The primary answers every time; the backup must never be
+	// admitted (and so never reserved) by these rounds.
+	for i := 0; i < 3; i++ {
+		if _, err := x.Collection(context.Background(), "/"); err != nil {
+			t.Fatalf("query %d through healthy primary: %v", i, err)
+		}
+	}
+	if !br.Allow() {
+		t.Fatal("backup breaker is wedged: its half-open probe slot was reserved by a round that never launched it")
+	}
+	br.Record(outcomeNeutral)
+}
+
+// TestBackoffLargeRetryCountClamps: the exponential backoff must stay
+// within (0, 2s] for any retry count — regression for base<<n
+// overflowing into a negative duration and panicking the jitter.
+func TestBackoffLargeRetryCountClamps(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 40, 64, 1000} {
+		if d := backoff(10*time.Millisecond, n); d <= 0 || d > 2*time.Second {
+			t.Errorf("backoff(n=%d) = %v, want in (0, 2s]", n, d)
+		}
+	}
+}
+
 // TestBreakerRecoversThroughProbe: a backend that heals is readmitted
 // by a successful half-open probe.
 func TestBreakerRecoversThroughProbe(t *testing.T) {

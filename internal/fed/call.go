@@ -192,40 +192,48 @@ func (x *Executor) attempt(rctx context.Context, ep string, idx int, hedged bool
 // primary outlives its p95, immediate failover to the next replica on
 // failure, first success wins and cancels the losers.
 func (x *Executor) round(ctx context.Context, shard int, eps []string, fn, argsXML string, idempotent bool) ([]keyedItem, error) {
-	// Admit candidates through their breakers; open breakers are
-	// skipped without burning any of the round's budget.
-	var cands []string
-	for _, ep := range eps {
-		if x.breakerFor(ep).Allow() {
-			cands = append(cands, ep)
-		} else {
-			cBreakerSkips.Add(1)
-		}
-	}
-	if len(cands) == 0 {
-		return nil, fmt.Errorf("%w: every replica of shard %d has an open circuit breaker", ErrBackendDown, shard)
-	}
-	if !idempotent && len(cands) > 1 {
-		// A call with effects must not race two executions: one
-		// replica, no hedge, no failover.
-		cands = cands[:1]
-	}
-
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	// Buffered to the candidate count: attempt goroutines can always
+	// Buffered to the replica count: attempt goroutines can always
 	// deliver and exit, even after the round has returned.
-	results := make(chan attemptResult, len(cands))
-	launched := 0
-	launch := func(hedged bool) {
-		go x.attempt(rctx, cands[launched], launched, hedged, fn, argsXML, results)
-		launched++
+	results := make(chan attemptResult, len(eps))
+	maxAttempts := len(eps)
+	if !idempotent {
+		// A call with effects must not race two executions: one
+		// replica, no hedge, no failover.
+		maxAttempts = 1
 	}
-	launch(false)
+	next := 0     // next replica to consider for launch
+	launched := 0 // attempts launched (in flight or finished)
+	// launch admits replicas through their breakers at launch time —
+	// never earlier — so every Allow()==true reservation is resolved
+	// by exactly one Record inside attempt, even when the round ends
+	// before reaching a replica. Open breakers are skipped without
+	// burning any of the round's budget. Returns the launched endpoint
+	// ("" when every remaining replica is rejected or the attempt
+	// budget is spent).
+	launch := func(hedged bool) string {
+		for next < len(eps) && launched < maxAttempts {
+			ep := eps[next]
+			next++
+			if !x.breakerFor(ep).Allow() {
+				cBreakerSkips.Add(1)
+				continue
+			}
+			go x.attempt(rctx, ep, launched, hedged, fn, argsXML, results)
+			launched++
+			return ep
+		}
+		return ""
+	}
+	primary := launch(false)
+	if primary == "" {
+		return nil, fmt.Errorf("%w: every replica of shard %d has an open circuit breaker", ErrBackendDown, shard)
+	}
 
 	var hedgeC <-chan time.Time
-	if !x.cfg.DisableHedge && idempotent && len(cands) > 1 {
-		t := time.NewTimer(x.hedgeDelayFor(cands[0]))
+	if !x.cfg.DisableHedge && idempotent && len(eps) > 1 {
+		t := time.NewTimer(x.hedgeDelayFor(primary))
 		defer t.Stop()
 		hedgeC = t.C
 	}
@@ -238,9 +246,10 @@ func (x *Executor) round(ctx context.Context, shard int, eps []string, fn, argsX
 			return nil, ctx.Err()
 		case <-hedgeC:
 			hedgeC = nil
-			if launched < len(cands) && faultpoint.Hit(faultpoint.PointFedHedge) == nil {
-				cHedges.Add(1)
-				launch(true)
+			if next < len(eps) && launched < maxAttempts && faultpoint.Hit(faultpoint.PointFedHedge) == nil {
+				if launch(true) != "" {
+					cHedges.Add(1)
+				}
 			}
 		case r := <-results:
 			done++
@@ -253,11 +262,11 @@ func (x *Executor) round(ctx context.Context, shard int, eps []string, fn, argsX
 			if firstErr == nil {
 				firstErr = r.err
 			}
-			if launched < len(cands) {
-				// Failover: the failed attempt frees budget for the
-				// next replica immediately, no timer needed.
-				launch(false)
-			} else if done == launched {
+			// Failover: the failed attempt frees budget for the next
+			// replica immediately, no timer needed. When no further
+			// replica is admitted and every in-flight attempt has
+			// resolved, the round is over.
+			if launch(false) == "" && done == launched {
 				return nil, firstErr
 			}
 		}
@@ -308,8 +317,14 @@ func backoff(base time.Duration, n int) time.Duration {
 	if base <= 0 {
 		base = DefaultRetryBase
 	}
-	d := base << uint(n)
-	if max := 2 * time.Second; d > max {
+	// Double iteratively, stopping at the cap, so a large retry count
+	// cannot shift the duration into overflow.
+	const max = 2 * time.Second
+	d := base
+	for i := 0; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
 		d = max
 	}
 	half := d / 2

@@ -17,9 +17,15 @@ import (
 //
 //	400  malformed call (bad args, unknown function)   terminal
 //	413  request body over the server's MaxBody cap    terminal
+//	422  evaluation budget exhausted (MaxSteps/Timeout) terminal
 //	500  evaluation panic (xqerr.ErrInternal)          retryable
 //	503  server overloaded / program quarantined       retryable
-//	504  budget exhausted or request cancelled         retryable
+//	504  request cancelled mid-evaluation              retryable
+//
+// Budget exhaustion is deliberately terminal: a query that exhausts
+// the server's deterministic MaxSteps/Timeout budget will exhaust it
+// again on every replay, so retrying burns sockets and — worse —
+// counts breaker failures against a perfectly healthy backend.
 var (
 	// ErrBodyTooLarge reports a peer response exceeding the client's
 	// MaxBody cap. Terminal: the same document will be oversized on
@@ -92,8 +98,9 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, xqerr.ErrInternal):
 		return http.StatusInternalServerError // 500
-	case errors.Is(err, xquery.ErrBudgetExceeded),
-		errors.Is(err, context.DeadlineExceeded),
+	case errors.Is(err, xquery.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity // 422
+	case errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout // 504
 	case errors.Is(err, xquery.ErrQuarantined), errors.Is(err, ErrOverloaded):

@@ -150,9 +150,10 @@ func (s *ModuleServer) Port() int { return s.prog.Module().Port }
 //
 // Call errors map onto the status taxonomy federation clients key
 // their retry and breaker decisions off: 400 for malformed calls, 413
-// for oversized request bodies, 500 for evaluation panics, 503 for
-// overload or quarantine, 504 for exhausted budgets and cancelled
-// requests.
+// for oversized request bodies, 422 for exhausted evaluation budgets
+// (terminal — deterministic, so clients must not retry or count it
+// against backend health), 500 for evaluation panics, 503 for
+// overload or quarantine, 504 for cancelled requests.
 func (s *ModuleServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /wsdl", func(w http.ResponseWriter, r *http.Request) {

@@ -24,7 +24,7 @@ func TestStatusForMapping(t *testing.T) {
 		want int
 	}{
 		{fmt.Errorf("wrap: %w", xqerr.ErrInternal), http.StatusInternalServerError},
-		{fmt.Errorf("wrap: %w", xquery.ErrBudgetExceeded), http.StatusGatewayTimeout},
+		{fmt.Errorf("wrap: %w", xquery.ErrBudgetExceeded), http.StatusUnprocessableEntity},
 		{context.DeadlineExceeded, http.StatusGatewayTimeout},
 		{context.Canceled, http.StatusGatewayTimeout},
 		{ErrOverloaded, http.StatusServiceUnavailable},
@@ -47,6 +47,7 @@ func TestRetryableClassification(t *testing.T) {
 		{context.DeadlineExceeded, false},
 		{&StatusError{Status: 400}, false},
 		{&StatusError{Status: 413}, false},
+		{&StatusError{Status: 422}, false},
 		{&StatusError{Status: 404}, false},
 		{&StatusError{Status: 501}, false},
 		{&StatusError{Status: 429}, true},
@@ -65,8 +66,8 @@ func TestRetryableClassification(t *testing.T) {
 }
 
 // TestHandlerStatusTaxonomy exercises the HTTP-visible half of the
-// mapping: budget exhaustion is 504, malformed calls stay 400,
-// oversized bodies are 413.
+// mapping: deterministic budget exhaustion is a terminal 422,
+// malformed calls stay 400, oversized bodies are 413.
 func TestHandlerStatusTaxonomy(t *testing.T) {
 	srv, err := NewModuleServer(`module namespace x = "urn:x";
 declare option fn:webservice "true";
@@ -96,8 +97,8 @@ declare function x:id($v) { $v };`, nil)
 	if got := post("id", intArg(7)); got != http.StatusOK {
 		t.Errorf("healthy call: %d", got)
 	}
-	if got := post("spin", intArg(1000000)); got != http.StatusGatewayTimeout {
-		t.Errorf("budget exhaustion: %d, want 504", got)
+	if got := post("spin", intArg(1000000)); got != http.StatusUnprocessableEntity {
+		t.Errorf("budget exhaustion: %d, want 422", got)
 	}
 	if got := post("nope", intArg(1)); got != http.StatusBadRequest {
 		t.Errorf("unknown function: %d, want 400", got)
